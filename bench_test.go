@@ -1,0 +1,228 @@
+// Benchmarks regenerating each of the paper's evaluation artifacts (one
+// testing.B benchmark per table and figure; see DESIGN.md's experiment
+// index). They run the same code paths as cmd/bwbench at reduced fault
+// counts so `go test -bench=.` stays tractable; paper-scale numbers come
+// from `go run ./cmd/bwbench`.
+package blockwatch
+
+import (
+	"testing"
+
+	"blockwatch/internal/core"
+	"blockwatch/internal/harness"
+	"blockwatch/internal/inject"
+	"blockwatch/internal/monitor"
+	"blockwatch/internal/queue"
+)
+
+func benchCfg() harness.Config {
+	return harness.Config{
+		Faults:            50,
+		FalsePositiveRuns: 3,
+		CoverageThreads:   []int{4},
+		PerfThreads:       []int{1, 2, 4, 32},
+		Seed:              1,
+	}
+}
+
+// BenchmarkTable3Trace regenerates the paper's Table III propagation trace.
+func BenchmarkTable3Trace(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.Table3(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable4Characteristics regenerates Table IV (benchmark
+// characteristics: LOC and branch counts).
+func BenchmarkTable4Characteristics(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.Table4(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable5Analysis regenerates Table V (similarity category
+// statistics) — i.e. it measures the full static analysis over all seven
+// kernels.
+func BenchmarkTable5Analysis(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.Table5(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig6Overhead regenerates Figure 6 (normalized execution time at
+// 4 and 32 threads for every kernel).
+func BenchmarkFig6Overhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.Fig6(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig7Scalability regenerates Figure 7 (geomean overhead vs
+// thread count).
+func BenchmarkFig7Scalability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.Fig7(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig8BranchFlip regenerates Figure 8 (SDC coverage under
+// branch-flip faults) at a reduced fault count.
+func BenchmarkFig8BranchFlip(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.Coverage(benchCfg(), inject.BranchFlip); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig9BranchCondition regenerates Figure 9 (SDC coverage under
+// branch-condition faults) at a reduced fault count.
+func BenchmarkFig9BranchCondition(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.Coverage(benchCfg(), inject.CondBit); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFalsePositiveRuns regenerates the Section IV false-positive
+// experiment (error-free instrumented runs).
+func BenchmarkFalsePositiveRuns(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := harness.FalsePositives(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Violations != 0 {
+			b.Fatalf("false positives: %+v", res.PerProgram)
+		}
+	}
+}
+
+// BenchmarkDuplicationComparison regenerates the Section VI duplication
+// comparison.
+func BenchmarkDuplicationComparison(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Faults = 20
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.Duplication(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationOptimizations regenerates the optimization ablations
+// (promotion and redundant-check elimination).
+func BenchmarkAblationOptimizations(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Faults = 20
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.Ablation(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMonitorThroughput measures the runtime monitor's event path
+// (queue push → drain → table insert → check), the cost underlying the
+// paper's overhead numbers.
+func BenchmarkMonitorThroughput(b *testing.B) {
+	m, err := monitor.New(monitor.Config{
+		NumThreads: 2,
+		Plans:      benchPlans(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m.Start()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key := uint64(i)
+		m.Send(monitor.Event{Kind: monitor.EvBranch, Thread: 0, BranchID: 1, Key1: 1, Key2: key, Sig: 5, Taken: true})
+		m.Send(monitor.Event{Kind: monitor.EvBranch, Thread: 1, BranchID: 1, Key1: 1, Key2: key, Sig: 5, Taken: true})
+	}
+	b.StopTimer()
+	m.Send(monitor.Event{Kind: monitor.EvDone, Thread: 0})
+	m.Send(monitor.Event{Kind: monitor.EvDone, Thread: 1})
+	m.Close()
+	if m.Detected() {
+		b.Fatal("unexpected violation")
+	}
+}
+
+// BenchmarkInterpreter measures raw interpreter speed on the fft kernel
+// (the substrate cost every experiment pays).
+func BenchmarkInterpreter(b *testing.B) {
+	prog, err := LoadBenchmark("fft")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := prog.Run(RunOptions{Threads: 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSPSCQueue measures the Lamport queue in isolation.
+func BenchmarkSPSCQueue(b *testing.B) {
+	q, err := queue.NewSPSC[monitor.Event](1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ev := monitor.Event{Kind: monitor.EvBranch, BranchID: 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q.Push(ev)
+		q.Pop()
+	}
+}
+
+// BenchmarkStaticAnalysis measures one full analysis of the largest
+// kernel.
+func BenchmarkStaticAnalysis(b *testing.B) {
+	prog, err := LoadBenchmark("raytrace")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := prog.Analyze(AnalysisOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchPlans builds a minimal shared-check plan table for the monitor
+// benchmark via the public analysis path.
+func benchPlans() map[int]*core.CheckPlan {
+	prog, err := Compile(`
+global int n;
+func void setup() { n = 4; }
+func void slave() {
+	int i;
+	for (i = 0; i < n; i = i + 1) {
+		output(i);
+	}
+}`, "bench")
+	if err != nil {
+		panic(err)
+	}
+	rep, err := prog.Analyze(AnalysisOptions{})
+	if err != nil {
+		panic(err)
+	}
+	return rep.analysis.Plans
+}

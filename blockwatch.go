@@ -1,0 +1,383 @@
+// Package blockwatch is a from-scratch reproduction of "BLOCKWATCH:
+// Leveraging Similarity in Parallel Programs for Error Detection"
+// (Wei & Pattabiraman, DSN 2012).
+//
+// BLOCKWATCH protects SPMD parallel programs from transient hardware
+// faults in control data: a static analysis classifies every branch of
+// the program's parallel section into the similarity categories shared /
+// threadID / partial / none (paper Table I), and a lock-free runtime
+// monitor cross-checks branch outcomes against the inferred similarity,
+// with zero false positives by construction.
+//
+// This package is the high-level facade. A typical session:
+//
+//	prog, err := blockwatch.Compile(src, "myprogram")
+//	report, err := prog.Analyze(blockwatch.AnalysisOptions{})
+//	run, err := prog.Run(blockwatch.RunOptions{Threads: 4, Protect: true})
+//	camp, err := prog.Campaign(blockwatch.CampaignOptions{Threads: 4, Faults: 1000})
+//
+// Programs are written in MiniC, a small SPMD language (see the README
+// and internal/lang): shared globals, per-thread slave(), tid()/
+// nthreads()/barrier()/lock() builtins. The seven SPLASH-2 evaluation
+// kernels from the paper are available via Benchmarks and
+// LoadBenchmark.
+package blockwatch
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"blockwatch/internal/core"
+	"blockwatch/internal/inject"
+	"blockwatch/internal/interp"
+	"blockwatch/internal/ir"
+	"blockwatch/internal/lower"
+	"blockwatch/internal/opt"
+	"blockwatch/internal/splash"
+)
+
+// Program is a compiled MiniC SPMD program.
+type Program struct {
+	name string
+	mod  *ir.Module
+}
+
+// Compile parses, type-checks and lowers MiniC source to SSA form.
+func Compile(src, name string) (*Program, error) {
+	mod, err := lower.Compile(src, name)
+	if err != nil {
+		return nil, err
+	}
+	if err := lower.CheckSPMD(mod); err != nil {
+		return nil, err
+	}
+	return &Program{name: name, mod: mod}, nil
+}
+
+// Benchmarks returns the names of the seven bundled SPLASH-2 kernels in
+// the paper's Table IV order.
+func Benchmarks() []string { return splash.Names() }
+
+// LoadBenchmark compiles one of the bundled SPLASH-2 kernels.
+func LoadBenchmark(name string) (*Program, error) {
+	mod, err := splash.Load(name)
+	if err != nil {
+		return nil, err
+	}
+	return &Program{name: name, mod: mod}, nil
+}
+
+// BenchmarkSource returns the MiniC source of a bundled kernel.
+func BenchmarkSource(name string) (string, error) {
+	p, err := splash.Get(name)
+	if err != nil {
+		return "", err
+	}
+	return p.Source, nil
+}
+
+// Name returns the program name.
+func (p *Program) Name() string { return p.name }
+
+// OptimizeStats reports what Program.Optimize did.
+type OptimizeStats struct {
+	Folded     int
+	Simplified int
+	CSE        int
+	Dead       int
+}
+
+// Optimize runs the SSA optimization pipeline (constant folding, local
+// CSE, dead-code elimination) on the program in place. Check plans from
+// Analyze calls made before Optimize must not be reused afterwards.
+func (p *Program) Optimize() OptimizeStats {
+	st := opt.Optimize(p.mod)
+	return OptimizeStats{
+		Folded:     st.Folded,
+		Simplified: st.Simplified,
+		CSE:        st.CSE,
+		Dead:       st.Dead,
+	}
+}
+
+// DumpIR returns the program's SSA IR as text.
+func (p *Program) DumpIR() string { return p.mod.String() }
+
+// AnalysisOptions configures the similarity analysis.
+type AnalysisOptions struct {
+	// MaxNest caps the loop-nesting depth of instrumented branches
+	// (0 = the paper's default of 6; negative = unlimited).
+	MaxNest int
+	// DisablePromotion turns off the none→partial promotion optimization.
+	DisablePromotion bool
+	// DisableCriticalElision turns off check removal in critical sections.
+	DisableCriticalElision bool
+	// DedupRedundant enables the Section VI redundant-check elimination.
+	DedupRedundant bool
+	// DisableUniform turns off the uniform-loop extension.
+	DisableUniform bool
+}
+
+func (o AnalysisOptions) toCore() core.Options {
+	return core.Options{
+		MaxNest:                o.MaxNest,
+		DisablePromotion:       o.DisablePromotion,
+		DisableCriticalElision: o.DisableCriticalElision,
+		DedupRedundant:         o.DedupRedundant,
+		DisableUniform:         o.DisableUniform,
+	}
+}
+
+// BranchReport describes one analyzed branch.
+type BranchReport struct {
+	BranchID int
+	Line     int    // source line of the condition
+	Category string // shared | threadID | partial | none
+	Checked  bool
+	Promoted bool   // none branch promoted to a partial check
+	Uniform  bool   // loop header upgraded by the uniform-trip proof
+	Why      string // reason when unchecked
+}
+
+// Report is the outcome of the static analysis.
+type Report struct {
+	Program          string
+	Iterations       int
+	TotalBranches    int
+	ParallelBranches int
+	PerCategory      map[string]int
+	SimilarFraction  float64
+	Checked          int
+	Branches         []BranchReport
+
+	analysis *core.Analysis
+}
+
+// Analyze runs the BLOCKWATCH static analysis on the program's parallel
+// section.
+func (p *Program) Analyze(opts AnalysisOptions) (*Report, error) {
+	a, err := core.Analyze(p.mod, opts.toCore())
+	if err != nil {
+		return nil, err
+	}
+	st := a.Stats()
+	rep := &Report{
+		Program:          p.name,
+		Iterations:       a.Iterations,
+		TotalBranches:    st.TotalBranches,
+		ParallelBranches: st.ParallelBranches,
+		PerCategory:      make(map[string]int, 4),
+		SimilarFraction:  st.SimilarFraction(),
+		Checked:          st.Checked,
+		analysis:         a,
+	}
+	for cat, n := range st.PerCategory {
+		rep.PerCategory[cat.String()] = n
+	}
+	ids := make([]int, 0, len(a.Plans))
+	for id := range a.Plans {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		plan := a.Plans[id]
+		br := BranchReport{
+			BranchID: id,
+			Line:     plan.Br.SrcLine,
+			Category: plan.Category.String(),
+			Checked:  plan.Checked(),
+			Promoted: plan.Promoted,
+			Uniform:  plan.Uniform,
+		}
+		switch plan.Reason {
+		case core.ReasonNone:
+			br.Why = "no similarity (promotion disabled)"
+		case core.ReasonCritical:
+			br.Why = "inside critical section"
+		case core.ReasonTooDeep:
+			br.Why = "loop nesting beyond cap"
+		case core.ReasonRedundant:
+			br.Why = "condition already checked"
+		case core.ReasonSerial:
+			br.Why = "outside parallel section"
+		}
+		rep.Branches = append(rep.Branches, br)
+	}
+	return rep, nil
+}
+
+// RunOptions configures one execution.
+type RunOptions struct {
+	// Threads is the SPMD thread count (≥ 1).
+	Threads int
+	// Protect instruments the program and runs the checking monitor.
+	Protect bool
+	// Analysis supplies a previously computed Report; nil means analyze
+	// with defaults when Protect is set.
+	Analysis *Report
+	// Seed perturbs the program's rnd() streams.
+	Seed uint64
+	// StepLimit bounds per-thread execution (0 = default).
+	StepLimit uint64
+	// Trace, when non-nil, receives one line per executed branch.
+	Trace io.Writer
+	// MonitorGroups selects the hierarchical monitor extension with that
+	// many sub-monitors (0/1 = the paper's flat monitor).
+	MonitorGroups int
+}
+
+// RunResult is the outcome of one execution.
+type RunResult struct {
+	// Output is the program's deterministic output vector (raw 64-bit
+	// values; ints and IEEE-754 float bits as produced by output()).
+	Output []uint64
+	// SimTime is the simulated cycle span of the parallel section.
+	SimTime int64
+	// Detected reports whether the monitor flagged a violation.
+	Detected bool
+	// Violations describes each detection.
+	Violations []string
+	// Crashed and Hung report abnormal termination.
+	Crashed bool
+	Hung    bool
+}
+
+// Run executes the program.
+func (p *Program) Run(opts RunOptions) (*RunResult, error) {
+	iopts := interp.Options{
+		Threads:       opts.Threads,
+		Seed:          opts.Seed,
+		StepLimit:     opts.StepLimit,
+		Trace:         opts.Trace,
+		MonitorGroups: opts.MonitorGroups,
+	}
+	if opts.Protect {
+		rep := opts.Analysis
+		if rep == nil {
+			var err error
+			rep, err = p.Analyze(AnalysisOptions{})
+			if err != nil {
+				return nil, err
+			}
+		}
+		iopts.Mode = interp.MonitorActive
+		iopts.Plans = rep.analysis.Plans
+	}
+	res, err := interp.Run(p.mod, iopts)
+	if err != nil {
+		return nil, err
+	}
+	out := &RunResult{
+		Output:   res.Output,
+		SimTime:  res.SimTime,
+		Detected: res.Detected,
+		Crashed:  res.Crashed(),
+		Hung:     res.Hung(),
+	}
+	for _, v := range res.Violations {
+		out.Violations = append(out.Violations, v.String())
+	}
+	return out, nil
+}
+
+// Overhead measures the normalized execution time of the instrumented
+// program (the paper's Figure 6/7 metric) at the given thread count.
+func (p *Program) Overhead(threads int) (float64, error) {
+	rep, err := p.Analyze(AnalysisOptions{})
+	if err != nil {
+		return 0, err
+	}
+	base, err := interp.Run(p.mod, interp.Options{Threads: threads})
+	if err != nil {
+		return 0, err
+	}
+	inst, err := interp.Run(p.mod, interp.Options{
+		Threads: threads, Mode: interp.MonitorDrainOnly, Plans: rep.analysis.Plans,
+	})
+	if err != nil {
+		return 0, err
+	}
+	if base.SimTime == 0 {
+		return 1, nil
+	}
+	return float64(inst.SimTime) / float64(base.SimTime), nil
+}
+
+// FaultModel selects the paper's two injection fault types.
+type FaultModel int
+
+// Fault models (paper Section IV).
+const (
+	// BranchFlip flips the targeted branch outcome (flag-register fault).
+	BranchFlip FaultModel = iota + 1
+	// ConditionBit flips one bit of the branch condition data, with
+	// persistence.
+	ConditionBit
+)
+
+// CampaignOptions configures a fault-injection campaign.
+type CampaignOptions struct {
+	Threads int
+	Faults  int
+	Model   FaultModel // zero = BranchFlip
+	Protect bool       // run with BLOCKWATCH checking
+	Seed    int64
+	// Analysis supplies a precomputed Report for Protect.
+	Analysis *Report
+}
+
+// CampaignResult summarizes a campaign.
+type CampaignResult struct {
+	Injected  int
+	Activated int
+	Benign    int
+	Detected  int
+	Crashed   int
+	Hung      int
+	SDC       int
+	// Coverage is 1 − SDC/activated, the paper's metric.
+	Coverage float64
+}
+
+// Campaign runs the paper's Section IV fault-injection methodology on the
+// program.
+func (p *Program) Campaign(opts CampaignOptions) (*CampaignResult, error) {
+	model := inject.BranchFlip
+	if opts.Model == ConditionBit {
+		model = inject.CondBit
+	}
+	c := inject.Campaign{
+		Module:  p.mod,
+		Threads: opts.Threads,
+		Faults:  opts.Faults,
+		Type:    model,
+		Seed:    opts.Seed,
+	}
+	if opts.Protect {
+		rep := opts.Analysis
+		if rep == nil {
+			var err error
+			rep, err = p.Analyze(AnalysisOptions{})
+			if err != nil {
+				return nil, err
+			}
+		}
+		c.Plans = rep.analysis.Plans
+	}
+	res, err := c.Run()
+	if err != nil {
+		return nil, fmt.Errorf("campaign on %s: %w", p.name, err)
+	}
+	t := res.Tally
+	return &CampaignResult{
+		Injected:  t.Injected,
+		Activated: t.Activated,
+		Benign:    t.Counts[inject.Benign],
+		Detected:  t.Counts[inject.Detected],
+		Crashed:   t.Counts[inject.Crash],
+		Hung:      t.Counts[inject.Hang],
+		SDC:       t.Counts[inject.SDC],
+		Coverage:  t.Coverage(),
+	}, nil
+}

@@ -1,0 +1,159 @@
+// Command bwbench reproduces the paper's full evaluation: every table and
+// figure of Sections IV–VI, printed as text artifacts. With no flags it
+// runs everything at paper scale (1000 faults per campaign, 100
+// false-positive runs), which takes several minutes.
+//
+// Usage:
+//
+//	bwbench                      run everything
+//	bwbench -exp fig8 -faults 300
+//
+// Experiments: tables (I and II), table3, table4, table5, fig6, fig7,
+// fig8, fig9, falsepos, duplication, ablation, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"blockwatch/internal/harness"
+	"blockwatch/internal/inject"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "bwbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		exp    = flag.String("exp", "all", "experiment id (tables|table3|table4|table5|fig6|fig7|fig8|fig9|falsepos|duplication|ablation|nestsweep|all)")
+		faults = flag.Int("faults", 1000, "faults per campaign cell")
+		fpruns = flag.Int("fpruns", 100, "error-free runs per program for the false-positive experiment")
+		seed   = flag.Int64("seed", 1, "campaign seed")
+		quiet  = flag.Bool("q", false, "suppress progress lines")
+	)
+	flag.Parse()
+
+	cfg := harness.Config{
+		Faults:            *faults,
+		FalsePositiveRuns: *fpruns,
+		Seed:              *seed,
+	}
+	if !*quiet {
+		cfg.Progress = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "... "+format+"\n", args...)
+		}
+	}
+
+	want := func(id string) bool { return *exp == "all" || *exp == id }
+	start := time.Now()
+	ran := 0
+
+	if want("tables") {
+		fmt.Println(harness.Table1())
+		fmt.Println(harness.RenderTable2())
+		ran++
+	}
+	if want("table3") {
+		out, err := harness.Table3()
+		if err != nil {
+			return err
+		}
+		fmt.Println(out)
+		ran++
+	}
+	if want("table4") {
+		rows, err := harness.Table4(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(harness.RenderTable4(rows))
+		ran++
+	}
+	if want("table5") {
+		rows, err := harness.Table5(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(harness.RenderTable5(rows))
+		ran++
+	}
+	if want("fig6") {
+		res, err := harness.Fig6(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(harness.RenderFig6(res))
+		ran++
+	}
+	if want("fig7") {
+		points, err := harness.Fig7(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(harness.RenderFig7(points))
+		ran++
+	}
+	if want("fig8") {
+		res, err := harness.Coverage(cfg, inject.BranchFlip)
+		if err != nil {
+			return err
+		}
+		fmt.Println(harness.RenderCoverage(res, "Figure 8"))
+		ran++
+	}
+	if want("fig9") {
+		res, err := harness.Coverage(cfg, inject.CondBit)
+		if err != nil {
+			return err
+		}
+		fmt.Println(harness.RenderCoverage(res, "Figure 9"))
+		ran++
+	}
+	if want("falsepos") {
+		res, err := harness.FalsePositives(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(harness.RenderFalsePositives(res))
+		ran++
+	}
+	if want("duplication") {
+		res, err := harness.Duplication(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(harness.RenderDuplication(res))
+		ran++
+	}
+	if want("ablation") {
+		rows, err := harness.Ablation(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(harness.RenderAblation(rows))
+		ran++
+	}
+	if want("nestsweep") {
+		points, err := harness.NestSweep(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(harness.RenderNestSweep(points))
+		ran++
+	}
+	if ran == 0 {
+		return fmt.Errorf("unknown experiment %q; try one of %s", *exp,
+			strings.Join([]string{"tables", "table3", "table4", "table5", "fig6",
+				"fig7", "fig8", "fig9", "falsepos", "duplication", "ablation",
+				"nestsweep", "all"}, ", "))
+	}
+	fmt.Fprintf(os.Stderr, "bwbench: %d experiment(s) in %s\n", ran, time.Since(start).Round(time.Millisecond))
+	return nil
+}

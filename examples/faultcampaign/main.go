@@ -1,0 +1,50 @@
+// Faultcampaign: run a small fault-injection sweep over all seven bundled
+// SPLASH-2 kernels under both fault models and print a Figure 8/9-style
+// coverage table.
+//
+//	go run ./examples/faultcampaign
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"blockwatch"
+)
+
+func main() {
+	const faults = 120 // keep the example quick; bwbench runs 1000
+
+	for _, model := range []blockwatch.FaultModel{blockwatch.BranchFlip, blockwatch.ConditionBit} {
+		name := "branch-flip"
+		if model == blockwatch.ConditionBit {
+			name = "branch-condition"
+		}
+		fmt.Printf("\n%s faults, 4 threads, %d injections per program:\n", name, faults)
+		fmt.Printf("%-22s %10s %10s %10s\n", "program", "orig", "blockwatch", "detected")
+
+		var sumOrig, sumProt float64
+		for _, bench := range blockwatch.Benchmarks() {
+			prog, err := blockwatch.LoadBenchmark(bench)
+			if err != nil {
+				log.Fatal(err)
+			}
+			opts := blockwatch.CampaignOptions{Threads: 4, Faults: faults, Model: model, Seed: 11}
+			base, err := prog.Campaign(opts)
+			if err != nil {
+				log.Fatal(err)
+			}
+			opts.Protect = true
+			prot, err := prog.Campaign(opts)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-22s %9.1f%% %9.1f%% %10d\n",
+				bench, 100*base.Coverage, 100*prot.Coverage, prot.Detected)
+			sumOrig += base.Coverage
+			sumProt += prot.Coverage
+		}
+		n := float64(len(blockwatch.Benchmarks()))
+		fmt.Printf("%-22s %9.1f%% %9.1f%%\n", "AVERAGE", 100*sumOrig/n, 100*sumProt/n)
+	}
+}

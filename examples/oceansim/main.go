@@ -1,0 +1,55 @@
+// Oceansim: protect the contiguous-ocean grid solver (a SPLASH-2 kernel)
+// with BLOCKWATCH and study the cost/coverage trade-off across thread
+// counts — the per-program view behind the paper's Figures 6 and 8.
+//
+//	go run ./examples/oceansim
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"blockwatch"
+)
+
+func main() {
+	prog, err := blockwatch.LoadBenchmark("continuous-ocean")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	report, err := prog.Analyze(blockwatch.AnalysisOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("continuous-ocean: %d parallel branches — shared=%d threadID=%d partial=%d none=%d\n\n",
+		report.ParallelBranches,
+		report.PerCategory["shared"], report.PerCategory["threadID"],
+		report.PerCategory["partial"], report.PerCategory["none"])
+
+	fmt.Printf("%8s %14s %12s\n", "threads", "span (cycles)", "overhead")
+	for _, n := range []int{1, 2, 4, 8, 16, 32} {
+		res, err := prog.Run(blockwatch.RunOptions{Threads: n})
+		if err != nil {
+			log.Fatal(err)
+		}
+		oh, err := prog.Overhead(n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%8d %14d %11.2fx\n", n, res.SimTime, oh)
+	}
+
+	fmt.Println("\nbranch-flip coverage at 4 threads (300 faults):")
+	base, err := prog.Campaign(blockwatch.CampaignOptions{Threads: 4, Faults: 300, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	prot, err := prog.Campaign(blockwatch.CampaignOptions{Threads: 4, Faults: 300, Seed: 7, Protect: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  unprotected: coverage %.1f%% (%d SDCs)\n", 100*base.Coverage, base.SDC)
+	fmt.Printf("  protected:   coverage %.1f%% (%d SDCs, %d detected)\n",
+		100*prot.Coverage, prot.SDC, prot.Detected)
+}

@@ -1,0 +1,3 @@
+module blockwatch
+
+go 1.22

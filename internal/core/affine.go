@@ -1,0 +1,264 @@
+package core
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"blockwatch/internal/ir"
+)
+
+// This file implements the uniform-loop analysis, a precision extension to
+// the paper's classification: a loop header like
+//
+//	for (i = me*per; i < (me+1)*per; i = i + 1)
+//
+// has a thread-ID-dependent condition (category threadID/none under Table
+// II), yet its OUTCOME at a given iteration number is identical in every
+// thread, because bound − init = per and step = 1 are thread-invariant.
+// Such headers can therefore be checked with the strongest rule (all
+// reporters agree), like shared branches. The proof engine models values
+// as polynomials over the symbols {tid} ∪ {shared-category values}; a
+// header is uniform when (bound − init) and the induction step contain no
+// tid monomial.
+//
+// Soundness: shared-category symbols are loads of globals never written in
+// the parallel section (plus constants and nthreads), so their runtime
+// values are identical across threads for the lifetime of slave(); the
+// header outcome at iteration k is a function of (bound−init, step, k)
+// only.
+
+// poly is a normalized multivariate polynomial: sum of monomials with
+// int64 coefficients. Monomial keys are "×"-joined sorted symbol IDs; the
+// empty key is the constant term.
+type poly map[string]int64
+
+// tidSym is the symbol naming the thread ID.
+const tidSym = "tid"
+
+// polyLimit bounds polynomial size; bigger expressions bail to unknown.
+const polyLimit = 16
+
+func polyConst(c int64) poly {
+	if c == 0 {
+		return poly{}
+	}
+	return poly{"": c}
+}
+
+func polySym(sym string) poly { return poly{sym: 1} }
+
+func polyAdd(a, b poly) poly {
+	out := make(poly, len(a)+len(b))
+	for k, v := range a {
+		out[k] = v
+	}
+	for k, v := range b {
+		out[k] += v
+		if out[k] == 0 {
+			delete(out, k)
+		}
+	}
+	return out
+}
+
+func polyNeg(a poly) poly {
+	out := make(poly, len(a))
+	for k, v := range a {
+		out[k] = -v
+	}
+	return out
+}
+
+func polySub(a, b poly) poly { return polyAdd(a, polyNeg(b)) }
+
+// polyMul multiplies two polynomials, returning nil when the result would
+// exceed the size cap (treated as "unknown").
+func polyMul(a, b poly) poly {
+	out := make(poly, len(a)*len(b))
+	for ka, va := range a {
+		for kb, vb := range b {
+			key := mulKeys(ka, kb)
+			out[key] += va * vb
+			if out[key] == 0 {
+				delete(out, key)
+			}
+		}
+	}
+	if len(out) > polyLimit {
+		return nil
+	}
+	return out
+}
+
+// mulKeys merges two monomial keys into a sorted product key.
+func mulKeys(a, b string) string {
+	switch {
+	case a == "":
+		return b
+	case b == "":
+		return a
+	}
+	parts := append(strings.Split(a, "×"), strings.Split(b, "×")...)
+	sort.Strings(parts)
+	return strings.Join(parts, "×")
+}
+
+// tidFree reports whether no monomial mentions the thread ID.
+func tidFree(p poly) bool {
+	for k := range p {
+		if k == tidSym || strings.Contains(k, tidSym+"×") ||
+			strings.HasSuffix(k, "×"+tidSym) || strings.Contains(k, "×"+tidSym+"×") {
+			return false
+		}
+	}
+	return true
+}
+
+// valuePoly derives the polynomial of an SSA value, or nil when no affine
+// form is known. Shared-category values become their own degree-1 symbol;
+// the visited set breaks phi cycles.
+func (a *Analysis) valuePoly(v ir.Value, visited map[ir.Value]bool) poly {
+	if visited[v] {
+		return nil
+	}
+	visited[v] = true
+	defer delete(visited, v)
+
+	switch x := v.(type) {
+	case *ir.Const:
+		if x.Typ == ir.Int {
+			return polyConst(x.I)
+		}
+		return nil
+	case *ir.Param:
+		if a.ParamCat[x] == Shared {
+			return polySym("p:" + x.Fn.FName + ":" + strconv.Itoa(x.Idx))
+		}
+		return nil
+	case *ir.Instr:
+		if x.Typ != ir.Int {
+			return nil
+		}
+		if x.Op == ir.OpBuiltin && x.Builtin == "tid" {
+			return polySym(tidSym)
+		}
+		// Any thread-invariant value is usable as an opaque symbol, even
+		// when its defining expression is not itself affine (e.g. a
+		// division of shared values).
+		if a.InstCat[x] == Shared {
+			return polySym("v:" + strconv.Itoa(x.ID) + ":" + x.Blk.Fn.FName)
+		}
+		switch x.Op {
+		case ir.OpAdd:
+			l, r := a.valuePoly(x.Args[0], visited), a.valuePoly(x.Args[1], visited)
+			if l == nil || r == nil {
+				return nil
+			}
+			return polyAdd(l, r)
+		case ir.OpSub:
+			l, r := a.valuePoly(x.Args[0], visited), a.valuePoly(x.Args[1], visited)
+			if l == nil || r == nil {
+				return nil
+			}
+			return polySub(l, r)
+		case ir.OpNeg:
+			p := a.valuePoly(x.Args[0], visited)
+			if p == nil {
+				return nil
+			}
+			return polyNeg(p)
+		case ir.OpMul:
+			l, r := a.valuePoly(x.Args[0], visited), a.valuePoly(x.Args[1], visited)
+			if l == nil || r == nil {
+				return nil
+			}
+			return polyMul(l, r)
+		}
+		return nil
+	}
+	return nil
+}
+
+// uniformLoopHeader reports whether br is a loop-header branch whose
+// outcome is provably identical across threads at equal iteration
+// numbers: condition is an ordered compare cmp(i, bound) (either side),
+// i is the loop's induction phi i = phi(init, i ± step) with a
+// thread-invariant step, and bound − init is thread-invariant.
+func (a *Analysis) uniformLoopHeader(br *ir.Instr) bool {
+	if !br.IsLoopBr {
+		return false
+	}
+	cmp, ok := br.Args[0].(*ir.Instr)
+	if !ok || !cmp.Op.IsCompare() || cmp.Op == ir.OpEq || cmp.Op == ir.OpNe {
+		return false
+	}
+	if cmp.Args[0].Type() != ir.Int {
+		return false
+	}
+	for side := 0; side < 2; side++ {
+		phi, ok := cmp.Args[side].(*ir.Instr)
+		if !ok || phi.Op != ir.OpPhi || !phi.Blk.IsLoopHead || len(phi.Args) != 2 {
+			continue
+		}
+		init, step, ok := a.inductionParts(phi)
+		if !ok {
+			continue
+		}
+		bound := a.valuePoly(cmp.Args[1-side], map[ir.Value]bool{})
+		if bound == nil || init == nil || step == nil {
+			continue
+		}
+		if tidFree(step) && tidFree(polySub(bound, init)) {
+			return true
+		}
+	}
+	return false
+}
+
+// inductionParts decomposes a loop-header phi into (init, step)
+// polynomials for the recurrence i' = i + step (or i - step, with the
+// step negated). Returns ok=false when the latch value is not a simple
+// increment of the phi itself.
+func (a *Analysis) inductionParts(phi *ir.Instr) (init, step poly, ok bool) {
+	for k := 0; k < 2; k++ {
+		latchVal, initVal := phi.Args[k], phi.Args[1-k]
+		add, isInstr := latchVal.(*ir.Instr)
+		if !isInstr {
+			continue
+		}
+		var stepVal ir.Value
+		switch add.Op {
+		case ir.OpAdd:
+			switch {
+			case add.Args[0] == ir.Value(phi):
+				stepVal = add.Args[1]
+			case add.Args[1] == ir.Value(phi):
+				stepVal = add.Args[0]
+			default:
+				continue
+			}
+			step = a.valuePoly(stepVal, map[ir.Value]bool{})
+		case ir.OpSub:
+			if add.Args[0] != ir.Value(phi) {
+				continue
+			}
+			s := a.valuePoly(add.Args[1], map[ir.Value]bool{})
+			if s == nil {
+				continue
+			}
+			step = polyNeg(s)
+		default:
+			continue
+		}
+		if step == nil {
+			continue
+		}
+		init = a.valuePoly(initVal, map[ir.Value]bool{})
+		if init == nil {
+			continue
+		}
+		return init, step, true
+	}
+	return nil, nil, false
+}

@@ -1,0 +1,300 @@
+package core
+
+import (
+	"testing"
+
+	"blockwatch/internal/lower"
+)
+
+// uniformPlans returns the loop-header plans of the compiled source.
+func loopPlans(t *testing.T, src string, opts Options) []*CheckPlan {
+	t.Helper()
+	a := analyzeSrc(t, src, opts)
+	var out []*CheckPlan
+	for _, br := range a.Mod.Branches() {
+		if br.IsLoopBr {
+			out = append(out, a.Plans[br.BranchID])
+		}
+	}
+	return out
+}
+
+func TestUniformChunkedLoop(t *testing.T) {
+	src := `
+global int n;
+func void setup() { n = 64; }
+func void slave() {
+	int me = tid();
+	int per = n / nthreads();
+	int i;
+	for (i = me * per; i < (me + 1) * per; i = i + 1) {
+		output(i);
+	}
+}`
+	plans := loopPlans(t, src, Options{})
+	if len(plans) != 1 {
+		t.Fatalf("got %d loop plans", len(plans))
+	}
+	p := plans[0]
+	if p.Kind != CheckUniform || !p.Uniform {
+		t.Fatalf("chunked loop header not proven uniform: %+v", p)
+	}
+	// Category is still recorded per Table II (threadID-derived).
+	if p.Category == Shared {
+		t.Fatalf("category unexpectedly shared")
+	}
+}
+
+func TestUniformDisabled(t *testing.T) {
+	src := `
+global int n;
+func void setup() { n = 64; }
+func void slave() {
+	int me = tid();
+	int per = n / nthreads();
+	int i;
+	for (i = me * per; i < (me + 1) * per; i = i + 1) {
+		output(i);
+	}
+}`
+	plans := loopPlans(t, src, Options{DisableUniform: true})
+	if plans[0].Kind == CheckUniform {
+		t.Fatal("uniform proof applied despite DisableUniform")
+	}
+}
+
+func TestUniformOffsetChunk(t *testing.T) {
+	// Ocean's shape: rows 1+me*per .. 1+(me+1)*per.
+	src := `
+global int n;
+func void setup() { n = 32; }
+func void slave() {
+	int me = tid();
+	int per = n / nthreads();
+	int i;
+	for (i = 1 + me * per; i < 1 + (me + 1) * per; i = i + 1) {
+		output(i);
+	}
+}`
+	plans := loopPlans(t, src, Options{})
+	if plans[0].Kind != CheckUniform {
+		t.Fatalf("offset chunked loop not uniform: %+v", plans[0])
+	}
+}
+
+func TestUniformStepTwoAndDownward(t *testing.T) {
+	src := `
+global int n;
+func void setup() { n = 64; }
+func void slave() {
+	int me = tid();
+	int per = n / nthreads();
+	int i;
+	int j;
+	for (i = me * per; i < (me + 1) * per; i = i + 2) {
+		output(i);
+	}
+	for (j = (me + 1) * per; j > me * per; j = j - 1) {
+		output(j);
+	}
+}`
+	plans := loopPlans(t, src, Options{})
+	if len(plans) != 2 {
+		t.Fatalf("got %d loop plans", len(plans))
+	}
+	for i, p := range plans {
+		if p.Kind != CheckUniform {
+			t.Errorf("loop %d not uniform: %+v", i, p)
+		}
+	}
+}
+
+func TestNotUniformWhenTripDependsOnTid(t *testing.T) {
+	// Bound me*me*per − init me*per = (me²−me)·per: genuinely
+	// tid-dependent trip count.
+	src := `
+global int n;
+func void setup() { n = 64; }
+func void slave() {
+	int me = tid();
+	int per = n / nthreads();
+	int i;
+	for (i = me * per; i < me * me * per; i = i + 1) {
+		if (i >= 64) {
+			break;
+		}
+		output(i);
+	}
+}`
+	plans := loopPlans(t, src, Options{})
+	if plans[0].Kind == CheckUniform {
+		t.Fatal("tid-dependent trip count proven uniform (UNSOUND)")
+	}
+}
+
+func TestNotUniformWhenStepIsTid(t *testing.T) {
+	src := `
+global int n;
+func void setup() { n = 64; }
+func void slave() {
+	int me = tid() + 1;
+	int i;
+	for (i = 0; i < n; i = i + me) {
+		output(i);
+	}
+}`
+	plans := loopPlans(t, src, Options{})
+	if plans[0].Kind == CheckUniform {
+		t.Fatal("tid-dependent step proven uniform (UNSOUND)")
+	}
+}
+
+func TestNotUniformWhenBodyReassignsCounter(t *testing.T) {
+	src := `
+global int n;
+func void setup() { n = 8; }
+func void slave() {
+	int me = tid();
+	int i;
+	for (i = me * 4; i < (me + 1) * 4; i = i + 1) {
+		if (i == me * 4 + 2) {
+			i = i + me;
+		}
+		output(i);
+	}
+}`
+	plans := loopPlans(t, src, Options{})
+	if plans[0].Kind == CheckUniform {
+		t.Fatal("body-reassigned counter proven uniform (UNSOUND)")
+	}
+}
+
+func TestSharedLoopNotRelabelled(t *testing.T) {
+	// Shared loops already get the (equivalent) shared check; the uniform
+	// proof must not touch them.
+	src := `
+global int n;
+func void setup() { n = 8; }
+func void slave() {
+	int i;
+	for (i = 0; i < n; i = i + 1) {
+		output(i);
+	}
+}`
+	plans := loopPlans(t, src, Options{})
+	if plans[0].Kind != CheckShared {
+		t.Fatalf("shared loop kind = %v", plans[0].Kind)
+	}
+}
+
+func TestUniformLoopNoFalsePositiveAtRuntime(t *testing.T) {
+	// End-to-end via the interpreter lives in langtest and splash tests;
+	// here we check the polynomial engine's corner: nthreads() as part of
+	// the chunk size.
+	src := `
+func void slave() {
+	int me = tid();
+	int per = 64 / nthreads();
+	int i;
+	for (i = me * per; i < (me + 1) * per; i = i + 1) {
+		output(i);
+	}
+}`
+	m, err := lower.Compile(src, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Analyze(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, br := range m.Branches() {
+		if br.IsLoopBr && a.Plans[br.BranchID].Kind != CheckUniform {
+			t.Fatalf("nthreads-derived chunk not uniform: %+v", a.Plans[br.BranchID])
+		}
+	}
+}
+
+func TestPolyAlgebra(t *testing.T) {
+	a := polyAdd(polySym("x"), polyConst(2))   // x + 2
+	b := polyAdd(polySym("x"), polySym("tid")) // x + tid
+	diff := polySub(b, a)                      // tid - 2
+	if tidFree(diff) {
+		t.Fatal("tid - 2 reported tid-free")
+	}
+	cancel := polySub(b, b)
+	if !tidFree(cancel) || len(cancel) != 0 {
+		t.Fatalf("b - b = %v, want empty", cancel)
+	}
+	prod := polyMul(b, a) // x² + 2x + x·tid + 2·tid
+	if tidFree(prod) {
+		t.Fatal("product with tid reported tid-free")
+	}
+	if got := prod["x×x"]; got != 1 {
+		t.Errorf("x² coefficient = %d", got)
+	}
+	if got := prod["tid×x"]; got != 1 {
+		t.Errorf("tid·x coefficient = %d (keys must sort)", got)
+	}
+}
+
+func TestPolySizeCap(t *testing.T) {
+	// Repeated multiplication by multi-term polys must bail out, not blow
+	// up.
+	p := polyAdd(polySym("a"), polyAdd(polySym("b"), polyAdd(polySym("c"), polyConst(1))))
+	q := p
+	for i := 0; i < 4 && q != nil; i++ {
+		q = polyMul(q, p)
+	}
+	if q != nil && len(q) > polyLimit {
+		t.Fatalf("polyMul exceeded cap: %d terms", len(q))
+	}
+}
+
+func TestUniformInteractsWithOtherOptions(t *testing.T) {
+	src := `
+global int n;
+func void setup() { n = 64; }
+func void slave() {
+	int me = tid();
+	int per = n / nthreads();
+	int i;
+	for (i = me * per; i < (me + 1) * per; i = i + 1) {
+		output(i);
+	}
+}`
+	// Nest cap below the loop depth: the uniform proof must not resurrect
+	// a capped branch.
+	a := analyzeSrc(t, src, Options{MaxNest: 0}) // default 6, loop depth 1
+	var plan *CheckPlan
+	for _, br := range a.Mod.Branches() {
+		if br.IsLoopBr {
+			plan = a.Plans[br.BranchID]
+		}
+	}
+	if plan == nil || plan.Kind != CheckUniform {
+		t.Fatalf("baseline uniform missing: %+v", plan)
+	}
+	// Stats still count the branch under its Table II category.
+	st := a.Stats()
+	if st.PerCategory[Shared] == st.ParallelBranches {
+		t.Error("uniform upgrade leaked into category statistics")
+	}
+}
+
+func TestUniformSigArgsEmpty(t *testing.T) {
+	src := `
+func void slave() {
+	int me = tid();
+	int i;
+	for (i = me * 4; i < (me + 1) * 4; i = i + 1) {
+		output(i);
+	}
+}`
+	a := analyzeSrc(t, src, Options{})
+	for _, p := range a.Plans {
+		if p.Kind == CheckUniform && len(p.SigArgs) != 0 {
+			t.Fatalf("uniform plan carries signature args: %+v", p)
+		}
+	}
+}

@@ -1,0 +1,660 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"blockwatch/internal/ir"
+)
+
+// Options configures the analysis and the checks it plans.
+type Options struct {
+	// MaxNest is the deepest loop nesting level instrumented. Branches
+	// nested deeper are left unchecked, matching the paper's choice of six
+	// (the stated cause of raytrace's coverage gap). Zero means the default
+	// of 6; negative means unlimited.
+	MaxNest int
+	// DisablePromotion turns off the paper's first optimization (promoting
+	// `none` branches to partial-style checks on identical private values).
+	DisablePromotion bool
+	// DisableCriticalElision turns off the paper's second optimization
+	// (removing checks on branches inside critical sections).
+	DisableCriticalElision bool
+	// DedupRedundant enables the paper's Section VI proposed optimization:
+	// when several branches test the same SSA condition value, only the
+	// first is checked.
+	DedupRedundant bool
+	// DisableUniform turns off the uniform-loop extension (the affine
+	// trip-count proof that upgrades chunked per-thread loop headers to
+	// the strongest all-threads-agree check). See affine.go.
+	DisableUniform bool
+}
+
+// DefaultMaxNest is the paper's loop-nesting instrumentation cap.
+const DefaultMaxNest = 6
+
+func (o Options) maxNest() int {
+	switch {
+	case o.MaxNest == 0:
+		return DefaultMaxNest
+	case o.MaxNest < 0:
+		return 1 << 30
+	default:
+		return o.MaxNest
+	}
+}
+
+// CheckKind says how the monitor must check a branch.
+type CheckKind int
+
+// Check kinds, derived from the branch's similarity category.
+const (
+	// CheckNone: branch is not checked.
+	CheckNone CheckKind = iota + 1
+	// CheckShared: all threads must report the same condition signature and
+	// the same outcome.
+	CheckShared
+	// CheckThreadID: outcomes must respect the tid relation (Relation,
+	// TidOnLeft); the shared-side signature must agree across threads.
+	CheckThreadID
+	// CheckPartial: threads with the same condition signature must report
+	// the same outcome.
+	CheckPartial
+	// CheckUniform: outcomes must agree across all threads regardless of
+	// condition data — used for loop headers whose trip structure is
+	// provably thread-invariant (see affine.go).
+	CheckUniform
+)
+
+// String names the check kind.
+func (k CheckKind) String() string {
+	switch k {
+	case CheckNone:
+		return "none"
+	case CheckShared:
+		return "shared"
+	case CheckThreadID:
+		return "threadID"
+	case CheckPartial:
+		return "partial"
+	case CheckUniform:
+		return "uniform"
+	}
+	return fmt.Sprintf("CheckKind(%d)", int(k))
+}
+
+// NoCheckReason explains why a branch carries no check.
+type NoCheckReason int
+
+// Reasons a branch is not instrumented.
+const (
+	// ReasonChecked: the branch is instrumented (no reason).
+	ReasonChecked NoCheckReason = iota + 1
+	// ReasonNone: category none and promotion disabled.
+	ReasonNone
+	// ReasonCritical: inside a critical section (paper optimization 2).
+	ReasonCritical
+	// ReasonTooDeep: loop nesting exceeds MaxNest.
+	ReasonTooDeep
+	// ReasonRedundant: same condition already checked by another branch.
+	ReasonRedundant
+	// ReasonSerial: branch is outside the parallel section.
+	ReasonSerial
+)
+
+// CheckPlan is the per-branch instrumentation record the runtime consults.
+type CheckPlan struct {
+	BranchID int
+	Br       *ir.Instr
+	Category Category // category from the analysis (before promotion)
+	Kind     CheckKind
+	Promoted bool          // true when a none branch was promoted to partial
+	Uniform  bool          // true when upgraded by the uniform-loop proof
+	Reason   NoCheckReason // ReasonChecked when instrumented
+
+	// Relation metadata for CheckThreadID: the comparison op of the branch
+	// condition and which side carries the thread-ID-derived value.
+	Relation  ir.Op
+	TidOnLeft bool
+
+	// SigArgs are the SSA values whose runtime contents form the condition
+	// signature sent to the monitor. For compares these are the compare
+	// operands (only the shared side for threadID checks); otherwise the
+	// condition value itself.
+	SigArgs []ir.Value
+}
+
+// Checked reports whether the branch is instrumented.
+func (p *CheckPlan) Checked() bool { return p.Reason == ReasonChecked }
+
+// Analysis is the result of running the BLOCKWATCH static analysis on a
+// module.
+type Analysis struct {
+	Mod  *ir.Module
+	Opts Options
+
+	// ParallelFuncs is the set of functions reachable from slave().
+	ParallelFuncs map[*ir.Func]bool
+	// InstCat is the final similarity category of every value-producing
+	// instruction in the parallel section.
+	InstCat map[*ir.Instr]Category
+	// ParamCat is the final category of each parallel-section parameter.
+	ParamCat map[*ir.Param]Category
+	// RetCat is the final category of each parallel function's return value.
+	RetCat map[string]Category
+	// Plans maps static branch ID → check plan for every parallel-section
+	// branch (checked or not).
+	Plans map[int]*CheckPlan
+	// Iterations is the number of fixpoint sweeps until convergence
+	// (the paper reports < 10 for its benchmarks).
+	Iterations int
+}
+
+// ErrNoParallelSection is returned when the module has no slave function.
+var ErrNoParallelSection = errors.New("module has no slave() function")
+
+// Analyze runs the similarity-category analysis over m's parallel section
+// and produces check plans for its branches.
+func Analyze(m *ir.Module, opts Options) (*Analysis, error) {
+	slave := m.Func("slave")
+	if slave == nil {
+		return nil, ErrNoParallelSection
+	}
+	a := &Analysis{
+		Mod:           m,
+		Opts:          opts,
+		ParallelFuncs: reachableFrom(m, slave),
+		InstCat:       make(map[*ir.Instr]Category),
+		ParamCat:      make(map[*ir.Param]Category),
+		RetCat:        make(map[string]Category),
+		Plans:         make(map[int]*CheckPlan),
+	}
+	markWrittenInParallel(m, a.ParallelFuncs)
+	a.run(nil)
+	a.classifyBranches()
+	return a, nil
+}
+
+// reachableFrom returns the set of functions reachable from root through
+// direct calls (the parallel section when root is slave).
+func reachableFrom(m *ir.Module, root *ir.Func) map[*ir.Func]bool {
+	seen := map[*ir.Func]bool{root: true}
+	work := []*ir.Func{root}
+	for len(work) > 0 {
+		f := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op != ir.OpCall {
+					continue
+				}
+				callee := m.Func(in.Callee)
+				if callee != nil && !seen[callee] {
+					seen[callee] = true
+					work = append(work, callee)
+				}
+			}
+		}
+	}
+	return seen
+}
+
+// markWrittenInParallel sets Global.WrittenInParallel for every global that
+// is the target of a store inside the parallel section.
+func markWrittenInParallel(m *ir.Module, parallel map[*ir.Func]bool) {
+	for _, g := range m.Globals {
+		g.WrittenInParallel = false
+	}
+	for _, f := range m.Funcs {
+		if !parallel[f] {
+			continue
+		}
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op == ir.OpStore {
+					in.Global.WrittenInParallel = true
+				}
+			}
+		}
+	}
+}
+
+// TraceRow records the category of a named item after each fixpoint sweep
+// (for reproducing the paper's Table III).
+type TraceRow struct {
+	Name string
+	Cats []Category
+}
+
+// run executes the fixpoint of paper Fig. 3. If trace is non-nil, it is
+// called after every sweep so callers can snapshot categories.
+func (a *Analysis) run(afterSweep func()) {
+	parallelFns := a.parallelInOrder()
+	for {
+		a.Iterations++
+		changed := false
+		// Recompute parameter and return categories from the current
+		// instruction categories (join over call sites / return sites).
+		changed = a.recomputeParams(parallelFns) || changed
+		changed = a.recomputeRets(parallelFns) || changed
+		for _, f := range parallelFns {
+			for _, b := range f.Blocks {
+				for _, in := range b.Instrs {
+					if a.visitInst(in) {
+						changed = true
+					}
+				}
+			}
+		}
+		if afterSweep != nil {
+			afterSweep()
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+func (a *Analysis) parallelInOrder() []*ir.Func {
+	fns := make([]*ir.Func, 0, len(a.ParallelFuncs))
+	for _, f := range a.Mod.Funcs {
+		if a.ParallelFuncs[f] {
+			fns = append(fns, f)
+		}
+	}
+	return fns
+}
+
+// operandCat returns the current category of an operand value. Constants
+// are shared (paper Section III-A); parameters and instructions read their
+// current fixpoint state.
+func (a *Analysis) operandCat(v ir.Value) Category {
+	switch x := v.(type) {
+	case *ir.Const:
+		return Shared
+	case *ir.Param:
+		if c, ok := a.ParamCat[x]; ok {
+			return c
+		}
+		return NA
+	case *ir.Instr:
+		if c, ok := a.InstCat[x]; ok {
+			return c
+		}
+		return NA
+	case *ir.Global:
+		// Globals appear as operands only through Load/Store, which are
+		// handled specially; a bare global address is shared.
+		return Shared
+	}
+	return None
+}
+
+// meetOperands folds operand categories through Table II starting from NA.
+// NA operands are skipped (optimistic): the fixpoint starts at the lattice
+// top and descends monotonically, which both terminates and breaks the
+// phi↔use cycles of loop induction variables (the paper's Table III `i`).
+func (a *Analysis) meetOperands(args []ir.Value) Category {
+	cat := NA
+	for _, v := range args {
+		oc := a.operandCat(v)
+		if oc == NA {
+			continue
+		}
+		cat = LookupTable(cat, oc)
+	}
+	return cat
+}
+
+// visitInst recomputes one instruction's category (paper Fig. 3 visitInst)
+// and reports whether it changed.
+func (a *Analysis) visitInst(in *ir.Instr) bool {
+	var cat Category
+	switch in.Op {
+	case ir.OpBuiltin:
+		cat = a.builtinCat(in)
+	case ir.OpLoad:
+		cat = a.loadCat(in)
+	case ir.OpCall:
+		if c, ok := a.RetCat[in.Callee]; ok {
+			cat = c
+		} else {
+			cat = NA
+		}
+	case ir.OpPhi:
+		cat = a.phiCat(in)
+	case ir.OpStore, ir.OpBr, ir.OpJmp, ir.OpRet,
+		ir.OpLock, ir.OpUnlock, ir.OpBarrier, ir.OpOutput,
+		ir.OpLoopPush, ir.OpLoopInc, ir.OpLoopPop:
+		// No value produced; nothing to classify.
+		return false
+	default:
+		cat = a.meetOperands(in.Args)
+	}
+	old, had := a.InstCat[in]
+	if had && old == cat {
+		return false
+	}
+	a.InstCat[in] = cat
+	return !had && cat != NA || had && old != cat
+}
+
+func (a *Analysis) builtinCat(in *ir.Instr) Category {
+	switch in.Builtin {
+	case "tid":
+		return ThreadID
+	case "nthreads":
+		return Shared
+	case "rnd":
+		// The pseudo-random stream is stateful and thread-interleaved in
+		// the parallel section: no cross-thread similarity.
+		return None
+	default:
+		// Pure math intrinsics: category of their inputs.
+		return a.meetOperands(in.Args)
+	}
+}
+
+// loadCat classifies a load (paper Section II-C, the gp[procid].num case):
+// data written in the parallel section, or selected by a non-shared index,
+// is thread-local from the analysis's point of view.
+func (a *Analysis) loadCat(in *ir.Instr) Category {
+	g := in.Global
+	if g.WrittenInParallel {
+		return None
+	}
+	if !g.IsArray {
+		return Shared
+	}
+	switch a.operandCat(in.Args[0]) {
+	case NA:
+		return NA
+	case Shared:
+		return Shared
+	default:
+		return None
+	}
+}
+
+// phiCat classifies a phi. Loop-header phis are induction joins: all
+// threads executing the same iteration see the same incoming edge, so the
+// plain Table II fold applies (this is what keeps `i` shared in the
+// paper's Table III). If/else merge phis take the paper's stated deviation
+// (Section III-A): a value assigned different shared values on the two
+// paths is partial, not shared; merges involving thread-ID values have no
+// statically known relation and become none.
+func (a *Analysis) phiCat(in *ir.Instr) Category {
+	cat := a.meetOperands(in.Args)
+	if in.Blk.IsLoopHead {
+		return cat
+	}
+	switch cat {
+	case Shared:
+		return Partial
+	case ThreadID:
+		return None
+	default:
+		return cat
+	}
+}
+
+// recomputeParams joins, for every parallel function, the categories of the
+// arguments passed at each call site. The join is conservative across
+// sites: identical categories keep the category; a mix of shared/partial
+// becomes partial (the value is one of several shared values, distinguished
+// at runtime by the call-site key); any other mix is none.
+func (a *Analysis) recomputeParams(fns []*ir.Func) bool {
+	type slot struct {
+		fn  string
+		idx int
+	}
+	acc := make(map[slot][]Category)
+	for _, f := range fns {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op != ir.OpCall {
+					continue
+				}
+				for i, arg := range in.Args {
+					s := slot{fn: in.Callee, idx: i}
+					acc[s] = append(acc[s], a.operandCat(arg))
+				}
+			}
+		}
+	}
+	changed := false
+	for _, f := range fns {
+		for _, p := range f.Params {
+			cats := acc[slot{fn: f.FName, idx: p.Idx}]
+			cat := joinSites(cats)
+			old, had := a.ParamCat[p]
+			if !had || old != cat {
+				a.ParamCat[p] = cat
+				if cat != NA || had {
+					changed = true
+				}
+			}
+		}
+	}
+	return changed
+}
+
+// recomputeRets joins the categories of every return value of each
+// parallel function, with the same conservative cross-path join as phis.
+func (a *Analysis) recomputeRets(fns []*ir.Func) bool {
+	changed := false
+	for _, f := range fns {
+		if f.Ret == ir.Void {
+			continue
+		}
+		var cats []Category
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op == ir.OpRet && len(in.Args) == 1 {
+					cats = append(cats, a.operandCat(in.Args[0]))
+				}
+			}
+		}
+		cat := joinSites(cats)
+		if old, had := a.RetCat[f.FName]; !had || old != cat {
+			a.RetCat[f.FName] = cat
+			changed = true
+		}
+	}
+	return changed
+}
+
+// joinSites is the conservative cross-site/cross-path join used for
+// parameters and returns: NA entries are skipped (optimism); identical
+// categories survive; shared/partial mixes become partial; anything else
+// (thread-ID or none in a mix) becomes none. Unlike Table II, a mix of
+// shared and threadID must NOT become threadID: instances from the
+// shared sites would violate a thread-ID relation check and cause false
+// positives.
+func joinSites(cats []Category) Category {
+	cat := NA
+	for _, c := range cats {
+		if c == NA {
+			continue
+		}
+		if cat == NA {
+			cat = c
+			continue
+		}
+		if cat == c {
+			continue
+		}
+		if (cat == Shared || cat == Partial) && (c == Shared || c == Partial) {
+			cat = Partial
+			continue
+		}
+		return None
+	}
+	return cat
+}
+
+// classifyBranches derives the final branch categories and check plans.
+func (a *Analysis) classifyBranches() {
+	maxNest := a.Opts.maxNest()
+	seenCond := make(map[ir.Value]bool)
+	for _, br := range a.Mod.Branches() {
+		plan := &CheckPlan{BranchID: br.BranchID, Br: br}
+		a.Plans[br.BranchID] = plan
+		if !a.ParallelFuncs[br.Blk.Fn] {
+			plan.Category = None
+			plan.Kind = CheckNone
+			plan.Reason = ReasonSerial
+			continue
+		}
+		cond := br.Args[0]
+		cat := a.operandCat(cond)
+		if cat == NA {
+			// Paper Fig. 3 line 14-18: branches never resolved are none.
+			cat = None
+		}
+		plan.Category = cat
+		plan.Kind, plan.Promoted = checkKindFor(cat, !a.Opts.DisablePromotion)
+		plan.Reason = ReasonChecked
+		switch {
+		case plan.Kind == CheckNone:
+			plan.Reason = ReasonNone
+		case br.InCritical && !a.Opts.DisableCriticalElision:
+			plan.Kind = CheckNone
+			plan.Reason = ReasonCritical
+		case br.LoopDepth > maxNest:
+			plan.Kind = CheckNone
+			plan.Reason = ReasonTooDeep
+		case a.Opts.DedupRedundant && seenCond[cond]:
+			plan.Kind = CheckNone
+			plan.Reason = ReasonRedundant
+		}
+		if plan.Reason != ReasonChecked {
+			continue
+		}
+		seenCond[cond] = true
+		if !a.Opts.DisableUniform && plan.Category != Shared && a.uniformLoopHeader(br) {
+			// Thread-invariant trip structure: the strongest check applies
+			// even though the condition data is thread-dependent.
+			plan.Kind = CheckUniform
+			plan.Uniform = true
+			plan.SigArgs = nil
+			continue
+		}
+		a.fillSignature(plan, cond)
+	}
+}
+
+func checkKindFor(cat Category, promote bool) (kind CheckKind, promoted bool) {
+	switch cat {
+	case Shared:
+		return CheckShared, false
+	case ThreadID:
+		return CheckThreadID, false
+	case Partial:
+		return CheckPartial, false
+	case None:
+		if promote {
+			// Paper optimization 1: compare only threads whose private
+			// condition values coincide.
+			return CheckPartial, true
+		}
+	}
+	return CheckNone, false
+}
+
+// fillSignature decides what runtime values form the condition signature
+// and, for thread-ID checks, extracts the relation metadata.
+func (a *Analysis) fillSignature(plan *CheckPlan, cond ir.Value) {
+	cmp, ok := cond.(*ir.Instr)
+	if !ok || !cmp.Op.IsCompare() {
+		// Non-compare condition (bool phi, parameter, constant): the bool
+		// value itself is the signature; thread-ID checks degrade to
+		// partial grouping.
+		if plan.Kind == CheckThreadID {
+			plan.Kind = CheckPartial
+		}
+		plan.SigArgs = []ir.Value{cond}
+		return
+	}
+	l, r := cmp.Args[0], cmp.Args[1]
+	if plan.Kind == CheckThreadID {
+		lc, rc := a.operandCat(l), a.operandCat(r)
+		switch {
+		// Exact outcome-relation checks ("tid REL shared", recomputed by
+		// the monitor per thread) are only sound when the operand is the
+		// raw thread ID: a derived value such as tid%2 is still category
+		// threadID under Table II but several threads may legitimately
+		// share it. Derived thread-ID compares degrade to partial-style
+		// grouping over the full condition signature, which still detects
+		// outcome flips whenever at least two threads hold identical
+		// condition data.
+		case lc == ThreadID && rc == Shared && isRawTid(l):
+			plan.TidOnLeft = true
+			plan.SigArgs = []ir.Value{r}
+			plan.Relation = cmp.Op
+		case lc == Shared && rc == ThreadID && isRawTid(r):
+			plan.TidOnLeft = false
+			plan.SigArgs = []ir.Value{l}
+			plan.Relation = cmp.Op
+		default:
+			// Derived thread-ID values or tid on both sides: fall back to
+			// grouping by the full condition signature.
+			plan.Kind = CheckPartial
+			plan.SigArgs = []ir.Value{l, r}
+		}
+		return
+	}
+	plan.SigArgs = []ir.Value{l, r}
+}
+
+// isRawTid reports whether v is literally the tid() builtin result.
+func isRawTid(v ir.Value) bool {
+	in, ok := v.(*ir.Instr)
+	return ok && in.Op == ir.OpBuiltin && in.Builtin == "tid"
+}
+
+// Stats summarizes branch categories in the parallel section (Table V).
+type Stats struct {
+	TotalBranches    int // all static branches in the module
+	ParallelBranches int // branches in the parallel section
+	PerCategory      map[Category]int
+	Checked          int // branches with an active runtime check
+	Promoted         int // none branches promoted to partial checks
+}
+
+// Stats computes the Table V numbers for the analysis.
+func (a *Analysis) Stats() Stats {
+	st := Stats{PerCategory: make(map[Category]int)}
+	st.TotalBranches = len(a.Mod.Branches())
+	ids := make([]int, 0, len(a.Plans))
+	for id := range a.Plans {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		p := a.Plans[id]
+		if p.Reason == ReasonSerial {
+			continue
+		}
+		st.ParallelBranches++
+		st.PerCategory[p.Category]++
+		if p.Checked() {
+			st.Checked++
+			if p.Promoted {
+				st.Promoted++
+			}
+		}
+	}
+	return st
+}
+
+// SimilarFraction returns the fraction of parallel-section branches whose
+// category is shared, threadID or partial (the paper's 50%–95% headline).
+func (s Stats) SimilarFraction() float64 {
+	if s.ParallelBranches == 0 {
+		return 0
+	}
+	sim := s.PerCategory[Shared] + s.PerCategory[ThreadID] + s.PerCategory[Partial]
+	return float64(sim) / float64(s.ParallelBranches)
+}

@@ -1,0 +1,606 @@
+package core
+
+import (
+	"testing"
+
+	"blockwatch/internal/ir"
+	"blockwatch/internal/lower"
+)
+
+func analyzeSrc(t *testing.T, src string, opts Options) *Analysis {
+	t.Helper()
+	m, err := lower.Compile(src, "t")
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	a, err := Analyze(m, opts)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	return a
+}
+
+// planByLine returns the check plan of the branch whose source line is
+// closest to the given source marker line.
+func planForCondLine(t *testing.T, a *Analysis, line int) *CheckPlan {
+	t.Helper()
+	for _, p := range a.Plans {
+		if p.Br.SrcLine == line {
+			return p
+		}
+	}
+	t.Fatalf("no branch at source line %d", line)
+	return nil
+}
+
+// paperFig1 is the paper's Figure 1 example translated to MiniC. The four
+// labelled branches must be classified threadID, shared, none, partial
+// exactly as in the paper (Section II-C).
+const paperFig1 = `
+global int im;
+global int gpnum[64];
+
+func void setup() {
+	int i;
+	im = 50;
+	for (i = 0; i < nthreads(); i = i + 1) {
+		gpnum[i] = rnd() % 100;
+	}
+}
+
+func void slave() {
+	int private = 0;
+	int procid = tid();
+	if (procid == 0) {
+		output(1);
+	}
+	int i;
+	for (i = 0; i <= im - 1; i = i + 1) {
+		output(0);
+	}
+	if (gpnum[procid] > im - 1) {
+		private = 1;
+	} else {
+		private = -1;
+	}
+	if (private > 0) {
+		output(2);
+	}
+}
+`
+
+// Source lines of the four branch conditions in paperFig1 (1-based; the
+// string starts with a newline).
+const (
+	fig1Branch1Line = 16 // procid == 0
+	fig1Branch2Line = 20 // i <= im - 1
+	fig1Branch3Line = 23 // gpnum[procid] > im - 1
+	fig1Branch4Line = 28 // private > 0
+)
+
+func TestPaperFigure1Categories(t *testing.T) {
+	a := analyzeSrc(t, paperFig1, Options{})
+	cases := []struct {
+		line int
+		want Category
+	}{
+		{fig1Branch1Line, ThreadID},
+		{fig1Branch2Line, Shared},
+		{fig1Branch3Line, None},
+		{fig1Branch4Line, Partial},
+	}
+	for _, tc := range cases {
+		p := planForCondLine(t, a, tc.line)
+		if p.Category != tc.want {
+			t.Errorf("branch at line %d: category %s, want %s", tc.line, p.Category, tc.want)
+		}
+	}
+}
+
+func TestPaperFigure1Plans(t *testing.T) {
+	a := analyzeSrc(t, paperFig1, Options{})
+	b1 := planForCondLine(t, a, fig1Branch1Line)
+	if b1.Kind != CheckThreadID || !b1.Checked() {
+		t.Errorf("branch1 plan = %+v, want checked threadID", b1)
+	}
+	if b1.Relation != ir.OpEq || !b1.TidOnLeft {
+		t.Errorf("branch1 relation = %s tidLeft=%t, want eq/left", b1.Relation, b1.TidOnLeft)
+	}
+	b3 := planForCondLine(t, a, fig1Branch3Line)
+	if b3.Kind != CheckPartial || !b3.Promoted {
+		t.Errorf("branch3 plan = %+v, want promoted partial", b3)
+	}
+	b4 := planForCondLine(t, a, fig1Branch4Line)
+	if b4.Kind != CheckPartial || b4.Promoted {
+		t.Errorf("branch4 plan = %+v, want native partial", b4)
+	}
+}
+
+func TestPromotionDisabled(t *testing.T) {
+	a := analyzeSrc(t, paperFig1, Options{DisablePromotion: true})
+	b3 := planForCondLine(t, a, fig1Branch3Line)
+	if b3.Kind != CheckNone || b3.Reason != ReasonNone {
+		t.Errorf("branch3 with promotion off = %+v, want unchecked", b3)
+	}
+}
+
+// paperFig2 is the paper's Figure 2 multiple-instances example. arg, i,
+// test, and both branches converge to shared (paper Table III).
+const paperFig2 = `
+global bool test;
+
+func void slave() {
+	foo(1);
+	if (test) {
+		foo(2);
+	}
+}
+
+func void foo(int arg) {
+	int i;
+	for (i = 0; i < 5; i = i + 1) {
+		if (i < arg) {
+			output(1);
+		}
+	}
+}
+`
+
+func TestPaperFigure2Table3(t *testing.T) {
+	m, err := lower.Compile(paperFig2, "fig2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := TraceAnalysis(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := tr.Analysis
+
+	arg := tr.Row("foo.arg")
+	if arg == nil {
+		t.Fatal("no trace row for foo.arg")
+	}
+	if arg.Final() != Shared {
+		t.Errorf("arg final = %s, want shared", arg.Final())
+	}
+	// All branches in fig2 must converge to shared.
+	for _, p := range a.Plans {
+		if p.Category != Shared {
+			t.Errorf("branch#%d = %s, want shared", p.BranchID, p.Category)
+		}
+	}
+	// Convergence must be fast (paper: k < 10; this program: <= 3 sweeps of
+	// change plus one quiescent sweep).
+	if a.Iterations > 4 {
+		t.Errorf("converged in %d sweeps, want <= 4", a.Iterations)
+	}
+	// Monotonicity (the termination argument of Section III-A).
+	for _, row := range tr.Rows {
+		if !row.Monotone() {
+			t.Errorf("row %s not monotone: %v", row.Name, row.Cats)
+		}
+	}
+}
+
+func TestLookupTableMatchesPaperTable2(t *testing.T) {
+	// Every cell of the paper's Table II.
+	cases := []struct {
+		curr, op, want Category
+	}{
+		{NA, Shared, Shared}, {NA, ThreadID, ThreadID}, {NA, Partial, Partial}, {NA, None, None},
+		{Shared, Shared, Shared}, {Shared, ThreadID, ThreadID}, {Shared, Partial, Partial}, {Shared, None, None},
+		{ThreadID, Shared, ThreadID}, {ThreadID, ThreadID, ThreadID}, {ThreadID, Partial, None}, {ThreadID, None, None},
+		{Partial, Shared, Partial}, {Partial, ThreadID, None}, {Partial, Partial, Partial}, {Partial, None, None},
+		{None, Shared, None}, {None, ThreadID, None}, {None, Partial, None}, {None, None, None},
+	}
+	for _, tc := range cases {
+		if got := LookupTable(tc.curr, tc.op); got != tc.want {
+			t.Errorf("LookupTable(%s, %s) = %s, want %s", tc.curr, tc.op, got, tc.want)
+		}
+	}
+	// NA operand column: always NA.
+	for _, curr := range []Category{NA, Shared, ThreadID, Partial, None} {
+		if got := LookupTable(curr, NA); got != NA {
+			t.Errorf("LookupTable(%s, NA) = %s, want NA", curr, got)
+		}
+	}
+}
+
+func TestThreadIDRelationExtraction(t *testing.T) {
+	a := analyzeSrc(t, `
+global int n;
+func void slave() {
+	int p = tid();
+	if (n > p) {
+		output(1);
+	}
+	if (p * 2 < n) {
+		output(2);
+	}
+	if (p == nthreads() - 1) {
+		output(3);
+	}
+}`, Options{})
+	var plans []*CheckPlan
+	for _, br := range a.Mod.Branches() {
+		plans = append(plans, a.Plans[br.BranchID])
+	}
+	if len(plans) != 3 {
+		t.Fatalf("got %d branches, want 3", len(plans))
+	}
+	// n > p : tid on right.
+	if plans[0].Kind != CheckThreadID || plans[0].TidOnLeft || plans[0].Relation != ir.OpGt {
+		t.Errorf("plan0 = %+v, want threadID gt tid-right", plans[0])
+	}
+	// p*2 < n : tid-DERIVED on left → no sound outcome relation (a derived
+	// value may repeat across threads); degrades to partial grouping over
+	// the full condition signature while keeping the static category.
+	if plans[1].Category != ThreadID || plans[1].Kind != CheckPartial || len(plans[1].SigArgs) != 2 {
+		t.Errorf("plan1 = %+v, want threadID category with partial grouping", plans[1])
+	}
+	// p == nthreads()-1 : eq with tid on left.
+	if plans[2].Kind != CheckThreadID || plans[2].Relation != ir.OpEq {
+		t.Errorf("plan2 = %+v, want threadID eq", plans[2])
+	}
+}
+
+func TestTidBothSidesFallsBackToPartial(t *testing.T) {
+	a := analyzeSrc(t, `
+func void slave() {
+	int p = tid();
+	if (p % 2 == p / 2) {
+		output(1);
+	}
+}`, Options{})
+	p := a.Plans[a.Mod.Branches()[0].BranchID]
+	if p.Category != ThreadID {
+		t.Errorf("category = %s, want threadID", p.Category)
+	}
+	if p.Kind != CheckPartial {
+		t.Errorf("kind = %s, want partial fallback", p.Kind)
+	}
+}
+
+func TestCriticalSectionElision(t *testing.T) {
+	src := `
+global int counter;
+func void slave() {
+	lock(0);
+	if (counter > 5) {
+		counter = 0;
+	}
+	unlock(0);
+}`
+	a := analyzeSrc(t, src, Options{})
+	p := a.Plans[a.Mod.Branches()[0].BranchID]
+	if p.Reason != ReasonCritical || p.Kind != CheckNone {
+		t.Errorf("plan = %+v, want critical elision", p)
+	}
+	a2 := analyzeSrc(t, src, Options{DisableCriticalElision: true})
+	p2 := a2.Plans[a2.Mod.Branches()[0].BranchID]
+	if !p2.Checked() {
+		t.Errorf("plan with elision off = %+v, want checked", p2)
+	}
+}
+
+func TestNestingCap(t *testing.T) {
+	src := `
+global int n;
+func void slave() {
+	int a; int b; int c;
+	for (a = 0; a < 2; a = a + 1) {
+		for (b = 0; b < 2; b = b + 1) {
+			for (c = 0; c < 2; c = c + 1) {
+				if (n > 0) {
+					output(1);
+				}
+			}
+		}
+	}
+}`
+	a := analyzeSrc(t, src, Options{MaxNest: 2})
+	var capped, checked int
+	for _, p := range a.Plans {
+		switch p.Reason {
+		case ReasonTooDeep:
+			capped++
+		case ReasonChecked:
+			checked++
+		}
+	}
+	// The innermost loop branch (depth 3) and the if (depth 3) are capped;
+	// the two outer loop branches (depths 1, 2) are checked.
+	if capped != 2 || checked != 2 {
+		t.Errorf("capped=%d checked=%d, want 2/2", capped, checked)
+	}
+	aUnlimited := analyzeSrc(t, src, Options{MaxNest: -1})
+	for _, p := range aUnlimited.Plans {
+		if !p.Checked() {
+			t.Errorf("unlimited nest: plan %+v unchecked", p)
+		}
+	}
+}
+
+func TestDedupRedundant(t *testing.T) {
+	src := `
+global int n;
+func void slave() {
+	bool c = n > 5;
+	if (c) {
+		output(1);
+	}
+	if (c) {
+		output(2);
+	}
+}`
+	a := analyzeSrc(t, src, Options{DedupRedundant: true})
+	var checked, redundant int
+	for _, p := range a.Plans {
+		switch p.Reason {
+		case ReasonChecked:
+			checked++
+		case ReasonRedundant:
+			redundant++
+		}
+	}
+	if checked != 1 || redundant != 1 {
+		t.Errorf("checked=%d redundant=%d, want 1/1", checked, redundant)
+	}
+}
+
+func TestSerialBranchesExcluded(t *testing.T) {
+	a := analyzeSrc(t, `
+global int n;
+func void setup() {
+	if (n > 0) {
+		n = 1;
+	}
+}
+func void slave() {
+	if (n > 0) {
+		output(1);
+	}
+}`, Options{})
+	st := a.Stats()
+	if st.TotalBranches != 2 {
+		t.Errorf("TotalBranches = %d, want 2", st.TotalBranches)
+	}
+	if st.ParallelBranches != 1 {
+		t.Errorf("ParallelBranches = %d, want 1", st.ParallelBranches)
+	}
+}
+
+func TestSharedScalarWrittenInParallelIsNone(t *testing.T) {
+	a := analyzeSrc(t, `
+global int flag;
+func void slave() {
+	flag = tid();
+	if (flag > 0) {
+		output(1);
+	}
+}`, Options{})
+	p := a.Plans[a.Mod.Branches()[0].BranchID]
+	if p.Category != None {
+		t.Errorf("category = %s, want none (global written in parallel)", p.Category)
+	}
+}
+
+func TestReadOnlyArraySharedIndex(t *testing.T) {
+	a := analyzeSrc(t, `
+global int table[16];
+global int n;
+func void setup() {
+	int i;
+	for (i = 0; i < 16; i = i + 1) {
+		table[i] = i * i;
+	}
+}
+func void slave() {
+	if (table[n] > 10) {
+		output(1);
+	}
+	if (table[tid()] > 10) {
+		output(2);
+	}
+}`, Options{})
+	brs := a.Mod.Branches()
+	// Only slave's branches are parallel; setup's loop branch is serial.
+	var cats []Category
+	for _, br := range brs {
+		p := a.Plans[br.BranchID]
+		if p.Reason == ReasonSerial {
+			continue
+		}
+		cats = append(cats, p.Category)
+	}
+	if len(cats) != 2 {
+		t.Fatalf("got %d parallel branches, want 2", len(cats))
+	}
+	if cats[0] != Shared {
+		t.Errorf("table[n] branch = %s, want shared", cats[0])
+	}
+	if cats[1] != None {
+		t.Errorf("table[tid()] branch = %s, want none", cats[1])
+	}
+}
+
+func TestInterproceduralSharedParam(t *testing.T) {
+	a := analyzeSrc(t, `
+global int n;
+func int double(int x) { return x * 2; }
+func void slave() {
+	if (double(n) > 4) {
+		output(1);
+	}
+}`, Options{})
+	p := a.Plans[a.Mod.Branches()[0].BranchID]
+	if p.Category != Shared {
+		t.Errorf("category = %s, want shared through call", p.Category)
+	}
+}
+
+func TestInterproceduralMixedSites(t *testing.T) {
+	a := analyzeSrc(t, `
+global int n;
+func void f(int x) {
+	if (x > 0) {
+		output(1);
+	}
+}
+func void slave() {
+	f(n);
+	f(tid());
+}`, Options{})
+	p := a.Plans[a.Mod.Branches()[0].BranchID]
+	// shared site + threadID site must NOT yield threadID (false positives);
+	// the conservative cross-site join gives none.
+	if p.Category != None {
+		t.Errorf("category = %s, want none for mixed shared/tid sites", p.Category)
+	}
+}
+
+func TestInterproceduralTwoSharedSitesStayShared(t *testing.T) {
+	// The paper's Figure 2 policy: multiple shared call sites remain
+	// shared, distinguished at runtime by call-site keys.
+	a := analyzeSrc(t, `
+func void f(int x) {
+	if (x > 0) {
+		output(1);
+	}
+}
+func void slave() {
+	f(1);
+	f(2);
+}`, Options{})
+	p := a.Plans[a.Mod.Branches()[0].BranchID]
+	if p.Category != Shared {
+		t.Errorf("category = %s, want shared", p.Category)
+	}
+}
+
+func TestRecursionConverges(t *testing.T) {
+	a := analyzeSrc(t, `
+func int fib(int x) {
+	if (x < 2) {
+		return x;
+	}
+	return fib(x - 1) + fib(x - 2);
+}
+func void slave() {
+	output(fib(10));
+}`, Options{})
+	if a.Iterations > 10 {
+		t.Errorf("recursion took %d sweeps, want <= 10 (paper: k < 10)", a.Iterations)
+	}
+	p := a.Plans[a.Mod.Branches()[0].BranchID]
+	if p.Category != Shared {
+		t.Errorf("fib branch = %s, want shared", p.Category)
+	}
+}
+
+func TestMergePhiOfSharedBecomesPartial(t *testing.T) {
+	a := analyzeSrc(t, `
+global int n;
+func void slave() {
+	int x = 0;
+	if (gphelper() > 0) {
+		x = 1;
+	} else {
+		x = 2;
+	}
+	if (x > 1) {
+		output(1);
+	}
+}
+func int gphelper() { return tid(); }`, Options{})
+	brs := a.Mod.Branches()
+	// Second branch: x is a merge phi of constants 1 and 2 → partial.
+	p := a.Plans[brs[1].BranchID]
+	if p.Category != Partial {
+		t.Errorf("merge-phi branch = %s, want partial", p.Category)
+	}
+}
+
+func TestLoopPhiWithSharedBoundsStaysShared(t *testing.T) {
+	a := analyzeSrc(t, `
+global int n;
+func void slave() {
+	int i;
+	for (i = 0; i < n; i = i + 1) {
+		output(i);
+	}
+}`, Options{})
+	p := a.Plans[a.Mod.Branches()[0].BranchID]
+	if p.Category != Shared {
+		t.Errorf("loop branch = %s, want shared", p.Category)
+	}
+}
+
+func TestTidDerivedLoop(t *testing.T) {
+	// Per-thread chunked loop: i runs from tid*chunk to (tid+1)*chunk.
+	a := analyzeSrc(t, `
+global int chunk;
+func void slave() {
+	int i;
+	for (i = tid() * chunk; i < (tid() + 1) * chunk; i = i + 1) {
+		output(i);
+	}
+}`, Options{})
+	p := a.Plans[a.Mod.Branches()[0].BranchID]
+	if p.Category != ThreadID {
+		t.Errorf("chunked loop branch = %s, want threadID", p.Category)
+	}
+}
+
+func TestRndIsNone(t *testing.T) {
+	a := analyzeSrc(t, `
+func void slave() {
+	if (rnd() % 2 == 0) {
+		output(1);
+	}
+}`, Options{})
+	p := a.Plans[a.Mod.Branches()[0].BranchID]
+	if p.Category != None {
+		t.Errorf("rnd branch = %s, want none", p.Category)
+	}
+}
+
+func TestAnalyzeNoSlave(t *testing.T) {
+	m, err := lower.Compile(`func void other() {}`, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Analyze(m, Options{}); err == nil {
+		t.Fatal("want error for missing slave")
+	}
+}
+
+func TestStatsSimilarFraction(t *testing.T) {
+	a := analyzeSrc(t, paperFig1, Options{})
+	st := a.Stats()
+	if st.ParallelBranches != 4 {
+		t.Fatalf("ParallelBranches = %d, want 4", st.ParallelBranches)
+	}
+	want := map[Category]int{Shared: 1, ThreadID: 1, Partial: 1, None: 1}
+	for cat, n := range want {
+		if st.PerCategory[cat] != n {
+			t.Errorf("PerCategory[%s] = %d, want %d", cat, st.PerCategory[cat], n)
+		}
+	}
+	if f := st.SimilarFraction(); f != 0.75 {
+		t.Errorf("SimilarFraction = %v, want 0.75", f)
+	}
+	if st.Checked != 4 {
+		t.Errorf("Checked = %d, want 4 (none promoted)", st.Checked)
+	}
+	if st.Promoted != 1 {
+		t.Errorf("Promoted = %d, want 1", st.Promoted)
+	}
+}
+
+func TestEmptySimilarFraction(t *testing.T) {
+	if f := (Stats{}).SimilarFraction(); f != 0 {
+		t.Errorf("empty SimilarFraction = %v, want 0", f)
+	}
+}

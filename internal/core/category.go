@@ -1,0 +1,99 @@
+// Package core implements the BLOCKWATCH static analysis — the paper's
+// primary contribution. It classifies every conditional branch in a
+// program's parallel section into one of the four similarity categories of
+// the paper's Table I by propagating operand categories through the SSA
+// def-use graph to a fixpoint (paper Fig. 3) using the inference rules of
+// the paper's Table II, and then emits a CheckPlan per instrumentable
+// branch for the runtime monitor.
+package core
+
+import "fmt"
+
+// Category is a branch/instruction similarity category (paper Table I).
+// The zero value is invalid; NA is the explicit "Not Assigned" state used
+// during fixpoint iteration.
+type Category int
+
+// Similarity categories.
+const (
+	// NA means "not assigned yet" — the initial state of every instruction
+	// in the fixpoint iteration (paper Section III-A).
+	NA Category = iota + 1
+	// Shared: all operands derive from variables shared among threads
+	// (globals and constants). All threads take the same decision.
+	Shared
+	// ThreadID: one operand depends on the thread ID, the rest are shared.
+	// The branch decision is related to thread ID.
+	ThreadID
+	// Partial: local variables that are assigned one of a small set of
+	// shared values. Threads holding the same value take the same decision.
+	Partial
+	// None: no statically known similarity.
+	None
+)
+
+// String returns the paper's name for the category.
+func (c Category) String() string {
+	switch c {
+	case NA:
+		return "NA"
+	case Shared:
+		return "shared"
+	case ThreadID:
+		return "threadID"
+	case Partial:
+		return "partial"
+	case None:
+		return "none"
+	}
+	return fmt.Sprintf("Category(%d)", int(c))
+}
+
+// lookupTable is the paper's Table II verbatim: given the instruction's
+// current category (row) and the next operand's category (column), it
+// yields the instruction's updated category.
+//
+//	operand→   NA   shared    threadID  partial  none
+//	curr ins↓
+//	NA         NA   shared    threadID  partial  none
+//	shared     NA   shared    threadID  partial  none
+//	threadID   NA   threadID  threadID  none     none
+//	partial    NA   partial   none      partial  none
+//	none       NA   none      none      none     none
+var lookupTable = [6][6]Category{
+	NA:       {0, 0, Shared, ThreadID, Partial, None},
+	Shared:   {0, 0, Shared, ThreadID, Partial, None},
+	ThreadID: {0, 0, ThreadID, ThreadID, None, None},
+	Partial:  {0, 0, Partial, None, Partial, None},
+	None:     {0, 0, None, None, None, None},
+}
+
+// LookupTable applies the paper's Table II. Passing NA as the operand
+// returns NA (Fig. 3 aborts the visit before consulting the table in that
+// case; we keep the column for completeness).
+func LookupTable(curr, operand Category) Category {
+	if operand == NA {
+		return NA
+	}
+	if curr < NA || curr > None || operand > None {
+		return None
+	}
+	return lookupTable[curr][operand]
+}
+
+// rank orders categories along the monotone lattice direction the fixpoint
+// moves in: NA → shared → (threadID|partial) → none. Used by tests
+// asserting monotonicity and by the trace output.
+func rank(c Category) int {
+	switch c {
+	case NA:
+		return 0
+	case Shared:
+		return 1
+	case ThreadID, Partial:
+		return 2
+	case None:
+		return 3
+	}
+	return 4
+}

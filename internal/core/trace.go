@@ -1,0 +1,119 @@
+package core
+
+import (
+	"fmt"
+
+	"blockwatch/internal/ir"
+)
+
+// Trace is the per-sweep category history of the analysis, reproducing the
+// shape of the paper's Table III.
+type Trace struct {
+	Analysis *Analysis
+	Rows     []TraceRow
+}
+
+// TraceAnalysis runs Analyze while recording, after every fixpoint sweep,
+// the categories of all parallel-section parameters, phi instructions
+// (source variables with multiple reaching definitions), and branches.
+func TraceAnalysis(m *ir.Module, opts Options) (*Trace, error) {
+	slave := m.Func("slave")
+	if slave == nil {
+		return nil, ErrNoParallelSection
+	}
+	a := &Analysis{
+		Mod:           m,
+		Opts:          opts,
+		ParallelFuncs: reachableFrom(m, slave),
+		InstCat:       make(map[*ir.Instr]Category),
+		ParamCat:      make(map[*ir.Param]Category),
+		RetCat:        make(map[string]Category),
+		Plans:         make(map[int]*CheckPlan),
+	}
+	markWrittenInParallel(m, a.ParallelFuncs)
+
+	// Collect the items to trace in deterministic order.
+	type item struct {
+		name string
+		get  func() Category
+	}
+	var items []item
+	na := func(c Category, ok bool) Category {
+		if !ok {
+			return NA
+		}
+		return c
+	}
+	for _, f := range a.parallelInOrder() {
+		f := f
+		for _, p := range f.Params {
+			p := p
+			items = append(items, item{
+				name: fmt.Sprintf("%s.%s", f.FName, p.PName),
+				get:  func() Category { c, ok := a.ParamCat[p]; return na(c, ok) },
+			})
+		}
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				in := in
+				switch in.Op {
+				case ir.OpPhi:
+					items = append(items, item{
+						name: fmt.Sprintf("%s.%s", f.FName, in.Name()),
+						get:  func() Category { c, ok := a.InstCat[in]; return na(c, ok) },
+					})
+				case ir.OpBr:
+					if in.BranchID == 0 {
+						continue
+					}
+					items = append(items, item{
+						name: fmt.Sprintf("branch#%d", in.BranchID),
+						get:  func() Category { return na(a.operandCat(in.Args[0]), true) },
+					})
+				}
+			}
+		}
+	}
+	tr := &Trace{Analysis: a}
+	tr.Rows = make([]TraceRow, len(items))
+	for i, it := range items {
+		tr.Rows[i].Name = it.name
+	}
+	a.run(func() {
+		for i, it := range items {
+			tr.Rows[i].Cats = append(tr.Rows[i].Cats, it.get())
+		}
+	})
+	a.classifyBranches()
+	return tr, nil
+}
+
+// Row returns the trace row with the given name, or nil.
+func (t *Trace) Row(name string) *TraceRow {
+	for i := range t.Rows {
+		if t.Rows[i].Name == name {
+			return &t.Rows[i]
+		}
+	}
+	return nil
+}
+
+// Final returns the category after the last sweep.
+func (r *TraceRow) Final() Category {
+	if len(r.Cats) == 0 {
+		return NA
+	}
+	return r.Cats[len(r.Cats)-1]
+}
+
+// Monotone reports whether the row's categories only ever moved down the
+// lattice (NA → {shared,threadID,partial} → none), the property that
+// guarantees termination (paper Section III-A).
+func (r *TraceRow) Monotone() bool {
+	for i := 1; i < len(r.Cats); i++ {
+		if rank(r.Cats[i]) < rank(r.Cats[i-1]) {
+			return false
+		}
+	}
+	return true
+}

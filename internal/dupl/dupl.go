@@ -1,0 +1,107 @@
+// Package dupl implements the software-duplication baseline BLOCKWATCH is
+// compared against in the paper's Section VI: run two replicas of the
+// program and compare their outputs. Duplication needs determinism (the
+// paper notes real parallel programs require determinism-inducing
+// runtimes, whose ordering constraints are what make duplication
+// non-scalable); our kernels are barrier-deterministic, so the replica
+// comparison itself is exact, and the cost model charges the documented
+// overheads: double resource usage plus a per-thread ordering-enforcement
+// cost that grows with the thread count.
+package dupl
+
+import (
+	"fmt"
+
+	"blockwatch/internal/interp"
+	"blockwatch/internal/ir"
+)
+
+// Options configures a duplicated run.
+type Options struct {
+	// Threads is the number of program threads per replica.
+	Threads int
+	// Fault is injected into the PRIMARY replica only (a transient fault
+	// hits one core, hence one replica).
+	Fault interp.FaultInjector
+	// StepLimit bounds each replica.
+	StepLimit uint64
+	// Seed is the interpreter seed (both replicas must match).
+	Seed uint64
+	// SyncCostPerBarrier models the determinism-enforcement overhead added
+	// to every replica barrier, per thread (paper Section VI: "forcing
+	// execution order among threads incurs communication and waiting
+	// overheads that are proportional to the number of threads"). Zero
+	// selects DefaultSyncCost.
+	SyncCostPerBarrier int64
+}
+
+// DefaultSyncCost is the per-thread, per-barrier determinism-enforcement
+// cost in simulated cycles.
+const DefaultSyncCost = 120
+
+// Result is the outcome of a duplicated run.
+type Result struct {
+	// Primary and Replica are the two runs.
+	Primary, Replica *interp.Result
+	// Detected is true when the replicas' outputs differ or exactly one
+	// replica failed — duplication's detection signal.
+	Detected bool
+	// SimTime is the duplicated system's simulated span on the SAME
+	// hardware as the baseline (the paper's comparison): the two replicas
+	// share the cores, so the span is twice the slower replica's
+	// stand-alone span — the "twice the amount of hardware resources"
+	// cost of Section I — plus the determinism-enforcement overhead
+	// folded into every replica barrier.
+	SimTime int64
+}
+
+// Run executes the program twice and compares outputs.
+func Run(mod *ir.Module, opts Options) (*Result, error) {
+	if opts.Threads < 1 {
+		return nil, interp.ErrBadThreads
+	}
+	sync := opts.SyncCostPerBarrier
+	if sync == 0 {
+		sync = DefaultSyncCost
+	}
+	// The determinism-inducing runtime inflates barrier costs in both
+	// replicas proportionally to the thread count.
+	cost := interp.DefaultCostModel()
+	cost.BarrierPerThread += sync
+
+	primary, err := interp.Run(mod, interp.Options{
+		Threads:   opts.Threads,
+		Fault:     opts.Fault,
+		StepLimit: opts.StepLimit,
+		Seed:      opts.Seed,
+		Cost:      cost,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("primary replica: %w", err)
+	}
+	replica, err := interp.Run(mod, interp.Options{
+		Threads:   opts.Threads,
+		StepLimit: opts.StepLimit,
+		Seed:      opts.Seed,
+		Cost:      cost,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("secondary replica: %w", err)
+	}
+	res := &Result{Primary: primary, Replica: replica}
+	res.Detected = primary.Clean() != replica.Clean() || !sameOutput(primary.Output, replica.Output)
+	res.SimTime = 2 * max(primary.SimTime, replica.SimTime)
+	return res, nil
+}
+
+func sameOutput(a, b []interp.Value) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

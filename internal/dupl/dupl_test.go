@@ -1,0 +1,124 @@
+package dupl
+
+import (
+	"testing"
+
+	"blockwatch/internal/interp"
+	"blockwatch/internal/ir"
+	"blockwatch/internal/lower"
+)
+
+const prog = `
+global int n;
+global int acc[8];
+func void setup() { n = 32; }
+func void slave() {
+	int me = tid();
+	int i;
+	int s = 0;
+	for (i = 0; i < n; i = i + 1) {
+		if (i % 3 == 0) {
+			s = s + i;
+		}
+	}
+	acc[me] = s;
+	barrier();
+	if (me == 0) {
+		int t;
+		int tot = 0;
+		for (t = 0; t < nthreads(); t = t + 1) {
+			tot = tot + acc[t];
+		}
+		output(tot);
+	}
+}`
+
+func compileProg(t *testing.T) *ir.Module {
+	t.Helper()
+	m, err := lower.Compile(prog, "dupl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+type flipAt struct {
+	thread int
+	seq    uint64
+}
+
+func (f *flipAt) BeforeBranch(t *interp.Thread, _ *ir.Instr) bool {
+	return t.Tid() == f.thread && t.BranchSeq() == f.seq
+}
+
+func TestCleanRunNotDetected(t *testing.T) {
+	m := compileProg(t)
+	res, err := Run(m, Options{Threads: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Detected {
+		t.Fatal("fault-free duplicated run reported a mismatch")
+	}
+}
+
+func TestFaultyPrimaryDetected(t *testing.T) {
+	m := compileProg(t)
+	// Flip an if branch in thread 2 (sequence inside the loop).
+	res, err := Run(m, Options{Threads: 4, Fault: &flipAt{thread: 2, seq: 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Detected {
+		t.Fatal("output-corrupting fault not detected by duplication")
+	}
+}
+
+func TestDuplicationCostsMoreThanPlainRun(t *testing.T) {
+	m := compileProg(t)
+	plain, err := interp.Run(m, interp.Options{Threads: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dup, err := Run(m, Options{Threads: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dup.SimTime <= plain.SimTime {
+		t.Fatalf("duplication span %d not above plain span %d", dup.SimTime, plain.SimTime)
+	}
+}
+
+func TestSyncCostGrowsWithThreads(t *testing.T) {
+	m := compileProg(t)
+	r2, err := Run(m, Options{Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r8, err := Run(m, Options{Threads: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per-barrier enforcement cost must grow with threads even though
+	// per-thread work shrinks: compare barrier share, not absolute time.
+	base2, err := interp.Run(m, interp.Options{Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base8, err := interp.Run(m, interp.Options{Threads: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oh2 := float64(r2.SimTime) / float64(base2.SimTime)
+	oh8 := float64(r8.SimTime) / float64(base8.SimTime)
+	if oh8 <= oh2 {
+		t.Errorf("duplication overhead must grow with threads: %0.3f (2t) vs %0.3f (8t)", oh2, oh8)
+	}
+}
+
+func TestBadOptions(t *testing.T) {
+	m := compileProg(t)
+	if _, err := Run(m, Options{Threads: 0}); err == nil {
+		t.Fatal("want error for zero threads")
+	}
+}

@@ -1,0 +1,257 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"blockwatch/internal/core"
+	"blockwatch/internal/dupl"
+	"blockwatch/internal/inject"
+	"blockwatch/internal/interp"
+	"blockwatch/internal/ir"
+)
+
+// runInstrumented is a helper for error-free instrumented runs.
+func runInstrumented(b *Bench, threads int, seed uint64) (*interp.Result, error) {
+	res, err := interp.Run(b.Mod, interp.Options{
+		Threads: threads,
+		Mode:    interp.MonitorActive,
+		Plans:   b.Analysis.Plans,
+		Seed:    seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", b.Prog.Name, err)
+	}
+	if !res.Clean() {
+		return nil, fmt.Errorf("%s: instrumented run trapped: %v", b.Prog.Name, res.Traps)
+	}
+	return res, nil
+}
+
+// DuplRow compares BLOCKWATCH against software duplication for one
+// benchmark at one thread count (paper Section VI).
+type DuplRow struct {
+	Name         string
+	Threads      int
+	BWOverhead   float64 // instrumented/baseline simulated span
+	DuplOverhead float64 // duplicated-system span/baseline (≥ slower replica)
+	BWCoverage   float64 // branch-flip campaign coverage with BLOCKWATCH
+	DuplCoverage float64 // branch-flip campaign coverage with duplication
+}
+
+// DuplResult is the Section VI dataset.
+type DuplResult struct {
+	Rows []DuplRow
+}
+
+// Duplication runs the Section VI comparison: overhead and branch-flip
+// coverage of BLOCKWATCH vs. output-comparing duplication.
+func Duplication(cfg Config) (*DuplResult, error) {
+	cfg = cfg.WithDefaults()
+	benches, err := LoadAll(cfg.AnalysisOptions)
+	if err != nil {
+		return nil, err
+	}
+	res := &DuplResult{}
+	for _, b := range benches {
+		for _, threads := range cfg.CoverageThreads {
+			cfg.progress("duplication: %s @ %d threads", b.Prog.Name, threads)
+			row := DuplRow{Name: b.Prog.Name, Threads: threads}
+
+			base, err := interp.Run(b.Mod, interp.Options{Threads: threads})
+			if err != nil {
+				return nil, err
+			}
+			oh, err := measureOverhead(b, threads)
+			if err != nil {
+				return nil, err
+			}
+			row.BWOverhead = oh.Ratio()
+			dres, err := dupl.Run(b.Mod, dupl.Options{Threads: threads})
+			if err != nil {
+				return nil, err
+			}
+			row.DuplOverhead = float64(dres.SimTime) / float64(base.SimTime)
+
+			bwCamp := inject.Campaign{
+				Module: b.Mod, Plans: b.Analysis.Plans, Threads: threads,
+				Faults: cfg.Faults, Type: inject.BranchFlip, Seed: cfg.Seed,
+			}
+			bw, err := bwCamp.Run()
+			if err != nil {
+				return nil, err
+			}
+			row.BWCoverage = bw.Tally.Coverage()
+			dcov, err := duplCoverage(b.Mod, threads, cfg.Faults, cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			row.DuplCoverage = dcov
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res, nil
+}
+
+// duplCoverage runs a branch-flip campaign against the duplication
+// detector: a fault is covered unless the duplicated system reports no
+// mismatch AND the primary output silently differs from golden.
+func duplCoverage(mod *ir.Module, threads, faults int, seed int64) (float64, error) {
+	c := inject.Campaign{Module: mod, Threads: threads, Faults: faults,
+		Type: inject.BranchFlip, Seed: seed}
+	res, err := c.RunWith(func(f inject.Fault, stepLimit uint64, golden []interp.Value) (inject.Outcome, error) {
+		ij := inject.NewSingle(f)
+		dres, err := dupl.Run(mod, dupl.Options{Threads: threads, Fault: ij, StepLimit: stepLimit})
+		if err != nil {
+			return inject.Crash, nil //nolint:nilerr // campaign-level classification
+		}
+		if !ij.Activated() {
+			return inject.NotActivated, nil
+		}
+		if dres.Detected {
+			return inject.Detected, nil
+		}
+		switch {
+		case dres.Primary.Crashed():
+			return inject.Crash, nil
+		case dres.Primary.Hung():
+			return inject.Hang, nil
+		}
+		if !sameOut(dres.Primary.Output, golden) {
+			return inject.SDC, nil
+		}
+		return inject.Benign, nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	return res.Tally.Coverage(), nil
+}
+
+func sameOut(a, b []interp.Value) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// RenderDuplication renders the Section VI comparison.
+func RenderDuplication(r *DuplResult) string {
+	var sb strings.Builder
+	sb.WriteString("Section VI: BLOCKWATCH vs. software duplication (branch-flip faults)\n")
+	fmt.Fprintf(&sb, "%-22s %8s %12s %12s %10s %10s\n",
+		"Program", "threads", "bw-overhead", "dup-overhead", "bw-cov", "dup-cov")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "%-22s %8d %11.2fx %11.2fx %9.1f%% %9.1f%%\n",
+			row.Name, row.Threads, row.BWOverhead, row.DuplOverhead,
+			100*row.BWCoverage, 100*row.DuplCoverage)
+	}
+	return sb.String()
+}
+
+// AblationRow captures one design-choice ablation for one benchmark.
+type AblationRow struct {
+	Name string
+	// CheckedBase / CheckedNoPromo: instrumented branch counts with and
+	// without the none→partial promotion.
+	CheckedBase, CheckedNoPromo int
+	// CovBase / CovNoPromo: branch-flip coverage with and without it.
+	CovBase, CovNoPromo float64
+	// CovNoUniform: coverage without the uniform-loop extension.
+	CovNoUniform float64
+	// OverheadBase / OverheadDedup: overhead with and without the
+	// redundant-check elimination proposed in Section VI.
+	OverheadBase, OverheadDedup float64
+}
+
+// Ablation quantifies the paper's optimizations: promotion (Section III-A
+// optimization 1) and redundant-check elimination (Section VI).
+func Ablation(cfg Config) ([]AblationRow, error) {
+	cfg = cfg.WithDefaults()
+	base, err := LoadAll(cfg.AnalysisOptions)
+	if err != nil {
+		return nil, err
+	}
+	noPromoOpts := cfg.AnalysisOptions
+	noPromoOpts.DisablePromotion = true
+	noPromo, err := LoadAll(noPromoOpts)
+	if err != nil {
+		return nil, err
+	}
+	noUniformOpts := cfg.AnalysisOptions
+	noUniformOpts.DisableUniform = true
+	noUniform, err := LoadAll(noUniformOpts)
+	if err != nil {
+		return nil, err
+	}
+	dedupOpts := cfg.AnalysisOptions
+	dedupOpts.DedupRedundant = true
+	dedup, err := LoadAll(dedupOpts)
+	if err != nil {
+		return nil, err
+	}
+	var rows []AblationRow
+	for i, b := range base {
+		cfg.progress("ablation: %s", b.Prog.Name)
+		row := AblationRow{Name: b.Prog.Name}
+		row.CheckedBase = b.Analysis.Stats().Checked
+		row.CheckedNoPromo = noPromo[i].Analysis.Stats().Checked
+
+		campaign := inject.Campaign{
+			Module: b.Mod, Plans: b.Analysis.Plans, Threads: 4,
+			Faults: cfg.Faults, Type: inject.BranchFlip, Seed: cfg.Seed,
+		}
+		cb, err := campaign.Run()
+		if err != nil {
+			return nil, err
+		}
+		row.CovBase = cb.Tally.Coverage()
+		campaign.Plans = noPromo[i].Analysis.Plans
+		cn, err := campaign.Run()
+		if err != nil {
+			return nil, err
+		}
+		row.CovNoPromo = cn.Tally.Coverage()
+		campaign.Plans = noUniform[i].Analysis.Plans
+		cu, err := campaign.Run()
+		if err != nil {
+			return nil, err
+		}
+		row.CovNoUniform = cu.Tally.Coverage()
+
+		ob, err := measureOverhead(b, 4)
+		if err != nil {
+			return nil, err
+		}
+		od, err := measureOverhead(dedup[i], 4)
+		if err != nil {
+			return nil, err
+		}
+		row.OverheadBase = ob.Ratio()
+		row.OverheadDedup = od.Ratio()
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderAblation renders the ablation table.
+func RenderAblation(rows []AblationRow) string {
+	var sb strings.Builder
+	sb.WriteString("Ablations: promotion (opt 1), uniform-loop extension, redundant-check elimination (Section VI)\n")
+	fmt.Fprintf(&sb, "%-22s %8s %10s %9s %11s %12s %9s %11s\n",
+		"Program", "checked", "no-promo", "cov", "cov-nopromo", "cov-nounif", "overhead", "ovh-dedup")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-22s %8d %10d %8.1f%% %10.1f%% %11.1f%% %8.2fx %10.2fx\n",
+			r.Name, r.CheckedBase, r.CheckedNoPromo,
+			100*r.CovBase, 100*r.CovNoPromo, 100*r.CovNoUniform, r.OverheadBase, r.OverheadDedup)
+	}
+	return sb.String()
+}
+
+// Ensure core import is used even if options are defaulted.
+var _ = core.Options{}

@@ -1,0 +1,183 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"blockwatch/internal/inject"
+)
+
+// CoverageCell is coverage at one (protection, thread-count) point.
+type CoverageCell struct {
+	Threads  int
+	Original float64 // coverage without BLOCKWATCH
+	BW       float64 // coverage with BLOCKWATCH
+	Detected int     // detections in the protected campaign
+	OrigSDC  int
+	BWSDC    int
+}
+
+// CoverageRow is one benchmark's Figure 8/9 data across thread counts.
+type CoverageRow struct {
+	Name  string
+	Cells []CoverageCell
+}
+
+// CoverageResult is the dataset behind Figures 8 and 9.
+type CoverageResult struct {
+	Type inject.FaultType
+	Rows []CoverageRow
+	// AvgOriginal and AvgBW are per-thread-count averages over programs
+	// (indexed like Config.CoverageThreads).
+	Threads     []int
+	AvgOriginal []float64
+	AvgBW       []float64
+}
+
+// Coverage runs the fault-injection campaigns of Figure 8 (BranchFlip) or
+// Figure 9 (CondBit): for every benchmark and thread count, one campaign
+// without protection and one with BLOCKWATCH.
+func Coverage(cfg Config, ft inject.FaultType) (*CoverageResult, error) {
+	cfg = cfg.WithDefaults()
+	benches, err := LoadAll(cfg.AnalysisOptions)
+	if err != nil {
+		return nil, err
+	}
+	res := &CoverageResult{Type: ft, Threads: cfg.CoverageThreads}
+	sums := make([]CoverageCell, len(cfg.CoverageThreads))
+	for _, b := range benches {
+		row := CoverageRow{Name: b.Prog.Name}
+		for ti, threads := range cfg.CoverageThreads {
+			cfg.progress("%s coverage: %s @ %d threads", ft, b.Prog.Name, threads)
+			campaign := inject.Campaign{
+				Module:  b.Mod,
+				Threads: threads,
+				Faults:  cfg.Faults,
+				Type:    ft,
+				Seed:    cfg.Seed + int64(ti),
+			}
+			orig, err := campaign.Run()
+			if err != nil {
+				return nil, fmt.Errorf("%s original: %w", b.Prog.Name, err)
+			}
+			campaign.Plans = b.Analysis.Plans
+			prot, err := campaign.Run()
+			if err != nil {
+				return nil, fmt.Errorf("%s protected: %w", b.Prog.Name, err)
+			}
+			cell := CoverageCell{
+				Threads:  threads,
+				Original: orig.Tally.Coverage(),
+				BW:       prot.Tally.Coverage(),
+				Detected: prot.Tally.Counts[inject.Detected],
+				OrigSDC:  orig.Tally.Counts[inject.SDC],
+				BWSDC:    prot.Tally.Counts[inject.SDC],
+			}
+			row.Cells = append(row.Cells, cell)
+			sums[ti].Original += cell.Original
+			sums[ti].BW += cell.BW
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	n := float64(len(benches))
+	for _, s := range sums {
+		res.AvgOriginal = append(res.AvgOriginal, s.Original/n)
+		res.AvgBW = append(res.AvgBW, s.BW/n)
+	}
+	return res, nil
+}
+
+// RenderCoverage renders a Figure 8/9-style table with ASCII bars.
+func RenderCoverage(r *CoverageResult, figure string) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s: SDC coverage under %s faults (higher is better; paper y-axis starts at 50%%)\n",
+		figure, r.Type)
+	fmt.Fprintf(&sb, "%-22s", "Program")
+	for _, n := range r.Threads {
+		fmt.Fprintf(&sb, "  %9s %9s", fmt.Sprintf("orig@%dt", n), fmt.Sprintf("bw@%dt", n))
+	}
+	sb.WriteString("\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "%-22s", row.Name)
+		for _, c := range row.Cells {
+			fmt.Fprintf(&sb, "  %8.1f%% %8.1f%%", 100*c.Original, 100*c.BW)
+		}
+		if len(row.Cells) > 0 {
+			fmt.Fprintf(&sb, "  %s", coverageBar(row.Cells[0].Original, row.Cells[0].BW))
+		}
+		sb.WriteString("\n")
+	}
+	fmt.Fprintf(&sb, "%-22s", "AVERAGE")
+	for i := range r.Threads {
+		fmt.Fprintf(&sb, "  %8.1f%% %8.1f%%", 100*r.AvgOriginal[i], 100*r.AvgBW[i])
+	}
+	sb.WriteString("\n")
+	return sb.String()
+}
+
+// coverageBar draws baseline coverage as '=' and the BLOCKWATCH gain as
+// '#' on a 50%..100% scale, mirroring the stacked bars of Figures 8/9.
+func coverageBar(orig, bw float64) string {
+	scale := func(v float64) int {
+		if v < 0.5 {
+			v = 0.5
+		}
+		return int((v - 0.5) / 0.5 * 30)
+	}
+	o := scale(orig)
+	b := scale(bw)
+	if b < o {
+		b = o
+	}
+	return strings.Repeat("=", o) + strings.Repeat("#", b-o)
+}
+
+// FalsePositiveResult records the Section IV experiment.
+type FalsePositiveResult struct {
+	Runs       int // total error-free instrumented runs
+	Violations int // must be zero
+	PerProgram map[string]int
+}
+
+// FalsePositives performs cfg.FalsePositiveRuns error-free instrumented
+// runs per program (paper: 100) and counts reported violations.
+func FalsePositives(cfg Config) (*FalsePositiveResult, error) {
+	cfg = cfg.WithDefaults()
+	benches, err := LoadAll(cfg.AnalysisOptions)
+	if err != nil {
+		return nil, err
+	}
+	res := &FalsePositiveResult{PerProgram: make(map[string]int)}
+	for _, b := range benches {
+		cfg.progress("false positives: %s", b.Prog.Name)
+		for i := 0; i < cfg.FalsePositiveRuns; i++ {
+			threads := []int{2, 4, 8}[i%3]
+			run, err := runInstrumented(b, threads, uint64(i))
+			if err != nil {
+				return nil, err
+			}
+			res.Runs++
+			if run.Detected {
+				res.Violations++
+				res.PerProgram[b.Prog.Name]++
+			}
+		}
+	}
+	return res, nil
+}
+
+// RenderFalsePositives renders the experiment outcome.
+func RenderFalsePositives(r *FalsePositiveResult) string {
+	var sb strings.Builder
+	sb.WriteString("False positives (Section IV): error-free instrumented runs\n")
+	fmt.Fprintf(&sb, "runs=%d violations=%d", r.Runs, r.Violations)
+	if r.Violations == 0 {
+		sb.WriteString("  -> zero false positives, as designed\n")
+	} else {
+		sb.WriteString("  -> FALSE POSITIVES PRESENT (soundness bug)\n")
+		for name, n := range r.PerProgram {
+			fmt.Fprintf(&sb, "  %s: %d\n", name, n)
+		}
+	}
+	return sb.String()
+}

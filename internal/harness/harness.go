@@ -1,0 +1,109 @@
+// Package harness drives the paper's evaluation (Sections IV–VI): it
+// compiles the seven SPLASH-2 kernels, runs the static analysis, and
+// regenerates every table and figure — Table III's propagation trace,
+// Table IV's benchmark characteristics, Table V's category statistics,
+// Figure 6/7's performance overheads, Figure 8/9's fault-injection
+// coverage, the Section IV false-positive experiment, and the Section VI
+// duplication comparison — as plain-text artifacts.
+package harness
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"blockwatch/internal/core"
+	"blockwatch/internal/ir"
+	"blockwatch/internal/splash"
+)
+
+// Config tunes experiment sizes. The zero value selects paper-scale
+// defaults; tests use smaller numbers.
+type Config struct {
+	// Faults per injection campaign cell (paper: 1000 per fault type).
+	Faults int
+	// FalsePositiveRuns per program (paper: 100).
+	FalsePositiveRuns int
+	// CoverageThreads are the thread counts for Figures 8/9 (paper: 4, 32).
+	CoverageThreads []int
+	// PerfThreads are the thread counts for Figure 7 (paper: 1..32).
+	PerfThreads []int
+	// Seed makes campaigns reproducible.
+	Seed int64
+	// AnalysisOptions configures the static analysis.
+	AnalysisOptions core.Options
+	// Progress, when non-nil, receives status lines for long experiments.
+	Progress func(format string, args ...any)
+}
+
+// WithDefaults fills unset fields with paper-scale defaults.
+func (c Config) WithDefaults() Config {
+	if c.Faults == 0 {
+		c.Faults = 1000
+	}
+	if c.FalsePositiveRuns == 0 {
+		c.FalsePositiveRuns = 100
+	}
+	if len(c.CoverageThreads) == 0 {
+		c.CoverageThreads = []int{4, 32}
+	}
+	if len(c.PerfThreads) == 0 {
+		c.PerfThreads = []int{1, 2, 4, 8, 16, 32}
+	}
+	return c
+}
+
+func (c Config) progress(format string, args ...any) {
+	if c.Progress != nil {
+		c.Progress(format, args...)
+	}
+}
+
+// Bench bundles a compiled benchmark with its analysis.
+type Bench struct {
+	Prog     splash.Program
+	Mod      *ir.Module
+	Analysis *core.Analysis
+}
+
+// LoadAll compiles and analyzes the seven benchmarks.
+func LoadAll(opts core.Options) ([]*Bench, error) {
+	var out []*Bench
+	for _, p := range splash.Programs() {
+		m, err := p.Compile()
+		if err != nil {
+			return nil, err
+		}
+		a, err := core.Analyze(m, opts)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p.Name, err)
+		}
+		out = append(out, &Bench{Prog: p, Mod: m, Analysis: a})
+	}
+	return out, nil
+}
+
+// Geomean returns the geometric mean of xs (1 for empty input).
+func Geomean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 1
+	}
+	s := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+// sortedKeys returns map keys in ascending order (deterministic renders).
+func sortedKeys[V any](m map[int]V) []int {
+	ks := make([]int, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Ints(ks)
+	return ks
+}

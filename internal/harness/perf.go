@@ -1,0 +1,161 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"blockwatch/internal/interp"
+)
+
+// Overhead is one normalized-execution-time measurement: the simulated
+// span of the instrumented run divided by the baseline's.
+type Overhead struct {
+	Threads  int
+	Baseline int64
+	WithBW   int64
+}
+
+// Ratio returns instrumented/baseline.
+func (o Overhead) Ratio() float64 {
+	if o.Baseline == 0 {
+		return 1
+	}
+	return float64(o.WithBW) / float64(o.Baseline)
+}
+
+// measureOverhead runs one benchmark at one thread count, with and without
+// instrumentation. Following the paper's methodology, the instrumented run
+// sends branch events but the monitor's checking time is not measured
+// (MonitorDrainOnly — the paper's 32-thread configuration; in the
+// simulated-cycle model checking is off the program's critical path for
+// the active monitor too).
+func measureOverhead(b *Bench, threads int) (Overhead, error) {
+	base, err := interp.Run(b.Mod, interp.Options{Threads: threads})
+	if err != nil {
+		return Overhead{}, fmt.Errorf("%s baseline %d threads: %w", b.Prog.Name, threads, err)
+	}
+	inst, err := interp.Run(b.Mod, interp.Options{
+		Threads: threads,
+		Mode:    interp.MonitorDrainOnly,
+		Plans:   b.Analysis.Plans,
+	})
+	if err != nil {
+		return Overhead{}, fmt.Errorf("%s instrumented %d threads: %w", b.Prog.Name, threads, err)
+	}
+	if !base.Clean() || !inst.Clean() {
+		return Overhead{}, fmt.Errorf("%s: perf run trapped", b.Prog.Name)
+	}
+	return Overhead{Threads: threads, Baseline: base.SimTime, WithBW: inst.SimTime}, nil
+}
+
+// Fig6Row is one benchmark's normalized execution time at the paper's two
+// headline thread counts.
+type Fig6Row struct {
+	Name       string
+	Overhead4  float64
+	Overhead32 float64
+}
+
+// Fig6Result is the paper's Figure 6 dataset.
+type Fig6Result struct {
+	Rows      []Fig6Row
+	Geomean4  float64
+	Geomean32 float64
+}
+
+// Fig6 measures per-benchmark overheads at 4 and 32 threads.
+func Fig6(cfg Config) (*Fig6Result, error) {
+	cfg = cfg.WithDefaults()
+	benches, err := LoadAll(cfg.AnalysisOptions)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig6Result{}
+	var o4s, o32s []float64
+	for _, b := range benches {
+		cfg.progress("fig6: %s", b.Prog.Name)
+		o4, err := measureOverhead(b, 4)
+		if err != nil {
+			return nil, err
+		}
+		o32, err := measureOverhead(b, 32)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, Fig6Row{
+			Name: b.Prog.Name, Overhead4: o4.Ratio(), Overhead32: o32.Ratio(),
+		})
+		o4s = append(o4s, o4.Ratio())
+		o32s = append(o32s, o32.Ratio())
+	}
+	res.Geomean4 = Geomean(o4s)
+	res.Geomean32 = Geomean(o32s)
+	return res, nil
+}
+
+// RenderFig6 renders Figure 6 as a text bar chart.
+func RenderFig6(r *Fig6Result) string {
+	var sb strings.Builder
+	sb.WriteString("Figure 6: Normalized execution time with BLOCKWATCH (baseline = 1.0, lower is better)\n")
+	fmt.Fprintf(&sb, "%-22s %10s %10s\n", "Program", "4 threads", "32 threads")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "%-22s %9.2fx %9.2fx  %s\n",
+			row.Name, row.Overhead4, row.Overhead32, bar(row.Overhead32, 3.0, 24))
+	}
+	fmt.Fprintf(&sb, "%-22s %9.2fx %9.2fx\n", "GEOMEAN", r.Geomean4, r.Geomean32)
+	return sb.String()
+}
+
+// Fig7Point is one point of the paper's Figure 7 (geomean overhead vs
+// thread count).
+type Fig7Point struct {
+	Threads int
+	Geomean float64
+}
+
+// Fig7 sweeps thread counts and reports the geometric-mean overhead.
+func Fig7(cfg Config) ([]Fig7Point, error) {
+	cfg = cfg.WithDefaults()
+	benches, err := LoadAll(cfg.AnalysisOptions)
+	if err != nil {
+		return nil, err
+	}
+	var points []Fig7Point
+	for _, n := range cfg.PerfThreads {
+		cfg.progress("fig7: %d threads", n)
+		var ratios []float64
+		for _, b := range benches {
+			o, err := measureOverhead(b, n)
+			if err != nil {
+				return nil, err
+			}
+			ratios = append(ratios, o.Ratio())
+		}
+		points = append(points, Fig7Point{Threads: n, Geomean: Geomean(ratios)})
+	}
+	return points, nil
+}
+
+// RenderFig7 renders Figure 7 as a text chart.
+func RenderFig7(points []Fig7Point) string {
+	var sb strings.Builder
+	sb.WriteString("Figure 7: Geomean BLOCKWATCH overhead vs. number of threads\n")
+	fmt.Fprintf(&sb, "%8s %10s\n", "threads", "overhead")
+	for _, p := range points {
+		fmt.Fprintf(&sb, "%8d %9.2fx  %s\n", p.Threads, p.Geomean, bar(p.Geomean, 3.0, 30))
+	}
+	return sb.String()
+}
+
+// bar renders v on a [1.0, maxV] scale as a width-w ASCII bar.
+func bar(v, maxV float64, w int) string {
+	if v < 1 {
+		v = 1
+	}
+	frac := (v - 1) / (maxV - 1)
+	if frac > 1 {
+		frac = 1
+	}
+	n := int(frac * float64(w))
+	return strings.Repeat("#", n)
+}

@@ -1,0 +1,197 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"blockwatch/internal/core"
+	"blockwatch/internal/lower"
+	"blockwatch/internal/splash"
+)
+
+// Table4Row is one row of the paper's Table IV (benchmark characteristics).
+type Table4Row struct {
+	Name             string
+	LOC              int
+	ParallelLOC      int
+	TotalBranches    int
+	ParallelBranches int
+}
+
+// Table4 computes benchmark characteristics for all seven kernels.
+func Table4(cfg Config) ([]Table4Row, error) {
+	benches, err := LoadAll(cfg.AnalysisOptions)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Table4Row
+	for _, b := range benches {
+		ploc, err := b.Prog.ParallelLOC()
+		if err != nil {
+			return nil, err
+		}
+		st := b.Analysis.Stats()
+		rows = append(rows, Table4Row{
+			Name:             b.Prog.Name,
+			LOC:              b.Prog.LOC(),
+			ParallelLOC:      ploc,
+			TotalBranches:    st.TotalBranches,
+			ParallelBranches: st.ParallelBranches,
+		})
+	}
+	return rows, nil
+}
+
+// RenderTable4 renders Table IV as text.
+func RenderTable4(rows []Table4Row) string {
+	var sb strings.Builder
+	sb.WriteString("Table IV: Characteristics of Benchmark Programs\n")
+	fmt.Fprintf(&sb, "%-22s %8s %14s %10s %14s\n",
+		"Benchmark", "LOC", "LOC(parallel)", "Branches", "Br(parallel)")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-22s %8d %14d %10d %14d\n",
+			r.Name, r.LOC, r.ParallelLOC, r.TotalBranches, r.ParallelBranches)
+	}
+	return sb.String()
+}
+
+// Table5Row is one row of the paper's Table V (similarity category
+// statistics of parallel-section branches).
+type Table5Row struct {
+	Name     string
+	Total    int
+	Shared   int
+	ThreadID int
+	Partial  int
+	None     int
+	Similar  float64 // fraction in shared+threadID+partial
+}
+
+// Table5 computes the per-benchmark category statistics.
+func Table5(cfg Config) ([]Table5Row, error) {
+	benches, err := LoadAll(cfg.AnalysisOptions)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Table5Row
+	for _, b := range benches {
+		st := b.Analysis.Stats()
+		rows = append(rows, Table5Row{
+			Name:     b.Prog.Name,
+			Total:    st.ParallelBranches,
+			Shared:   st.PerCategory[core.Shared],
+			ThreadID: st.PerCategory[core.ThreadID],
+			Partial:  st.PerCategory[core.Partial],
+			None:     st.PerCategory[core.None],
+			Similar:  st.SimilarFraction(),
+		})
+	}
+	return rows, nil
+}
+
+// RenderTable5 renders Table V as text.
+func RenderTable5(rows []Table5Row) string {
+	var sb strings.Builder
+	sb.WriteString("Table V: Similarity Category Statistics of Parallel-Section Branches\n")
+	fmt.Fprintf(&sb, "%-22s %6s %10s %10s %10s %10s %9s\n",
+		"Program", "Total", "shared", "threadID", "partial", "none", "similar")
+	pct := func(n, total int) string {
+		if total == 0 {
+			return "0 (0%)"
+		}
+		return fmt.Sprintf("%d (%d%%)", n, int(100*float64(n)/float64(total)+0.5))
+	}
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-22s %6d %10s %10s %10s %10s %8.0f%%\n",
+			r.Name, r.Total,
+			pct(r.Shared, r.Total), pct(r.ThreadID, r.Total),
+			pct(r.Partial, r.Total), pct(r.None, r.Total),
+			100*r.Similar)
+	}
+	return sb.String()
+}
+
+// Table3 reruns the propagation-trace example of the paper's Figure 2 /
+// Table III and renders the per-sweep categories.
+func Table3() (string, error) {
+	const fig2 = `
+global bool test;
+func void slave() {
+	foo(1);
+	if (test) {
+		foo(2);
+	}
+}
+func void foo(int arg) {
+	int i;
+	for (i = 0; i < 5; i = i + 1) {
+		if (i < arg) {
+			output(1);
+		}
+	}
+}`
+	m, err := lower.Compile(fig2, "fig2")
+	if err != nil {
+		return "", err
+	}
+	tr, err := core.TraceAnalysis(m, core.Options{})
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	sb.WriteString("Table III: Category Propagation on the Paper's Figure 2 Program\n")
+	fmt.Fprintf(&sb, "%-18s", "item")
+	for i := 1; i <= tr.Analysis.Iterations; i++ {
+		fmt.Fprintf(&sb, " %10s", fmt.Sprintf("sweep %d", i))
+	}
+	fmt.Fprintf(&sb, " %10s\n", "final")
+	for _, row := range tr.Rows {
+		fmt.Fprintf(&sb, "%-18s", row.Name)
+		for _, c := range row.Cats {
+			fmt.Fprintf(&sb, " %10s", c)
+		}
+		fmt.Fprintf(&sb, " %10s\n", row.Final())
+	}
+	fmt.Fprintf(&sb, "converged after %d sweeps (paper: k < 10)\n", tr.Analysis.Iterations)
+	return sb.String(), nil
+}
+
+// RenderTable2 prints the propagation rules actually used (paper Table II)
+// straight from the implementation, so docs can never drift from code.
+func RenderTable2() string {
+	cats := []core.Category{core.NA, core.Shared, core.ThreadID, core.Partial, core.None}
+	var sb strings.Builder
+	sb.WriteString("Table II: Category Inference Rules (as implemented)\n")
+	fmt.Fprintf(&sb, "%-10s", "curr\\op")
+	for _, op := range cats {
+		fmt.Fprintf(&sb, " %-9s", op)
+	}
+	sb.WriteString("\n")
+	for _, cur := range cats {
+		fmt.Fprintf(&sb, "%-10s", cur)
+		for _, op := range cats {
+			fmt.Fprintf(&sb, " %-9s", core.LookupTable(cur, op))
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// Table1 documents the similarity categories (paper Table I) for the CLI.
+func Table1() string {
+	return `Table I: Branch Condition Similarity Categories
+shared    all operands are shared among threads (globals, constants);
+          every thread takes the same decision.
+threadID  one operand depends on the thread ID, the rest are shared;
+          the decision pattern is constrained by thread ID (e.g. at most
+          one thread takes a tid==shared branch).
+partial   local variables holding one of a small set of shared values;
+          threads holding the same value take the same decision.
+none      no statically inferable similarity (checked only through the
+          promotion optimization, grouping threads with identical private
+          condition values).
+`
+}
+
+// names returns the benchmark names (Table IV order).
+func names() []string { return splash.Names() }

@@ -1,0 +1,347 @@
+// Package inject implements the paper's PIN-based fault-injection
+// methodology (Section IV) on top of the interpreter: a profiling run
+// records how many conditional branches each thread executes; an
+// experiment picks a random (thread j, dynamic branch k) target and either
+// flips the branch outcome (flag-register fault) or flips one bit of the
+// branch's condition data with persistence (condition fault); the outcome
+// of the faulty run is compared against the golden run to classify it as
+// benign, crash, hang, detected, or SDC.
+package inject
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"blockwatch/internal/core"
+	"blockwatch/internal/interp"
+	"blockwatch/internal/ir"
+)
+
+// FaultType selects the paper's two fault models.
+type FaultType int
+
+// Fault types (paper Section IV, "Coverage Evaluation").
+const (
+	// BranchFlip forces the targeted branch the wrong (but legal) way —
+	// the flag-register fault.
+	BranchFlip FaultType = iota + 1
+	// CondBit flips one bit of the branch's condition data; the corruption
+	// persists in the value after the branch and may or may not change the
+	// branch outcome.
+	CondBit
+)
+
+// String names the fault type.
+func (f FaultType) String() string {
+	switch f {
+	case BranchFlip:
+		return "branch-flip"
+	case CondBit:
+		return "branch-condition"
+	}
+	return fmt.Sprintf("FaultType(%d)", int(f))
+}
+
+// Fault is one injection target.
+type Fault struct {
+	Type   FaultType
+	Thread int    // thread j
+	Seq    uint64 // dynamic branch index k (1-based) within thread j
+	Bit    uint   // bit to flip for CondBit faults
+}
+
+// Single is an interp.FaultInjector that fires one fault and tracks its
+// activation. It can be handed to any runner (plain runs, duplicated
+// runs).
+type Single struct {
+	fault     Fault
+	activated bool
+	corrupted bool // a value bit actually changed (CondBit)
+}
+
+// NewSingle returns an injector for one fault.
+func NewSingle(f Fault) *Single { return &Single{fault: f} }
+
+// Activated reports whether the targeted dynamic branch was reached.
+func (ij *Single) Activated() bool { return ij.activated }
+
+var _ interp.FaultInjector = (*Single)(nil)
+
+// BeforeBranch fires the fault when thread j reaches its k-th branch.
+func (ij *Single) BeforeBranch(t *interp.Thread, br *ir.Instr) bool {
+	if t.Tid() != ij.fault.Thread || t.BranchSeq() != ij.fault.Seq {
+		return false
+	}
+	ij.activated = true
+	switch ij.fault.Type {
+	case BranchFlip:
+		return true
+	case CondBit:
+		// Corrupt the first corruptible condition operand (registers and
+		// parameters persist; constants cannot hold a corruption, matching
+		// immediate operands on real hardware — fall back to an outcome
+		// flip so the injection is never silently dropped).
+		for _, op := range t.CondOperands(br) {
+			if t.CorruptBit(op, ij.fault.Bit) {
+				ij.corrupted = true
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// Outcome classifies one faulty run (paper Section IV taxonomy).
+type Outcome int
+
+// Outcomes of a faulty run.
+const (
+	// NotActivated: the targeted dynamic branch was never reached.
+	NotActivated Outcome = iota + 1
+	// Benign: activated, program finished, output matches the golden run.
+	Benign
+	// Detected: the BLOCKWATCH monitor flagged a violation.
+	Detected
+	// Crash: a thread trapped (OOB, div-zero, ...).
+	Crash
+	// Hang: a thread exceeded its step budget or deadlocked.
+	Hang
+	// SDC: the program finished silently with wrong output.
+	SDC
+)
+
+// String names the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case NotActivated:
+		return "not-activated"
+	case Benign:
+		return "benign"
+	case Detected:
+		return "detected"
+	case Crash:
+		return "crash"
+	case Hang:
+		return "hang"
+	case SDC:
+		return "sdc"
+	}
+	return fmt.Sprintf("Outcome(%d)", int(o))
+}
+
+// Tally accumulates campaign outcomes.
+type Tally struct {
+	Injected  int
+	Activated int
+	Counts    map[Outcome]int
+}
+
+// Coverage returns 1 − SDC/activated, the paper's coverage metric
+// ("the probability that an activated fault will not lead to an SDC";
+// crashes, hangs, detections and masked faults all count as covered).
+func (t Tally) Coverage() float64 {
+	if t.Activated == 0 {
+		return 1
+	}
+	return 1 - float64(t.Counts[SDC])/float64(t.Activated)
+}
+
+// SDCFraction returns SDC/activated.
+func (t Tally) SDCFraction() float64 {
+	if t.Activated == 0 {
+		return 0
+	}
+	return float64(t.Counts[SDC]) / float64(t.Activated)
+}
+
+// Campaign configures a fault-injection campaign on one program.
+type Campaign struct {
+	// Module is the compiled program.
+	Module *ir.Module
+	// Plans enables BLOCKWATCH protection when non-nil; nil measures the
+	// unprotected baseline (coverage_original in Figures 8 and 9).
+	Plans map[int]*core.CheckPlan
+	// Threads is the thread count (the paper uses 4 and 32).
+	Threads int
+	// Faults is the number of injections per run of the campaign.
+	Faults int
+	// Type selects the fault model.
+	Type FaultType
+	// Seed makes the campaign reproducible.
+	Seed int64
+	// StepFactor bounds faulty runs at StepFactor × the golden run's step
+	// count to detect hangs quickly (0 = default 8).
+	StepFactor uint64
+	// Seed0 is the interpreter seed used for all runs (golden and faulty
+	// must match).
+	Seed0 uint64
+	// MonitorGroups selects the hierarchical monitor extension for the
+	// protected runs (0/1 = flat monitor).
+	MonitorGroups int
+}
+
+// CampaignResult is the aggregate of one campaign.
+type CampaignResult struct {
+	Tally      Tally
+	GoldenTime int64 // simulated cycles of the golden run
+}
+
+// Errors returned by Run.
+var (
+	ErrNoFaults   = errors.New("campaign needs a positive fault count")
+	ErrNoBranches = errors.New("program executed no branches to inject into")
+)
+
+// Run executes the three-step procedure of Section IV: profile, sample,
+// inject.
+func (c Campaign) Run() (*CampaignResult, error) {
+	return c.RunWith(func(f Fault, stepLimit uint64, golden []interp.Value) (Outcome, error) {
+		return c.runOne(f, golden, stepLimit), nil
+	})
+}
+
+// Runner executes one faulty run (under any detector) and classifies it.
+// The golden output is provided for SDC comparison.
+type Runner func(f Fault, stepLimit uint64, golden []interp.Value) (Outcome, error)
+
+// RunWith executes the campaign's profiling and sampling steps but
+// delegates each faulty run to a custom Runner — used to evaluate other
+// detectors (e.g. duplication) under the identical fault distribution.
+func (c Campaign) RunWith(run Runner) (*CampaignResult, error) {
+	if c.Faults < 1 {
+		return nil, ErrNoFaults
+	}
+	stepFactor := c.StepFactor
+	if stepFactor == 0 {
+		stepFactor = 8
+	}
+
+	// Step 1: golden (profiling) run — record per-thread branch counts and
+	// the reference output.
+	golden, err := interp.Run(c.Module, interp.Options{
+		Threads: c.Threads,
+		Seed:    c.Seed0,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("golden run: %w", err)
+	}
+	if !golden.Clean() {
+		return nil, fmt.Errorf("golden run not clean: %v", golden.Traps)
+	}
+	var maxSteps, total uint64
+	for _, n := range golden.BranchCounts {
+		total += n
+		if n > maxSteps {
+			maxSteps = n
+		}
+	}
+	if total == 0 {
+		return nil, ErrNoBranches
+	}
+
+	rng := rand.New(rand.NewSource(c.Seed))
+	res := &CampaignResult{GoldenTime: golden.SimTime}
+	res.Tally.Counts = make(map[Outcome]int)
+
+	stepLimit := sumSteps(golden) * stepFactor
+
+	// Steps 2–3: sample (thread, branch) uniformly over executed branches
+	// and inject one fault per run.
+	for i := 0; i < c.Faults; i++ {
+		f := Fault{
+			Type:   c.Type,
+			Thread: c.pickThread(rng, golden.BranchCounts),
+			Bit:    uint(rng.Intn(31)), // low 31 bits: plausible data faults
+		}
+		f.Seq = 1 + uint64(rng.Int63n(int64(golden.BranchCounts[f.Thread])))
+		out, err := run(f, stepLimit, golden.Output)
+		if err != nil {
+			return nil, fmt.Errorf("fault %d: %w", i, err)
+		}
+		res.Tally.Injected++
+		if out != NotActivated {
+			res.Tally.Activated++
+		}
+		res.Tally.Counts[out]++
+	}
+	return res, nil
+}
+
+// pickThread samples a thread weighted by its executed branch count so
+// every dynamic branch is equally likely (the paper picks j then k; with
+// heterogeneous counts uniform-j would bias toward light threads).
+func (c Campaign) pickThread(rng *rand.Rand, counts []uint64) int {
+	var total uint64
+	for _, n := range counts {
+		total += n
+	}
+	x := uint64(rng.Int63n(int64(total)))
+	for tid, n := range counts {
+		if x < n {
+			return tid
+		}
+		x -= n
+	}
+	return len(counts) - 1
+}
+
+func sumSteps(golden *interp.Result) uint64 {
+	// Use branch counts as a proxy for work; the multiplier makes the
+	// budget generous.
+	var total uint64
+	for _, n := range golden.BranchCounts {
+		total += n
+	}
+	return total * 64
+}
+
+// runOne performs a single faulty run and classifies it.
+func (c Campaign) runOne(f Fault, golden []interp.Value, stepLimit uint64) Outcome {
+	ij := NewSingle(f)
+	mode := interp.MonitorOff
+	if c.Plans != nil {
+		mode = interp.MonitorActive
+	}
+	res, err := interp.Run(c.Module, interp.Options{
+		Threads:       c.Threads,
+		Mode:          mode,
+		Plans:         c.Plans,
+		Fault:         ij,
+		Seed:          c.Seed0,
+		StepLimit:     stepLimit,
+		MonitorGroups: c.MonitorGroups,
+	})
+	if err != nil {
+		return Crash
+	}
+	if !ij.activated {
+		return NotActivated
+	}
+	if res.Detected {
+		return Detected
+	}
+	switch {
+	case res.Crashed():
+		return Crash
+	case res.Hung():
+		return Hang
+	}
+	if !sameOutput(res.Output, golden) {
+		return SDC
+	}
+	return Benign
+}
+
+func sameOutput(a, b []interp.Value) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

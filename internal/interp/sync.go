@@ -1,0 +1,142 @@
+package interp
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// simBarrier is a reusable N-thread barrier that also synchronizes the
+// simulated clocks: all participants leave at
+// max(arrival clocks) + barrier cost. If a thread exits the parallel
+// section (trap or early return) while others wait, the barrier can never
+// complete; the barrier detects this and aborts the machine (the run is
+// then classified as a hang, as it would be on real hardware after a
+// watchdog timeout).
+type simBarrier struct {
+	m    *machine
+	cost int64
+
+	mu         sync.Mutex
+	cond       *sync.Cond
+	need       int
+	arrived    int
+	maxSim     int64
+	gen        uint64
+	releaseSim int64
+}
+
+func newSimBarrier(m *machine, need int, cost int64) *simBarrier {
+	b := &simBarrier{m: m, need: need, cost: cost}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// wait blocks t until all threads arrive, then advances t's simulated
+// clock to the common release time.
+func (b *simBarrier) wait(t *Thread) *Trap {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	gen := b.gen
+	b.arrived++
+	if t.sim > b.maxSim {
+		b.maxSim = t.sim
+	}
+	if b.arrived == b.need {
+		b.releaseSim = b.maxSim + b.cost
+		b.arrived = 0
+		b.maxSim = 0
+		b.gen++
+		t.sim = b.releaseSim
+		b.cond.Broadcast()
+		return nil
+	}
+	for b.gen == gen {
+		if b.m.isAborted() {
+			return &Trap{Thread: t.tid, Kind: TrapAborted, Msg: "machine aborted while in barrier"}
+		}
+		if b.deadlockedLocked() {
+			b.m.abort(&Trap{Thread: t.tid, Kind: TrapDeadlock, Msg: "barrier can never complete"})
+			b.cond.Broadcast()
+			return &Trap{Thread: t.tid, Kind: TrapDeadlock, Msg: "barrier participant missing"}
+		}
+		b.cond.Wait()
+	}
+	t.sim = b.releaseSim
+	return nil
+}
+
+// deadlockedLocked reports whether the barrier is unfillable: fewer live
+// threads remain than the barrier needs. Caller holds b.mu.
+func (b *simBarrier) deadlockedLocked() bool {
+	b.m.mu.Lock()
+	active := b.m.active
+	b.m.mu.Unlock()
+	return active < b.need
+}
+
+// threadGone wakes waiters so they can re-run the deadlock check after a
+// thread exits the parallel section.
+func (b *simBarrier) threadGone() {
+	b.mu.Lock()
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+// lockWaitTimeout bounds how long a thread spins on a program mutex before
+// the run is declared deadlocked (only reachable under injected faults
+// that unbalance lock/unlock pairs).
+const lockWaitTimeout = 5 * time.Second
+
+// acquire takes program lock id, modeling serialization in simulated time:
+// the acquiring thread's clock is pushed past the previous holder's
+// release.
+func (m *machine) acquire(t *Thread, id int64) *Trap {
+	ls := &m.locks[uint64(id)%numLocks]
+	deadline := time.Now().Add(lockWaitTimeout)
+	for !ls.mu.TryLock() {
+		if m.isAborted() {
+			return &Trap{Thread: t.tid, Kind: TrapAborted, Msg: "machine aborted while locking"}
+		}
+		if time.Now().After(deadline) {
+			trap := &Trap{Thread: t.tid, Kind: TrapDeadlock, Msg: "lock wait timeout"}
+			m.abort(trap)
+			m.barrier.threadGone()
+			return trap
+		}
+		runtime.Gosched()
+	}
+	if ls.lastRelease > t.sim {
+		t.sim = ls.lastRelease
+	}
+	t.sim += m.cost.LockAcquire
+	t.held = append(t.held, uint64(id)%numLocks)
+	return nil
+}
+
+// release drops program lock id and publishes the holder's clock.
+func (m *machine) release(t *Thread, id int64) *Trap {
+	slot := uint64(id) % numLocks
+	for i := len(t.held) - 1; i >= 0; i-- {
+		if t.held[i] == slot {
+			t.held = append(t.held[:i], t.held[i+1:]...)
+			ls := &m.locks[slot]
+			ls.lastRelease = t.sim
+			ls.mu.Unlock()
+			return nil
+		}
+	}
+	return &Trap{Thread: t.tid, Kind: TrapInternal, Msg: "unlock of lock not held"}
+}
+
+// releaseAll drops any locks a thread still holds when it leaves the
+// parallel section (possible under injected faults that skip an unlock);
+// without this the whole campaign run would wedge on a poisoned mutex.
+func (m *machine) releaseAll(t *Thread) {
+	for i := len(t.held) - 1; i >= 0; i-- {
+		ls := &m.locks[t.held[i]]
+		ls.lastRelease = t.sim
+		ls.mu.Unlock()
+	}
+	t.held = t.held[:0]
+}

@@ -1,0 +1,68 @@
+// Package interp executes SSA IR modules (package ir) as SPMD programs:
+// one goroutine per program thread running slave() over shared global
+// memory with locks and barriers, playing the role the 32-core x86 machine
+// plays in the paper. Besides real concurrent execution it maintains a
+// simulated-cycle clock per thread (see CostModel) so that the paper's
+// performance-overhead experiments can be reproduced deterministically on
+// any host, and it exposes the instrumentation hooks BLOCKWATCH needs:
+// branch events to the runtime monitor and fault-injection callbacks.
+package interp
+
+import (
+	"math"
+
+	"blockwatch/internal/ir"
+)
+
+// Value is the VM's uniform 64-bit value representation: ints are int64
+// bits, floats are IEEE-754 bits, bools are 0/1.
+type Value = uint64
+
+// IntVal encodes an int64.
+func IntVal(v int64) Value { return uint64(v) }
+
+// FloatVal encodes a float64.
+func FloatVal(v float64) Value { return math.Float64bits(v) }
+
+// BoolVal encodes a bool.
+func BoolVal(v bool) Value {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+// AsInt decodes an int64.
+func AsInt(v Value) int64 { return int64(v) }
+
+// AsFloat decodes a float64.
+func AsFloat(v Value) float64 { return math.Float64frombits(v) }
+
+// AsBool decodes a bool.
+func AsBool(v Value) bool { return v != 0 }
+
+// constBits converts an IR constant to its runtime representation.
+func constBits(c *ir.Const) Value {
+	switch c.Typ {
+	case ir.Int:
+		return IntVal(c.I)
+	case ir.Float:
+		return FloatVal(c.F)
+	case ir.Bool:
+		return BoolVal(c.B)
+	}
+	return 0
+}
+
+// mix64 is the splitmix64 finalizer, used for key and signature hashing.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// hashCombine chains a value into a running hash.
+func hashCombine(h, v uint64) uint64 {
+	return mix64(h ^ mix64(v))
+}

@@ -1,0 +1,256 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildValid constructs a small two-block function by hand:
+//
+//	entry: %v0 = add #1, #2 ; br (%v1 = lt %v0, #5) then else
+//	then:  ret %v0
+//	else:  ret #0
+func buildValid() (*Module, *Func) {
+	m := &Module{MName: "t"}
+	f := &Func{FName: "f", Ret: Int, Mod: m}
+	m.Funcs = append(m.Funcs, f)
+	entry := f.NewBlock("entry")
+	then := f.NewBlock("then")
+	els := f.NewBlock("else")
+
+	add := f.NewInstr(OpAdd, Int, ConstInt(1), ConstInt(2))
+	entry.Append(add)
+	cmp := f.NewInstr(OpLt, Bool, add, ConstInt(5))
+	entry.Append(cmp)
+	br := f.NewInstr(OpBr, Void, cmp)
+	br.Then, br.Else = then, els
+	br.BranchID = 1
+	entry.Append(br)
+	entry.Succs = []*Block{then, els}
+	then.Preds = []*Block{entry}
+	els.Preds = []*Block{entry}
+
+	ret1 := f.NewInstr(OpRet, Void, add)
+	then.Append(ret1)
+	ret2 := f.NewInstr(OpRet, Void, ConstInt(0))
+	els.Append(ret2)
+	return m, f
+}
+
+func TestVerifyAcceptsValid(t *testing.T) {
+	m, _ := buildValid()
+	if err := Verify(m); err != nil {
+		t.Fatalf("valid module rejected: %v", err)
+	}
+}
+
+func TestVerifyRejectsMissingTerminator(t *testing.T) {
+	m, f := buildValid()
+	then := f.Blocks[1]
+	then.Instrs = then.Instrs[:0]
+	add := f.NewInstr(OpAdd, Int, ConstInt(1), ConstInt(1))
+	then.Append(add)
+	if err := Verify(m); err == nil {
+		t.Fatal("block without terminator accepted")
+	}
+}
+
+func TestVerifyRejectsMidBlockTerminator(t *testing.T) {
+	m, f := buildValid()
+	els := f.Blocks[2]
+	extra := f.NewInstr(OpRet, Void, ConstInt(1))
+	els.Instrs = append([]*Instr{extra}, els.Instrs...)
+	extra.Blk = els
+	if err := Verify(m); err == nil {
+		t.Fatal("mid-block terminator accepted")
+	}
+}
+
+func TestVerifyRejectsNonBoolBranch(t *testing.T) {
+	m, f := buildValid()
+	br := f.Blocks[0].Instrs[2]
+	br.Args[0] = ConstInt(3)
+	if err := Verify(m); err == nil {
+		t.Fatal("int-typed branch condition accepted")
+	}
+}
+
+func TestVerifyRejectsEdgeMismatch(t *testing.T) {
+	m, f := buildValid()
+	f.Blocks[1].Preds = nil // break the pred edge
+	if err := Verify(m); err == nil {
+		t.Fatal("missing pred edge accepted")
+	}
+}
+
+func TestVerifyRejectsBadRetType(t *testing.T) {
+	m, f := buildValid()
+	then := f.Blocks[1]
+	then.Instrs[len(then.Instrs)-1].Args = []Value{ConstFloat(1.5)}
+	if err := Verify(m); err == nil {
+		t.Fatal("float return from int function accepted")
+	}
+}
+
+func TestVerifyRejectsPhiArityMismatch(t *testing.T) {
+	m, f := buildValid()
+	// Add a merge block with a malformed phi.
+	merge := f.NewBlock("merge")
+	phi := f.NewInstr(OpPhi, Int, ConstInt(1)) // one arg, but 0 preds
+	phi.PhiPreds = []*Block{f.Blocks[0]}
+	merge.Append(phi)
+	ret := f.NewInstr(OpRet, Void, ConstInt(0))
+	merge.Append(ret)
+	if err := Verify(m); err == nil {
+		t.Fatal("phi with mismatched incoming accepted")
+	}
+}
+
+func TestVerifyRejectsCrossFunctionUse(t *testing.T) {
+	m, f := buildValid()
+	g := &Func{FName: "g", Ret: Void, Mod: m}
+	m.Funcs = append(m.Funcs, g)
+	gb := g.NewBlock("entry")
+	foreign := f.Blocks[0].Instrs[0] // %v0 from f
+	out := g.NewInstr(OpOutput, Void, foreign)
+	gb.Append(out)
+	ret := g.NewInstr(OpRet, Void)
+	gb.Append(ret)
+	if err := Verify(m); err == nil {
+		t.Fatal("cross-function operand accepted")
+	}
+}
+
+func TestVerifyLoadStoreArity(t *testing.T) {
+	m, f := buildValid()
+	g := &Global{GName: "arr", Typ: Int, IsArray: true, ArrayLen: 4}
+	m.Globals = append(m.Globals, g)
+	entry := f.Blocks[0]
+	ld := f.NewInstr(OpLoad, Int) // array load without index
+	ld.Global = g
+	entry.Instrs = append([]*Instr{ld}, entry.Instrs...)
+	ld.Blk = entry
+	if err := Verify(m); err == nil {
+		t.Fatal("array load without index accepted")
+	}
+}
+
+func TestConstValues(t *testing.T) {
+	if c := ConstInt(-7); c.Type() != Int || c.I != -7 || c.Name() != "#-7" {
+		t.Errorf("ConstInt: %+v name=%s", c, c.Name())
+	}
+	if c := ConstFloat(2.5); c.Type() != Float || c.Name() != "#2.5" {
+		t.Errorf("ConstFloat: %+v", c)
+	}
+	if c := ConstBool(true); c.Type() != Bool || c.Name() != "#true" {
+		t.Errorf("ConstBool: %+v", c)
+	}
+}
+
+func TestOpPredicates(t *testing.T) {
+	for _, op := range []Op{OpEq, OpNe, OpLt, OpLe, OpGt, OpGe} {
+		if !op.IsCompare() {
+			t.Errorf("%s.IsCompare() = false", op)
+		}
+	}
+	for _, op := range []Op{OpAdd, OpPhi, OpBr, OpLoad} {
+		if op.IsCompare() {
+			t.Errorf("%s.IsCompare() = true", op)
+		}
+	}
+	for _, op := range []Op{OpBr, OpJmp, OpRet} {
+		if !op.IsTerminator() {
+			t.Errorf("%s.IsTerminator() = false", op)
+		}
+	}
+	if OpAdd.IsTerminator() {
+		t.Error("add is not a terminator")
+	}
+}
+
+func TestModuleAccessors(t *testing.T) {
+	m, f := buildValid()
+	if m.Func("f") != f || m.Func("nope") != nil {
+		t.Error("Func lookup broken")
+	}
+	g := &Global{GName: "x", Typ: Int}
+	m.Globals = append(m.Globals, g)
+	if m.Global("x") != g || m.Global("nope") != nil {
+		t.Error("Global lookup broken")
+	}
+	if brs := m.Branches(); len(brs) != 1 || brs[0].BranchID != 1 {
+		t.Errorf("Branches() = %v", brs)
+	}
+	if f.NumInstrs() != 5 {
+		t.Errorf("NumInstrs = %d, want 5", f.NumInstrs())
+	}
+	if f.NumValues() < 5 {
+		t.Errorf("NumValues = %d", f.NumValues())
+	}
+	if f.Entry() != f.Blocks[0] {
+		t.Error("Entry broken")
+	}
+}
+
+func TestPrinterCoversOps(t *testing.T) {
+	m, _ := buildValid()
+	s := m.String()
+	for _, want := range []string{"module t", "func int f", "add #1, #2", "lt", "br", "ret"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("dump missing %q in:\n%s", want, s)
+		}
+	}
+	// Instruction-level printing of special forms.
+	f := m.Funcs[0]
+	g := &Global{GName: "arr", Typ: Int, IsArray: true, ArrayLen: 4}
+	ld := f.NewInstr(OpLoad, Int, ConstInt(2))
+	ld.Global = g
+	if got := ld.String(); !strings.Contains(got, "@arr[#2]") {
+		t.Errorf("load print = %q", got)
+	}
+	st := f.NewInstr(OpStore, Void, ConstInt(2), ConstInt(9))
+	st.Global = g
+	if got := st.String(); !strings.Contains(got, "@arr[#2] <- #9") {
+		t.Errorf("store print = %q", got)
+	}
+	call := f.NewInstr(OpCall, Int, ConstInt(1))
+	call.Callee = "helper"
+	call.CallSiteID = 3
+	if got := call.String(); !strings.Contains(got, "helper/site3(#1)") {
+		t.Errorf("call print = %q", got)
+	}
+	bi := f.NewInstr(OpBuiltin, Int)
+	bi.Builtin = "tid"
+	if got := bi.String(); !strings.Contains(got, "tid()") {
+		t.Errorf("builtin print = %q", got)
+	}
+	lp := f.NewInstr(OpLoopPush, Void)
+	lp.LoopID = 7
+	if got := lp.String(); !strings.Contains(got, "loop#7") {
+		t.Errorf("loop print = %q", got)
+	}
+}
+
+func TestInsertBefore(t *testing.T) {
+	_, f := buildValid()
+	entry := f.Blocks[0]
+	neu := f.NewInstr(OpOutput, Void, ConstInt(1))
+	entry.InsertBefore(neu, entry.Instrs[1])
+	if entry.Instrs[1] != neu {
+		t.Fatal("InsertBefore placed instruction wrongly")
+	}
+	if neu.Blk != entry {
+		t.Fatal("InsertBefore did not set Blk")
+	}
+}
+
+func TestTerminatorAccessor(t *testing.T) {
+	_, f := buildValid()
+	if term := f.Blocks[0].Terminator(); term == nil || term.Op != OpBr {
+		t.Errorf("Terminator = %v", term)
+	}
+	empty := f.NewBlock("empty")
+	if empty.Terminator() != nil {
+		t.Error("empty block has terminator")
+	}
+}

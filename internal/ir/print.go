@@ -1,0 +1,126 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the module as readable textual IR (for tests and the bwc
+// -dump flag). The format is stable enough for golden tests but is not a
+// parseable serialization.
+func (m *Module) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "module %s\n", m.MName)
+	for _, g := range m.Globals {
+		if g.IsArray {
+			fmt.Fprintf(&sb, "global %s %s[%d]\n", g.Typ, g.GName, g.ArrayLen)
+		} else {
+			fmt.Fprintf(&sb, "global %s %s\n", g.Typ, g.GName)
+		}
+	}
+	for _, f := range m.Funcs {
+		sb.WriteString(f.String())
+	}
+	return sb.String()
+}
+
+// String renders the function as textual IR.
+func (f *Func) String() string {
+	var sb strings.Builder
+	var params []string
+	for _, p := range f.Params {
+		params = append(params, fmt.Sprintf("%s %s", p.Typ, p.PName))
+	}
+	fmt.Fprintf(&sb, "\nfunc %s %s(%s) {\n", f.Ret, f.FName, strings.Join(params, ", "))
+	for _, b := range f.Blocks {
+		var preds []string
+		for _, p := range b.Preds {
+			preds = append(preds, p.Name())
+		}
+		fmt.Fprintf(&sb, "%s:", b.Name())
+		if len(preds) > 0 {
+			fmt.Fprintf(&sb, "  ; preds: %s", strings.Join(preds, ", "))
+		}
+		sb.WriteByte('\n')
+		for _, in := range b.Instrs {
+			fmt.Fprintf(&sb, "  %s\n", in.String())
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// String renders one instruction.
+func (in *Instr) String() string {
+	var sb strings.Builder
+	if in.Typ != Void {
+		fmt.Fprintf(&sb, "%s = ", in.Name())
+	}
+	sb.WriteString(in.Op.String())
+	switch in.Op {
+	case OpLoad:
+		fmt.Fprintf(&sb, " %s", in.Global.Name())
+		if len(in.Args) > 0 {
+			fmt.Fprintf(&sb, "[%s]", in.Args[0].Name())
+		}
+	case OpStore:
+		fmt.Fprintf(&sb, " %s", in.Global.Name())
+		if len(in.Args) == 2 {
+			fmt.Fprintf(&sb, "[%s] <- %s", in.Args[0].Name(), in.Args[1].Name())
+		} else {
+			fmt.Fprintf(&sb, " <- %s", in.Args[0].Name())
+		}
+	case OpPhi:
+		for i, a := range in.Args {
+			if i > 0 {
+				sb.WriteString(",")
+			}
+			fmt.Fprintf(&sb, " [%s, %s]", a.Name(), in.PhiPreds[i].Name())
+		}
+	case OpCall:
+		fmt.Fprintf(&sb, " %s/site%d(", in.Callee, in.CallSiteID)
+		for i, a := range in.Args {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(a.Name())
+		}
+		sb.WriteString(")")
+	case OpBuiltin:
+		fmt.Fprintf(&sb, " %s(", in.Builtin)
+		for i, a := range in.Args {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(a.Name())
+		}
+		sb.WriteString(")")
+	case OpBr:
+		fmt.Fprintf(&sb, " %s ? %s : %s", in.Args[0].Name(), in.Then.Name(), in.Else.Name())
+		if in.BranchID > 0 {
+			fmt.Fprintf(&sb, "  ; branch#%d", in.BranchID)
+			if in.IsLoopBr {
+				sb.WriteString(" loop")
+			}
+			if in.InCritical {
+				sb.WriteString(" critical")
+			}
+		}
+	case OpJmp:
+		fmt.Fprintf(&sb, " %s", in.Then.Name())
+	case OpRet:
+		if len(in.Args) > 0 {
+			fmt.Fprintf(&sb, " %s", in.Args[0].Name())
+		}
+	case OpLoopPush, OpLoopInc, OpLoopPop:
+		fmt.Fprintf(&sb, " loop#%d", in.LoopID)
+	default:
+		for i, a := range in.Args {
+			if i > 0 {
+				sb.WriteString(",")
+			}
+			fmt.Fprintf(&sb, " %s", a.Name())
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,187 @@
+package ir
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrInvalidIR is wrapped by every verification failure.
+var ErrInvalidIR = errors.New("invalid IR")
+
+// Verify checks structural invariants of the module:
+//
+//   - every block ends in exactly one terminator and has no terminator
+//     mid-block;
+//   - Preds/Succs edges are mutually consistent with Br/Jmp targets;
+//   - phi instructions appear first in their block and have one incoming
+//     value per predecessor (matching order);
+//   - instruction operands that are *Instr belong to the same function;
+//   - Br conditions are bool-typed; Ret types match the function signature;
+//   - load/store index presence matches the global's arrayness.
+func Verify(m *Module) error {
+	for _, f := range m.Funcs {
+		if err := verifyFunc(f); err != nil {
+			return fmt.Errorf("%w: func %s: %w", ErrInvalidIR, f.FName, err)
+		}
+	}
+	return nil
+}
+
+func verifyFunc(f *Func) error {
+	if len(f.Blocks) == 0 {
+		return errors.New("no blocks")
+	}
+	own := make(map[*Instr]bool, f.NumInstrs())
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			own[in] = true
+		}
+	}
+	for _, b := range f.Blocks {
+		if len(b.Instrs) == 0 {
+			return fmt.Errorf("block %s is empty", b.Name())
+		}
+		term := b.Instrs[len(b.Instrs)-1]
+		if !term.Op.IsTerminator() {
+			return fmt.Errorf("block %s does not end in a terminator", b.Name())
+		}
+		seenNonPhi := false
+		for i, in := range b.Instrs {
+			if in.Op.IsTerminator() && i != len(b.Instrs)-1 {
+				return fmt.Errorf("block %s has terminator mid-block", b.Name())
+			}
+			if in.Op == OpPhi {
+				if seenNonPhi {
+					return fmt.Errorf("block %s: phi %s after non-phi", b.Name(), in.Name())
+				}
+			} else {
+				seenNonPhi = true
+			}
+			if in.Blk != b {
+				return fmt.Errorf("instr %s has wrong Blk pointer", in.Name())
+			}
+			for _, a := range in.Args {
+				if ai, ok := a.(*Instr); ok && !own[ai] {
+					return fmt.Errorf("instr %s uses %s from another function", in.Name(), ai.Name())
+				}
+			}
+			if err := verifyInstr(f, b, in); err != nil {
+				return err
+			}
+		}
+		// Edge consistency.
+		var wantSuccs []*Block
+		switch term.Op {
+		case OpBr:
+			wantSuccs = []*Block{term.Then, term.Else}
+		case OpJmp:
+			wantSuccs = []*Block{term.Then}
+		}
+		if len(wantSuccs) != len(b.Succs) {
+			return fmt.Errorf("block %s: succ count %d != terminator targets %d",
+				b.Name(), len(b.Succs), len(wantSuccs))
+		}
+		for i, s := range wantSuccs {
+			if b.Succs[i] != s {
+				return fmt.Errorf("block %s: succ %d mismatch", b.Name(), i)
+			}
+			if !containsBlock(s.Preds, b) {
+				return fmt.Errorf("block %s missing from preds of %s", b.Name(), s.Name())
+			}
+		}
+	}
+	for _, b := range f.Blocks {
+		for _, p := range b.Preds {
+			if !containsBlock(p.Succs, b) {
+				return fmt.Errorf("pred edge %s->%s not mirrored in succs", p.Name(), b.Name())
+			}
+		}
+	}
+	return nil
+}
+
+func verifyInstr(f *Func, b *Block, in *Instr) error {
+	switch in.Op {
+	case OpPhi:
+		if len(in.Args) != len(in.PhiPreds) {
+			return fmt.Errorf("phi %s: %d args vs %d preds", in.Name(), len(in.Args), len(in.PhiPreds))
+		}
+		if len(in.Args) != len(b.Preds) {
+			return fmt.Errorf("phi %s in %s: %d incoming vs %d block preds",
+				in.Name(), b.Name(), len(in.Args), len(b.Preds))
+		}
+		for i, p := range in.PhiPreds {
+			if b.Preds[i] != p {
+				return fmt.Errorf("phi %s incoming %d block mismatch", in.Name(), i)
+			}
+		}
+	case OpBr:
+		if len(in.Args) != 1 || in.Args[0].Type() != Bool {
+			return fmt.Errorf("br %s: condition must be a single bool", in.Name())
+		}
+		if in.Then == nil || in.Else == nil {
+			return fmt.Errorf("br %s: missing target", in.Name())
+		}
+	case OpJmp:
+		if in.Then == nil {
+			return errors.New("jmp: missing target")
+		}
+	case OpRet:
+		if f.Ret == Void {
+			if len(in.Args) != 0 {
+				return errors.New("ret with value in void function")
+			}
+		} else {
+			if len(in.Args) != 1 {
+				return errors.New("ret without value in non-void function")
+			}
+			if in.Args[0].Type() != f.Ret {
+				return fmt.Errorf("ret type %s != function type %s", in.Args[0].Type(), f.Ret)
+			}
+		}
+	case OpLoad:
+		if in.Global == nil {
+			return errors.New("load without global")
+		}
+		if in.Global.IsArray != (len(in.Args) == 1) {
+			return fmt.Errorf("load %s: index arity mismatch", in.Global.GName)
+		}
+	case OpStore:
+		if in.Global == nil {
+			return errors.New("store without global")
+		}
+		want := 1
+		if in.Global.IsArray {
+			want = 2
+		}
+		if len(in.Args) != want {
+			return fmt.Errorf("store %s: arg arity %d, want %d", in.Global.GName, len(in.Args), want)
+		}
+	case OpDiv, OpRem, OpAdd, OpSub, OpMul:
+		if len(in.Args) != 2 {
+			return fmt.Errorf("%s: want 2 args", in.Op)
+		}
+	case OpNeg, OpNot, OpI2F, OpF2I:
+		if len(in.Args) != 1 {
+			return fmt.Errorf("%s: want 1 arg", in.Op)
+		}
+	}
+	if in.Op.IsCompare() {
+		if len(in.Args) != 2 {
+			return fmt.Errorf("%s: want 2 args", in.Op)
+		}
+		if in.Typ != Bool {
+			return fmt.Errorf("%s: result must be bool", in.Op)
+		}
+	}
+	return nil
+}
+
+func containsBlock(s []*Block, b *Block) bool {
+	for _, x := range s {
+		if x == b {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,310 @@
+package lang
+
+// Type is a MiniC value type.
+type Type int
+
+// MiniC value types.
+const (
+	TypeInt Type = iota + 1
+	TypeFloat
+	TypeBool
+	TypeVoid
+)
+
+// String returns the MiniC spelling of the type.
+func (t Type) String() string {
+	switch t {
+	case TypeInt:
+		return "int"
+	case TypeFloat:
+		return "float"
+	case TypeBool:
+		return "bool"
+	case TypeVoid:
+		return "void"
+	}
+	return "invalid"
+}
+
+// Program is a parsed MiniC compilation unit.
+type Program struct {
+	Globals []*GlobalDecl
+	Funcs   []*FuncDecl
+}
+
+// Func returns the declared function with the given name, or nil.
+func (p *Program) Func(name string) *FuncDecl {
+	for _, f := range p.Funcs {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// GlobalDecl declares a shared global scalar or array.
+//
+//	global int n;
+//	global float grid[4096];
+type GlobalDecl struct {
+	Pos      Pos
+	Name     string
+	Type     Type
+	IsArray  bool
+	ArrayLen int64
+}
+
+// Param is a function parameter.
+type Param struct {
+	Pos  Pos
+	Name string
+	Type Type
+}
+
+// FuncDecl declares a function.
+//
+//	func int foo(int a, float b) { ... }
+type FuncDecl struct {
+	Pos    Pos
+	Name   string
+	Ret    Type
+	Params []Param
+	Body   *BlockStmt
+}
+
+// Stmt is a MiniC statement node.
+type Stmt interface {
+	stmtNode()
+	StartPos() Pos
+}
+
+// Expr is a MiniC expression node.
+type Expr interface {
+	exprNode()
+	StartPos() Pos
+}
+
+// BlockStmt is a brace-delimited statement list.
+type BlockStmt struct {
+	Pos   Pos
+	Stmts []Stmt
+}
+
+// VarDeclStmt declares (and optionally initializes) a local variable.
+type VarDeclStmt struct {
+	Pos  Pos
+	Name string
+	Type Type
+	Init Expr // may be nil
+}
+
+// AssignStmt assigns to a local variable, a global scalar, or an array slot.
+type AssignStmt struct {
+	Pos   Pos
+	Name  string
+	Index Expr // non-nil for array element assignment
+	Value Expr
+}
+
+// IfStmt is an if/else statement.
+type IfStmt struct {
+	Pos  Pos
+	Cond Expr
+	Then *BlockStmt
+	Else *BlockStmt // may be nil
+}
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	Pos  Pos
+	Cond Expr
+	Body *BlockStmt
+}
+
+// ForStmt is a C-style for loop. Init and Post may be nil; Cond defaults to
+// true when nil.
+type ForStmt struct {
+	Pos  Pos
+	Init Stmt
+	Cond Expr
+	Post Stmt
+	Body *BlockStmt
+}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{ Pos Pos }
+
+// ContinueStmt jumps to the innermost loop's post/condition.
+type ContinueStmt struct{ Pos Pos }
+
+// ReturnStmt returns from the current function.
+type ReturnStmt struct {
+	Pos   Pos
+	Value Expr // nil for void return
+}
+
+// ExprStmt evaluates an expression for effect (calls).
+type ExprStmt struct {
+	Pos Pos
+	X   Expr
+}
+
+func (*BlockStmt) stmtNode()    {}
+func (*VarDeclStmt) stmtNode()  {}
+func (*AssignStmt) stmtNode()   {}
+func (*IfStmt) stmtNode()       {}
+func (*WhileStmt) stmtNode()    {}
+func (*ForStmt) stmtNode()      {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+func (*ReturnStmt) stmtNode()   {}
+func (*ExprStmt) stmtNode()     {}
+
+// StartPos returns the statement's source position.
+func (s *BlockStmt) StartPos() Pos { return s.Pos }
+
+// StartPos returns the statement's source position.
+func (s *VarDeclStmt) StartPos() Pos { return s.Pos }
+
+// StartPos returns the statement's source position.
+func (s *AssignStmt) StartPos() Pos { return s.Pos }
+
+// StartPos returns the statement's source position.
+func (s *IfStmt) StartPos() Pos { return s.Pos }
+
+// StartPos returns the statement's source position.
+func (s *WhileStmt) StartPos() Pos { return s.Pos }
+
+// StartPos returns the statement's source position.
+func (s *ForStmt) StartPos() Pos { return s.Pos }
+
+// StartPos returns the statement's source position.
+func (s *BreakStmt) StartPos() Pos { return s.Pos }
+
+// StartPos returns the statement's source position.
+func (s *ContinueStmt) StartPos() Pos { return s.Pos }
+
+// StartPos returns the statement's source position.
+func (s *ReturnStmt) StartPos() Pos { return s.Pos }
+
+// StartPos returns the statement's source position.
+func (s *ExprStmt) StartPos() Pos { return s.Pos }
+
+// IntLit is an integer literal.
+type IntLit struct {
+	Pos   Pos
+	Value int64
+}
+
+// FloatLit is a floating-point literal.
+type FloatLit struct {
+	Pos   Pos
+	Value float64
+}
+
+// BoolLit is true or false.
+type BoolLit struct {
+	Pos   Pos
+	Value bool
+}
+
+// Ident references a local variable, parameter, or global scalar.
+type Ident struct {
+	Pos  Pos
+	Name string
+}
+
+// IndexExpr reads an element of a global array.
+type IndexExpr struct {
+	Pos   Pos
+	Name  string
+	Index Expr
+}
+
+// UnaryExpr is -x or !x.
+type UnaryExpr struct {
+	Pos Pos
+	Op  Kind // Minus or Not
+	X   Expr
+}
+
+// BinaryExpr is a binary arithmetic, comparison, or logical expression.
+// && and || are short-circuiting and lower to control flow.
+type BinaryExpr struct {
+	Pos  Pos
+	Op   Kind
+	L, R Expr
+}
+
+// CallExpr calls a declared function or a builtin.
+type CallExpr struct {
+	Pos  Pos
+	Name string
+	Args []Expr
+}
+
+func (*IntLit) exprNode()     {}
+func (*FloatLit) exprNode()   {}
+func (*BoolLit) exprNode()    {}
+func (*Ident) exprNode()      {}
+func (*IndexExpr) exprNode()  {}
+func (*UnaryExpr) exprNode()  {}
+func (*BinaryExpr) exprNode() {}
+func (*CallExpr) exprNode()   {}
+
+// StartPos returns the expression's source position.
+func (e *IntLit) StartPos() Pos { return e.Pos }
+
+// StartPos returns the expression's source position.
+func (e *FloatLit) StartPos() Pos { return e.Pos }
+
+// StartPos returns the expression's source position.
+func (e *BoolLit) StartPos() Pos { return e.Pos }
+
+// StartPos returns the expression's source position.
+func (e *Ident) StartPos() Pos { return e.Pos }
+
+// StartPos returns the expression's source position.
+func (e *IndexExpr) StartPos() Pos { return e.Pos }
+
+// StartPos returns the expression's source position.
+func (e *UnaryExpr) StartPos() Pos { return e.Pos }
+
+// StartPos returns the expression's source position.
+func (e *BinaryExpr) StartPos() Pos { return e.Pos }
+
+// StartPos returns the expression's source position.
+func (e *CallExpr) StartPos() Pos { return e.Pos }
+
+// Builtins lists the MiniC builtin functions. The lowering phase maps these
+// to dedicated IR instructions or runtime intrinsics.
+var Builtins = map[string]struct {
+	Ret    Type
+	Arity  int
+	ArgTyp Type // homogeneous argument type; TypeVoid means "any numeric"
+}{
+	"tid":      {Ret: TypeInt, Arity: 0},
+	"nthreads": {Ret: TypeInt, Arity: 0},
+	"lock":     {Ret: TypeVoid, Arity: 1, ArgTyp: TypeInt},
+	"unlock":   {Ret: TypeVoid, Arity: 1, ArgTyp: TypeInt},
+	"barrier":  {Ret: TypeVoid, Arity: 0},
+	"output":   {Ret: TypeVoid, Arity: 1, ArgTyp: TypeVoid},
+	"outputf":  {Ret: TypeVoid, Arity: 1, ArgTyp: TypeFloat},
+	"abs":      {Ret: TypeInt, Arity: 1, ArgTyp: TypeInt},
+	"fabs":     {Ret: TypeFloat, Arity: 1, ArgTyp: TypeFloat},
+	"min":      {Ret: TypeInt, Arity: 2, ArgTyp: TypeInt},
+	"max":      {Ret: TypeInt, Arity: 2, ArgTyp: TypeInt},
+	"sqrt":     {Ret: TypeFloat, Arity: 1, ArgTyp: TypeFloat},
+	"sin":      {Ret: TypeFloat, Arity: 1, ArgTyp: TypeFloat},
+	"cos":      {Ret: TypeFloat, Arity: 1, ArgTyp: TypeFloat},
+	"exp":      {Ret: TypeFloat, Arity: 1, ArgTyp: TypeFloat},
+	"itof":     {Ret: TypeFloat, Arity: 1, ArgTyp: TypeInt},
+	"ftoi":     {Ret: TypeInt, Arity: 1, ArgTyp: TypeFloat},
+	"rnd":      {Ret: TypeInt, Arity: 0},
+}
+
+// IsBuiltin reports whether name is a MiniC builtin.
+func IsBuiltin(name string) bool {
+	_, ok := Builtins[name]
+	return ok
+}

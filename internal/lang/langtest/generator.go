@@ -1,0 +1,256 @@
+// Package langtest generates random — but well-formed, terminating, and
+// race-free — MiniC SPMD programs for property-based testing of the whole
+// stack: parser/lowering round-trips, SSA verification, interpreter
+// determinism, analysis monotonicity, and the zero-false-positive
+// property of the runtime checks.
+package langtest
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Options bounds the generated program's shape.
+type Options struct {
+	// MaxStmts bounds the top-level statement count of slave().
+	MaxStmts int
+	// MaxDepth bounds control-flow nesting.
+	MaxDepth int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxStmts == 0 {
+		o.MaxStmts = 8
+	}
+	if o.MaxDepth == 0 {
+		o.MaxDepth = 3
+	}
+	return o
+}
+
+// Generate produces a random MiniC program. The same seed yields the same
+// program. Guarantees:
+//
+//   - it parses, lowers, and verifies;
+//   - slave() terminates (all loops have bounded trip counts);
+//   - slave() writes shared memory only through a dedicated array indexed
+//     by tid() whose other slots it never reads, so the program is
+//     race-free and deterministic;
+//   - barriers appear only at nesting depth zero, so every thread executes
+//     the same barrier sequence.
+func Generate(seed int64, opts Options) string {
+	opts = opts.withDefaults()
+	g := &gen{
+		rng:  rand.New(rand.NewSource(seed)),
+		opts: opts,
+	}
+	return g.program()
+}
+
+type gen struct {
+	rng    *rand.Rand
+	opts   Options
+	sb     strings.Builder
+	indent int
+
+	scalars []string // shared int scalars, set in setup to small values
+	arrays  []string // shared int arrays, READ-ONLY in slave()
+	locals  []string // readable slave locals (int)
+	// assignable excludes loop counters (reassigning one could make its
+	// loop unbounded) and `me` (gw[me] disjointness depends on it).
+	assignable []string
+	nLocal     int
+	nLoop      int
+}
+
+func (g *gen) emit(format string, args ...any) {
+	g.sb.WriteString(strings.Repeat("\t", g.indent))
+	fmt.Fprintf(&g.sb, format, args...)
+	g.sb.WriteByte('\n')
+}
+
+func (g *gen) program() string {
+	nScalars := 2 + g.rng.Intn(3)
+	for i := 0; i < nScalars; i++ {
+		g.scalars = append(g.scalars, fmt.Sprintf("gs%d", i))
+	}
+	nArrays := 1 + g.rng.Intn(2)
+	for i := 0; i < nArrays; i++ {
+		g.arrays = append(g.arrays, fmt.Sprintf("ga%d", i))
+	}
+	for _, s := range g.scalars {
+		g.emit("global int %s;", s)
+	}
+	for _, a := range g.arrays {
+		g.emit("global int %s[64];", a)
+	}
+	g.emit("global int gw[64];") // slave-written, thread-disjoint
+
+	// setup(): deterministic small values.
+	g.emit("func void setup() {")
+	g.indent++
+	g.emit("int i;")
+	for _, s := range g.scalars {
+		g.emit("%s = %d;", s, 1+g.rng.Intn(7)) // 1..7: safe loop bounds, no div-by-zero
+	}
+	for _, a := range g.arrays {
+		g.emit("for (i = 0; i < 64; i = i + 1) {")
+		g.indent++
+		g.emit("%s[i] = rnd() %% 100;", a)
+		g.indent--
+		g.emit("}")
+	}
+	g.indent--
+	g.emit("}")
+
+	// slave().
+	g.emit("func void slave() {")
+	g.indent++
+	g.emit("int me = tid();")
+	g.locals = append(g.locals, "me")
+	n := 2 + g.rng.Intn(g.opts.MaxStmts)
+	for i := 0; i < n; i++ {
+		g.stmt(0)
+	}
+	g.emit("output(%s);", g.expr(2))
+	g.indent--
+	g.emit("}")
+	return g.sb.String()
+}
+
+func (g *gen) stmt(depth int) {
+	choice := g.rng.Intn(10)
+	switch {
+	case choice < 2 && depth == 0:
+		g.emit("barrier();")
+	case choice < 4:
+		// New local.
+		name := fmt.Sprintf("v%d", g.nLocal)
+		g.nLocal++
+		g.emit("int %s = %s;", name, g.expr(2))
+		g.locals = append(g.locals, name)
+		g.assignable = append(g.assignable, name)
+	case choice < 6 && depth < g.opts.MaxDepth:
+		g.loop(depth)
+	case choice < 8 && depth < g.opts.MaxDepth:
+		g.ifStmt(depth)
+	case choice < 9 && len(g.assignable) > 0:
+		// Reassign an existing plain local.
+		name := g.assignable[g.rng.Intn(len(g.assignable))]
+		g.emit("%s = %s;", name, g.expr(2))
+	default:
+		// Thread-disjoint shared write: own slot of the write array.
+		g.emit("gw[me] = %s;", g.expr(2))
+	}
+}
+
+func (g *gen) loop(depth int) {
+	ctr := fmt.Sprintf("k%d", g.nLoop)
+	g.nLoop++
+	var bound string
+	if g.rng.Intn(2) == 0 {
+		bound = fmt.Sprintf("%d", 1+g.rng.Intn(6))
+	} else {
+		bound = g.scalars[g.rng.Intn(len(g.scalars))] // 1..7 by construction
+	}
+	g.emit("int %s;", ctr)
+	g.emit("for (%s = 0; %s < %s; %s = %s + 1) {", ctr, ctr, bound, ctr, ctr)
+	g.indent++
+	g.locals = append(g.locals, ctr)
+	for i := 0; i < 1+g.rng.Intn(3); i++ {
+		g.stmt(depth + 1)
+	}
+	g.indent--
+	g.emit("}")
+}
+
+func (g *gen) ifStmt(depth int) {
+	g.emit("if (%s) {", g.cond())
+	g.indent++
+	for i := 0; i < 1+g.rng.Intn(2); i++ {
+		g.stmt(depth + 1)
+	}
+	g.indent--
+	if g.rng.Intn(2) == 0 {
+		g.emit("} else {")
+		g.indent++
+		for i := 0; i < 1+g.rng.Intn(2); i++ {
+			g.stmt(depth + 1)
+		}
+		g.indent--
+	}
+	g.emit("}")
+}
+
+func (g *gen) cond() string {
+	ops := []string{"==", "!=", "<", "<=", ">", ">="}
+	c := fmt.Sprintf("%s %s %s", g.expr(1), ops[g.rng.Intn(len(ops))], g.expr(1))
+	if g.rng.Intn(4) == 0 {
+		join := "&&"
+		if g.rng.Intn(2) == 0 {
+			join = "||"
+		}
+		c = fmt.Sprintf("%s %s %s %s %s", c, join, g.expr(1), ops[g.rng.Intn(len(ops))], g.expr(1))
+	}
+	return c
+}
+
+// expr emits an int expression. Division and modulo only use positive
+// constant divisors so no run can trap.
+func (g *gen) expr(depth int) string {
+	if depth <= 0 {
+		return g.atom()
+	}
+	switch g.rng.Intn(6) {
+	case 0:
+		return g.atom()
+	case 1:
+		return fmt.Sprintf("(%s + %s)", g.expr(depth-1), g.expr(depth-1))
+	case 2:
+		return fmt.Sprintf("(%s - %s)", g.expr(depth-1), g.expr(depth-1))
+	case 3:
+		return fmt.Sprintf("(%s * %d)", g.expr(depth-1), 1+g.rng.Intn(4))
+	case 4:
+		return fmt.Sprintf("(%s %% %d)", g.expr(depth-1), 1+g.rng.Intn(9))
+	default:
+		return fmt.Sprintf("(%s / %d)", g.expr(depth-1), 1+g.rng.Intn(9))
+	}
+}
+
+func (g *gen) atom() string {
+	switch g.rng.Intn(6) {
+	case 0:
+		return fmt.Sprintf("%d", g.rng.Intn(20))
+	case 1:
+		return g.scalars[g.rng.Intn(len(g.scalars))]
+	case 2:
+		// Read-only array at any safe index, or the write array at the
+		// thread's own (race-free) slot.
+		if g.rng.Intn(4) == 0 {
+			return "gw[me]"
+		}
+		arr := g.arrays[g.rng.Intn(len(g.arrays))]
+		switch g.rng.Intn(3) {
+		case 0:
+			return fmt.Sprintf("%s[me]", arr)
+		case 1:
+			return fmt.Sprintf("%s[%d]", arr, g.rng.Intn(64))
+		default:
+			return fmt.Sprintf("%s[abs(%s) %% 64]", arr, g.localOr("me"))
+		}
+	case 3:
+		return "tid()"
+	case 4:
+		return "nthreads()"
+	default:
+		return g.localOr("me")
+	}
+}
+
+func (g *gen) localOr(fallback string) string {
+	if len(g.locals) == 0 {
+		return fallback
+	}
+	return g.locals[g.rng.Intn(len(g.locals))]
+}

@@ -1,0 +1,236 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// SyntaxError describes a lexical or parse failure with its position.
+type SyntaxError struct {
+	Pos Pos
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *SyntaxError) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// Lexer tokenizes MiniC source text.
+type Lexer struct {
+	src  []rune
+	off  int
+	line int
+	col  int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: []rune(src), line: 1, col: 1}
+}
+
+// Lex tokenizes the whole input, returning the token stream terminated by an
+// EOF token.
+func Lex(src string) ([]Token, error) {
+	lx := NewLexer(src)
+	var toks []Token
+	for {
+		tok, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, tok)
+		if tok.Kind == EOF {
+			return toks, nil
+		}
+	}
+}
+
+func (l *Lexer) peek() rune {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *Lexer) peek2() rune {
+	if l.off+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+1]
+}
+
+func (l *Lexer) advance() rune {
+	r := l.src[l.off]
+	l.off++
+	if r == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return r
+}
+
+func (l *Lexer) skipSpaceAndComments() error {
+	for l.off < len(l.src) {
+		r := l.peek()
+		switch {
+		case unicode.IsSpace(r):
+			l.advance()
+		case r == '/' && l.peek2() == '/':
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case r == '/' && l.peek2() == '*':
+			start := l.pos()
+			l.advance()
+			l.advance()
+			closed := false
+			for l.off < len(l.src) {
+				if l.peek() == '*' && l.peek2() == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				return &SyntaxError{Pos: start, Msg: "unterminated block comment"}
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func (l *Lexer) pos() Pos { return Pos{Line: l.line, Col: l.col} }
+
+// Next returns the next token in the stream.
+func (l *Lexer) Next() (Token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	start := l.pos()
+	if l.off >= len(l.src) {
+		return Token{Kind: EOF, Pos: start}, nil
+	}
+	r := l.peek()
+	switch {
+	case unicode.IsLetter(r) || r == '_':
+		return l.lexIdent(start), nil
+	case unicode.IsDigit(r):
+		return l.lexNumber(start)
+	}
+	l.advance()
+	two := func(second rune, both, single Kind) Token {
+		if l.peek() == second {
+			l.advance()
+			return Token{Kind: both, Text: kindNames[both], Pos: start}
+		}
+		return Token{Kind: single, Text: kindNames[single], Pos: start}
+	}
+	switch r {
+	case '(':
+		return Token{Kind: LParen, Text: "(", Pos: start}, nil
+	case ')':
+		return Token{Kind: RParen, Text: ")", Pos: start}, nil
+	case '{':
+		return Token{Kind: LBrace, Text: "{", Pos: start}, nil
+	case '}':
+		return Token{Kind: RBrace, Text: "}", Pos: start}, nil
+	case '[':
+		return Token{Kind: LBracket, Text: "[", Pos: start}, nil
+	case ']':
+		return Token{Kind: RBracket, Text: "]", Pos: start}, nil
+	case ',':
+		return Token{Kind: Comma, Text: ",", Pos: start}, nil
+	case ';':
+		return Token{Kind: Semicolon, Text: ";", Pos: start}, nil
+	case '+':
+		return Token{Kind: Plus, Text: "+", Pos: start}, nil
+	case '-':
+		return Token{Kind: Minus, Text: "-", Pos: start}, nil
+	case '*':
+		return Token{Kind: Star, Text: "*", Pos: start}, nil
+	case '/':
+		return Token{Kind: Slash, Text: "/", Pos: start}, nil
+	case '%':
+		return Token{Kind: Percent, Text: "%", Pos: start}, nil
+	case '=':
+		return two('=', Eq, Assign), nil
+	case '!':
+		return two('=', Ne, Not), nil
+	case '<':
+		return two('=', Le, Lt), nil
+	case '>':
+		return two('=', Ge, Gt), nil
+	case '&':
+		if l.peek() == '&' {
+			l.advance()
+			return Token{Kind: AndAnd, Text: "&&", Pos: start}, nil
+		}
+		return Token{}, &SyntaxError{Pos: start, Msg: "expected && after &"}
+	case '|':
+		if l.peek() == '|' {
+			l.advance()
+			return Token{Kind: OrOr, Text: "||", Pos: start}, nil
+		}
+		return Token{}, &SyntaxError{Pos: start, Msg: "expected || after |"}
+	}
+	return Token{}, &SyntaxError{Pos: start, Msg: fmt.Sprintf("unexpected character %q", r)}
+}
+
+func (l *Lexer) lexIdent(start Pos) Token {
+	var sb strings.Builder
+	for l.off < len(l.src) {
+		r := l.peek()
+		if !unicode.IsLetter(r) && !unicode.IsDigit(r) && r != '_' {
+			break
+		}
+		sb.WriteRune(l.advance())
+	}
+	text := sb.String()
+	if kw, ok := keywords[text]; ok {
+		return Token{Kind: kw, Text: text, Pos: start}
+	}
+	return Token{Kind: IDENT, Text: text, Pos: start}
+}
+
+func (l *Lexer) lexNumber(start Pos) (Token, error) {
+	var sb strings.Builder
+	isFloat := false
+	for l.off < len(l.src) {
+		r := l.peek()
+		if unicode.IsDigit(r) {
+			sb.WriteRune(l.advance())
+			continue
+		}
+		if r == '.' && !isFloat && unicode.IsDigit(l.peek2()) {
+			isFloat = true
+			sb.WriteRune(l.advance())
+			continue
+		}
+		if (r == 'e' || r == 'E') && sb.Len() > 0 {
+			next := l.peek2()
+			if unicode.IsDigit(next) || next == '-' || next == '+' {
+				isFloat = true
+				sb.WriteRune(l.advance()) // e
+				if l.peek() == '-' || l.peek() == '+' {
+					sb.WriteRune(l.advance())
+				}
+				continue
+			}
+		}
+		break
+	}
+	if l.off < len(l.src) && unicode.IsLetter(l.peek()) {
+		return Token{}, &SyntaxError{Pos: start, Msg: "malformed number literal"}
+	}
+	kind := INTLIT
+	if isFloat {
+		kind = FLOATLIT
+	}
+	return Token{Kind: kind, Text: sb.String(), Pos: start}, nil
+}

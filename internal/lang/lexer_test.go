@@ -1,0 +1,118 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLexBasicTokens(t *testing.T) {
+	toks, err := Lex("x = a + b * 2; // comment\nif (x <= 3) { y = 1.5e2; }")
+	if err != nil {
+		t.Fatalf("Lex: %v", err)
+	}
+	want := []Kind{
+		IDENT, Assign, IDENT, Plus, IDENT, Star, INTLIT, Semicolon,
+		KwIf, LParen, IDENT, Le, INTLIT, RParen,
+		LBrace, IDENT, Assign, FLOATLIT, Semicolon, RBrace, EOF,
+	}
+	if len(toks) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(toks), len(want), toks)
+	}
+	for i, k := range want {
+		if toks[i].Kind != k {
+			t.Errorf("token %d = %s, want %s", i, toks[i], k)
+		}
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	cases := map[string]Kind{
+		"==": Eq, "!=": Ne, "<": Lt, "<=": Le, ">": Gt, ">=": Ge,
+		"&&": AndAnd, "||": OrOr, "!": Not, "%": Percent,
+	}
+	for src, want := range cases {
+		toks, err := Lex(src)
+		if err != nil {
+			t.Fatalf("Lex(%q): %v", src, err)
+		}
+		if toks[0].Kind != want {
+			t.Errorf("Lex(%q) = %s, want %s", src, toks[0].Kind, want)
+		}
+	}
+}
+
+func TestLexKeywordsVsIdents(t *testing.T) {
+	toks, err := Lex("while whiles int integer for format")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Kind{KwWhile, IDENT, KwInt, IDENT, KwFor, IDENT, EOF}
+	for i, k := range want {
+		if toks[i].Kind != k {
+			t.Errorf("token %d = %s, want %s", i, toks[i], k)
+		}
+	}
+}
+
+func TestLexBlockComment(t *testing.T) {
+	toks, err := Lex("a /* multi\nline\ncomment */ b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 3 || toks[0].Text != "a" || toks[1].Text != "b" {
+		t.Fatalf("unexpected tokens: %v", toks)
+	}
+	if toks[1].Pos.Line != 3 {
+		t.Errorf("b at line %d, want 3", toks[1].Pos.Line)
+	}
+}
+
+func TestLexUnterminatedComment(t *testing.T) {
+	if _, err := Lex("a /* never closed"); err == nil {
+		t.Fatal("want error for unterminated comment")
+	}
+}
+
+func TestLexFloatForms(t *testing.T) {
+	cases := map[string]Kind{
+		"1":      INTLIT,
+		"1.5":    FLOATLIT,
+		"2e3":    FLOATLIT,
+		"2.5e-3": FLOATLIT,
+		"7e+2":   FLOATLIT,
+	}
+	for src, want := range cases {
+		toks, err := Lex(src)
+		if err != nil {
+			t.Fatalf("Lex(%q): %v", src, err)
+		}
+		if toks[0].Kind != want || toks[0].Text != src {
+			t.Errorf("Lex(%q) = %v, want kind %s text %q", src, toks[0], want, src)
+		}
+	}
+}
+
+func TestLexMalformedNumber(t *testing.T) {
+	if _, err := Lex("12ab"); err == nil {
+		t.Fatal("want error for malformed number")
+	}
+}
+
+func TestLexErrorsIncludePosition(t *testing.T) {
+	_, err := Lex("a = b;\n  @")
+	if err == nil {
+		t.Fatal("want error for @")
+	}
+	if !strings.Contains(err.Error(), "2:3") {
+		t.Errorf("error %q does not mention position 2:3", err)
+	}
+}
+
+func TestLexSingleAmpersandIsError(t *testing.T) {
+	if _, err := Lex("a & b"); err == nil {
+		t.Fatal("want error for single &")
+	}
+	if _, err := Lex("a | b"); err == nil {
+		t.Fatal("want error for single |")
+	}
+}

@@ -1,0 +1,597 @@
+package lang
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Parser is a recursive-descent parser for MiniC.
+type Parser struct {
+	toks []Token
+	off  int
+}
+
+// Parse tokenizes and parses a MiniC source file.
+func Parse(src string) (*Program, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks}
+	return p.parseProgram()
+}
+
+func (p *Parser) cur() Token  { return p.toks[p.off] }
+func (p *Parser) next() Token { t := p.toks[p.off]; p.off++; return t }
+
+func (p *Parser) at(k Kind) bool { return p.cur().Kind == k }
+
+func (p *Parser) accept(k Kind) bool {
+	if p.at(k) {
+		p.off++
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expect(k Kind) (Token, error) {
+	if p.at(k) {
+		return p.next(), nil
+	}
+	return Token{}, &SyntaxError{
+		Pos: p.cur().Pos,
+		Msg: fmt.Sprintf("expected %s, found %s", k, p.cur()),
+	}
+}
+
+func (p *Parser) errorf(format string, args ...any) error {
+	return &SyntaxError{Pos: p.cur().Pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *Parser) parseProgram() (*Program, error) {
+	prog := &Program{}
+	for !p.at(EOF) {
+		switch p.cur().Kind {
+		case KwGlobal:
+			g, err := p.parseGlobal()
+			if err != nil {
+				return nil, err
+			}
+			prog.Globals = append(prog.Globals, g)
+		case KwFunc:
+			f, err := p.parseFunc()
+			if err != nil {
+				return nil, err
+			}
+			prog.Funcs = append(prog.Funcs, f)
+		default:
+			return nil, p.errorf("expected global or func declaration, found %s", p.cur())
+		}
+	}
+	return prog, nil
+}
+
+func (p *Parser) parseType() (Type, error) {
+	switch p.cur().Kind {
+	case KwInt:
+		p.next()
+		return TypeInt, nil
+	case KwFloat:
+		p.next()
+		return TypeFloat, nil
+	case KwBool:
+		p.next()
+		return TypeBool, nil
+	case KwVoid:
+		p.next()
+		return TypeVoid, nil
+	}
+	return 0, p.errorf("expected type, found %s", p.cur())
+}
+
+func (p *Parser) parseGlobal() (*GlobalDecl, error) {
+	start, _ := p.expect(KwGlobal)
+	typ, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	if typ == TypeVoid {
+		return nil, &SyntaxError{Pos: start.Pos, Msg: "global cannot have void type"}
+	}
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	g := &GlobalDecl{Pos: start.Pos, Name: name.Text, Type: typ}
+	if p.accept(LBracket) {
+		lenTok, err := p.expect(INTLIT)
+		if err != nil {
+			return nil, err
+		}
+		n, err := strconv.ParseInt(lenTok.Text, 10, 64)
+		if err != nil || n <= 0 {
+			return nil, &SyntaxError{Pos: lenTok.Pos, Msg: "array length must be a positive integer"}
+		}
+		g.IsArray = true
+		g.ArrayLen = n
+		if _, err := p.expect(RBracket); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(Semicolon); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+func (p *Parser) parseFunc() (*FuncDecl, error) {
+	start, _ := p.expect(KwFunc)
+	ret, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(LParen); err != nil {
+		return nil, err
+	}
+	f := &FuncDecl{Pos: start.Pos, Name: name.Text, Ret: ret}
+	for !p.at(RParen) {
+		if len(f.Params) > 0 {
+			if _, err := p.expect(Comma); err != nil {
+				return nil, err
+			}
+		}
+		ptyp, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		if ptyp == TypeVoid {
+			return nil, p.errorf("parameter cannot have void type")
+		}
+		pname, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		f.Params = append(f.Params, Param{Pos: pname.Pos, Name: pname.Text, Type: ptyp})
+	}
+	p.next() // RParen
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	f.Body = body
+	return f, nil
+}
+
+func (p *Parser) parseBlock() (*BlockStmt, error) {
+	lb, err := p.expect(LBrace)
+	if err != nil {
+		return nil, err
+	}
+	blk := &BlockStmt{Pos: lb.Pos}
+	for !p.at(RBrace) {
+		if p.at(EOF) {
+			return nil, p.errorf("unexpected EOF inside block")
+		}
+		st, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		blk.Stmts = append(blk.Stmts, st)
+	}
+	p.next() // RBrace
+	return blk, nil
+}
+
+func (p *Parser) parseStmt() (Stmt, error) {
+	switch p.cur().Kind {
+	case LBrace:
+		return p.parseBlock()
+	case KwInt, KwFloat, KwBool:
+		return p.parseVarDecl()
+	case KwIf:
+		return p.parseIf()
+	case KwWhile:
+		return p.parseWhile()
+	case KwFor:
+		return p.parseFor()
+	case KwBreak:
+		tok := p.next()
+		if _, err := p.expect(Semicolon); err != nil {
+			return nil, err
+		}
+		return &BreakStmt{Pos: tok.Pos}, nil
+	case KwContinue:
+		tok := p.next()
+		if _, err := p.expect(Semicolon); err != nil {
+			return nil, err
+		}
+		return &ContinueStmt{Pos: tok.Pos}, nil
+	case KwReturn:
+		tok := p.next()
+		ret := &ReturnStmt{Pos: tok.Pos}
+		if !p.at(Semicolon) {
+			v, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			ret.Value = v
+		}
+		if _, err := p.expect(Semicolon); err != nil {
+			return nil, err
+		}
+		return ret, nil
+	}
+	return p.parseSimpleStmt(true)
+}
+
+// parseSimpleStmt parses an assignment or expression statement. When
+// wantSemi is false (for-loop clauses) the trailing semicolon is not
+// consumed.
+func (p *Parser) parseSimpleStmt(wantSemi bool) (Stmt, error) {
+	start := p.cur().Pos
+	if p.at(IDENT) {
+		// Lookahead to distinguish assignment from a call expression.
+		name := p.cur().Text
+		save := p.off
+		p.next()
+		switch {
+		case p.at(Assign):
+			p.next()
+			v, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if wantSemi {
+				if _, err := p.expect(Semicolon); err != nil {
+					return nil, err
+				}
+			}
+			return &AssignStmt{Pos: start, Name: name, Value: v}, nil
+		case p.at(LBracket):
+			p.next()
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(RBracket); err != nil {
+				return nil, err
+			}
+			if p.at(Assign) {
+				p.next()
+				v, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				if wantSemi {
+					if _, err := p.expect(Semicolon); err != nil {
+						return nil, err
+					}
+				}
+				return &AssignStmt{Pos: start, Name: name, Index: idx, Value: v}, nil
+			}
+			// Not an assignment: rewind and parse as expression.
+			p.off = save
+		default:
+			p.off = save
+		}
+	}
+	x, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if wantSemi {
+		if _, err := p.expect(Semicolon); err != nil {
+			return nil, err
+		}
+	}
+	return &ExprStmt{Pos: start, X: x}, nil
+}
+
+func (p *Parser) parseVarDecl() (Stmt, error) {
+	start := p.cur().Pos
+	typ, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	d := &VarDeclStmt{Pos: start, Name: name.Text, Type: typ}
+	if p.accept(Assign) {
+		v, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		d.Init = v
+	}
+	if _, err := p.expect(Semicolon); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+func (p *Parser) parseIf() (Stmt, error) {
+	tok := p.next() // if
+	if _, err := p.expect(LParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(RParen); err != nil {
+		return nil, err
+	}
+	then, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	st := &IfStmt{Pos: tok.Pos, Cond: cond, Then: then}
+	if p.accept(KwElse) {
+		if p.at(KwIf) {
+			elif, err := p.parseIf()
+			if err != nil {
+				return nil, err
+			}
+			st.Else = &BlockStmt{Pos: elif.StartPos(), Stmts: []Stmt{elif}}
+		} else {
+			els, err := p.parseBlock()
+			if err != nil {
+				return nil, err
+			}
+			st.Else = els
+		}
+	}
+	return st, nil
+}
+
+func (p *Parser) parseWhile() (Stmt, error) {
+	tok := p.next() // while
+	if _, err := p.expect(LParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(RParen); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	return &WhileStmt{Pos: tok.Pos, Cond: cond, Body: body}, nil
+}
+
+func (p *Parser) parseFor() (Stmt, error) {
+	tok := p.next() // for
+	if _, err := p.expect(LParen); err != nil {
+		return nil, err
+	}
+	st := &ForStmt{Pos: tok.Pos}
+	if !p.at(Semicolon) {
+		var err error
+		if p.at(KwInt) || p.at(KwFloat) || p.at(KwBool) {
+			st.Init, err = p.parseVarDecl() // consumes the semicolon
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			st.Init, err = p.parseSimpleStmt(false)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(Semicolon); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		p.next()
+	}
+	if !p.at(Semicolon) {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Cond = cond
+	}
+	if _, err := p.expect(Semicolon); err != nil {
+		return nil, err
+	}
+	if !p.at(RParen) {
+		post, err := p.parseSimpleStmt(false)
+		if err != nil {
+			return nil, err
+		}
+		st.Post = post
+	}
+	if _, err := p.expect(RParen); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	st.Body = body
+	return st, nil
+}
+
+// Expression grammar (precedence climbing):
+//
+//	expr   := or
+//	or     := and ("||" and)*
+//	and    := cmp ("&&" cmp)*
+//	cmp    := add (("=="|"!="|"<"|"<="|">"|">=") add)?
+//	add    := mul (("+"|"-") mul)*
+//	mul    := unary (("*"|"/"|"%") unary)*
+//	unary  := ("-"|"!") unary | primary
+//	primary:= literal | ident | ident "(" args ")" | ident "[" expr "]" | "(" expr ")"
+func (p *Parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *Parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(OrOr) {
+		op := p.next()
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Pos: op.Pos, Op: OrOr, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *Parser) parseAnd() (Expr, error) {
+	l, err := p.parseCmp()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(AndAnd) {
+		op := p.next()
+		r, err := p.parseCmp()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Pos: op.Pos, Op: AndAnd, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *Parser) parseCmp() (Expr, error) {
+	l, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	switch p.cur().Kind {
+	case Eq, Ne, Lt, Le, Gt, Ge:
+		op := p.next()
+		r, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		return &BinaryExpr{Pos: op.Pos, Op: op.Kind, L: l, R: r}, nil
+	}
+	return l, nil
+}
+
+func (p *Parser) parseAdd() (Expr, error) {
+	l, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(Plus) || p.at(Minus) {
+		op := p.next()
+		r, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Pos: op.Pos, Op: op.Kind, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *Parser) parseMul() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(Star) || p.at(Slash) || p.at(Percent) {
+		op := p.next()
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Pos: op.Pos, Op: op.Kind, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *Parser) parseUnary() (Expr, error) {
+	if p.at(Minus) || p.at(Not) {
+		op := p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Pos: op.Pos, Op: op.Kind, X: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *Parser) parsePrimary() (Expr, error) {
+	tok := p.cur()
+	switch tok.Kind {
+	case INTLIT:
+		p.next()
+		v, err := strconv.ParseInt(tok.Text, 10, 64)
+		if err != nil {
+			return nil, &SyntaxError{Pos: tok.Pos, Msg: "invalid int literal"}
+		}
+		return &IntLit{Pos: tok.Pos, Value: v}, nil
+	case FLOATLIT:
+		p.next()
+		v, err := strconv.ParseFloat(tok.Text, 64)
+		if err != nil {
+			return nil, &SyntaxError{Pos: tok.Pos, Msg: "invalid float literal"}
+		}
+		return &FloatLit{Pos: tok.Pos, Value: v}, nil
+	case KwTrue:
+		p.next()
+		return &BoolLit{Pos: tok.Pos, Value: true}, nil
+	case KwFalse:
+		p.next()
+		return &BoolLit{Pos: tok.Pos, Value: false}, nil
+	case LParen:
+		p.next()
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RParen); err != nil {
+			return nil, err
+		}
+		return x, nil
+	case IDENT:
+		p.next()
+		switch {
+		case p.at(LParen):
+			p.next()
+			call := &CallExpr{Pos: tok.Pos, Name: tok.Text}
+			for !p.at(RParen) {
+				if len(call.Args) > 0 {
+					if _, err := p.expect(Comma); err != nil {
+						return nil, err
+					}
+				}
+				a, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, a)
+			}
+			p.next() // RParen
+			return call, nil
+		case p.at(LBracket):
+			p.next()
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(RBracket); err != nil {
+				return nil, err
+			}
+			return &IndexExpr{Pos: tok.Pos, Name: tok.Text, Index: idx}, nil
+		}
+		return &Ident{Pos: tok.Pos, Name: tok.Text}, nil
+	}
+	return nil, p.errorf("expected expression, found %s", tok)
+}

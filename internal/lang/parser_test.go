@@ -1,0 +1,252 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleProgram = `
+// Sample SPMD program mirroring the paper's Figure 1.
+global int id;
+global int im;
+global int gpnum[64];
+global int nprocsG;
+
+func void setup() {
+	int i;
+	for (i = 0; i < nthreads(); i = i + 1) {
+		gpnum[i] = rnd() % 100;
+	}
+	im = 50;
+}
+
+func void slave() {
+	int private = 0;
+	int procid = tid();
+	// Branch 1: threadID
+	if (procid == 0) {
+		output(1);
+	}
+	// Branch 2: shared
+	int i;
+	for (i = 0; i <= im - 1; i = i + 1) {
+		private = private + 1;
+	}
+	// Branch 3: none
+	if (gpnum[procid] > im - 1) {
+		private = 1;
+	} else {
+		private = -1;
+	}
+	// Branch 4: partial
+	if (private > 0) {
+		output(2);
+	}
+}
+`
+
+func TestParseSampleProgram(t *testing.T) {
+	prog, err := Parse(sampleProgram)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(prog.Globals) != 4 {
+		t.Errorf("got %d globals, want 4", len(prog.Globals))
+	}
+	if g := prog.Globals[2]; !g.IsArray || g.ArrayLen != 64 || g.Name != "gpnum" {
+		t.Errorf("gpnum global parsed wrong: %+v", g)
+	}
+	if len(prog.Funcs) != 2 {
+		t.Fatalf("got %d funcs, want 2", len(prog.Funcs))
+	}
+	slave := prog.Func("slave")
+	if slave == nil {
+		t.Fatal("slave not found")
+	}
+	if slave.Ret != TypeVoid {
+		t.Errorf("slave return = %v, want void", slave.Ret)
+	}
+	if prog.Func("nonexistent") != nil {
+		t.Error("Func(nonexistent) should be nil")
+	}
+}
+
+func TestParseFunctionWithParams(t *testing.T) {
+	prog, err := Parse(`func int addmul(int a, int b, float c) { return a + b; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := prog.Funcs[0]
+	if len(f.Params) != 3 {
+		t.Fatalf("got %d params, want 3", len(f.Params))
+	}
+	if f.Params[2].Type != TypeFloat || f.Params[2].Name != "c" {
+		t.Errorf("param 2 = %+v", f.Params[2])
+	}
+	if f.Ret != TypeInt {
+		t.Errorf("ret = %v, want int", f.Ret)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	prog, err := Parse(`func int f() { return 1 + 2 * 3 == 7 && 1 < 2 || !false; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ret, ok := prog.Funcs[0].Body.Stmts[0].(*ReturnStmt)
+	if !ok {
+		t.Fatal("want return stmt")
+	}
+	// Top level must be ||.
+	or, ok := ret.Value.(*BinaryExpr)
+	if !ok || or.Op != OrOr {
+		t.Fatalf("top = %T %v, want ||", ret.Value, ret.Value)
+	}
+	and, ok := or.L.(*BinaryExpr)
+	if !ok || and.Op != AndAnd {
+		t.Fatalf("or.L = %T, want &&", or.L)
+	}
+	eq, ok := and.L.(*BinaryExpr)
+	if !ok || eq.Op != Eq {
+		t.Fatalf("and.L = %T, want ==", and.L)
+	}
+	add, ok := eq.L.(*BinaryExpr)
+	if !ok || add.Op != Plus {
+		t.Fatalf("eq.L = %T, want +", eq.L)
+	}
+	mul, ok := add.R.(*BinaryExpr)
+	if !ok || mul.Op != Star {
+		t.Fatalf("add.R = %T, want *", add.R)
+	}
+}
+
+func TestParseForVariants(t *testing.T) {
+	srcs := []string{
+		`func void f() { for (int i = 0; i < 10; i = i + 1) { output(i); } }`,
+		`func void f() { int i; for (i = 0; i < 10; i = i + 1) { output(i); } }`,
+		`func void f() { for (;;) { break; } }`,
+		`func void f() { int i = 0; for (; i < 3;) { i = i + 1; } }`,
+	}
+	for _, src := range srcs {
+		if _, err := Parse(src); err != nil {
+			t.Errorf("Parse(%q): %v", src, err)
+		}
+	}
+}
+
+func TestParseIfElseChain(t *testing.T) {
+	prog, err := Parse(`func void f(int x) {
+		if (x == 0) { output(0); }
+		else if (x == 1) { output(1); }
+		else { output(2); }
+	}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, ok := prog.Funcs[0].Body.Stmts[0].(*IfStmt)
+	if !ok {
+		t.Fatal("want if stmt")
+	}
+	if st.Else == nil || len(st.Else.Stmts) != 1 {
+		t.Fatal("want else block wrapping else-if")
+	}
+	inner, ok := st.Else.Stmts[0].(*IfStmt)
+	if !ok || inner.Else == nil {
+		t.Fatal("want nested if with else")
+	}
+}
+
+func TestParseArrayAssignAndIndex(t *testing.T) {
+	prog, err := Parse(`
+global int a[10];
+func void f() { a[3] = a[2] + 1; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	as, ok := prog.Funcs[0].Body.Stmts[0].(*AssignStmt)
+	if !ok || as.Index == nil {
+		t.Fatalf("want array assign, got %#v", prog.Funcs[0].Body.Stmts[0])
+	}
+	bin, ok := as.Value.(*BinaryExpr)
+	if !ok {
+		t.Fatal("want binary value")
+	}
+	if _, ok := bin.L.(*IndexExpr); !ok {
+		t.Errorf("want IndexExpr on left, got %T", bin.L)
+	}
+}
+
+func TestParseCallStatement(t *testing.T) {
+	prog, err := Parse(`func void f() { barrier(); lock(0); unlock(0); helper(1, 2); }
+func void helper(int a, int b) { }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(prog.Funcs[0].Body.Stmts); n != 4 {
+		t.Fatalf("got %d stmts, want 4", n)
+	}
+	for i, st := range prog.Funcs[0].Body.Stmts {
+		es, ok := st.(*ExprStmt)
+		if !ok {
+			t.Fatalf("stmt %d is %T, want ExprStmt", i, st)
+		}
+		if _, ok := es.X.(*CallExpr); !ok {
+			t.Fatalf("stmt %d expr is %T, want CallExpr", i, es.X)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		`func void f() {`,                // unclosed block
+		`global void v;`,                 // void global
+		`func void f(void x) {}`,         // void param
+		`func void f() { if x { } }`,     // missing parens
+		`func void f() { return 1 + ; }`, // bad expr
+		`global int a[0];`,               // zero-length array
+		`global int a[-1];`,              // negative length
+		`int x;`,                         // top-level non-decl
+		`func void f() { x = ; }`,        // bad assignment
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q): want error, got nil", src)
+		}
+	}
+}
+
+func TestParseErrorMentionsPosition(t *testing.T) {
+	_, err := Parse("func void f() {\n  return 1 +;\n}")
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if !strings.Contains(err.Error(), "2:") {
+		t.Errorf("error %q should mention line 2", err)
+	}
+}
+
+func TestParseUnaryChain(t *testing.T) {
+	prog, err := Parse(`func int f(int x) { return - -x; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ret := prog.Funcs[0].Body.Stmts[0].(*ReturnStmt)
+	u1, ok := ret.Value.(*UnaryExpr)
+	if !ok || u1.Op != Minus {
+		t.Fatal("want unary minus")
+	}
+	if _, ok := u1.X.(*UnaryExpr); !ok {
+		t.Fatal("want nested unary")
+	}
+}
+
+func TestBuiltinTable(t *testing.T) {
+	for _, name := range []string{"tid", "nthreads", "barrier", "output", "sqrt", "rnd"} {
+		if !IsBuiltin(name) {
+			t.Errorf("IsBuiltin(%q) = false", name)
+		}
+	}
+	if IsBuiltin("slave") {
+		t.Error("slave must not be a builtin")
+	}
+}

@@ -1,0 +1,188 @@
+package lang
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Format renders a parsed program back to canonical MiniC source. The
+// output re-parses to a structurally identical program (property-tested),
+// which makes Format useful for normalizing generated programs and for
+// debugging lowering issues.
+func Format(p *Program) string {
+	var f formatter
+	for _, g := range p.Globals {
+		if g.IsArray {
+			f.linef("global %s %s[%d];", g.Type, g.Name, g.ArrayLen)
+		} else {
+			f.linef("global %s %s;", g.Type, g.Name)
+		}
+	}
+	for _, fn := range p.Funcs {
+		f.line("")
+		params := make([]string, len(fn.Params))
+		for i, prm := range fn.Params {
+			params[i] = fmt.Sprintf("%s %s", prm.Type, prm.Name)
+		}
+		f.linef("func %s %s(%s) {", fn.Ret, fn.Name, strings.Join(params, ", "))
+		f.indent++
+		f.stmts(fn.Body.Stmts)
+		f.indent--
+		f.line("}")
+	}
+	return f.sb.String()
+}
+
+type formatter struct {
+	sb     strings.Builder
+	indent int
+}
+
+func (f *formatter) line(s string) {
+	f.sb.WriteString(strings.Repeat("\t", f.indent))
+	f.sb.WriteString(s)
+	f.sb.WriteByte('\n')
+}
+
+func (f *formatter) linef(format string, args ...any) {
+	f.line(fmt.Sprintf(format, args...))
+}
+
+func (f *formatter) stmts(list []Stmt) {
+	for _, st := range list {
+		f.stmt(st)
+	}
+}
+
+func (f *formatter) stmt(st Stmt) {
+	switch s := st.(type) {
+	case *BlockStmt:
+		f.line("{")
+		f.indent++
+		f.stmts(s.Stmts)
+		f.indent--
+		f.line("}")
+	case *VarDeclStmt:
+		if s.Init != nil {
+			f.linef("%s %s = %s;", s.Type, s.Name, ExprString(s.Init))
+		} else {
+			f.linef("%s %s;", s.Type, s.Name)
+		}
+	case *AssignStmt:
+		if s.Index != nil {
+			f.linef("%s[%s] = %s;", s.Name, ExprString(s.Index), ExprString(s.Value))
+		} else {
+			f.linef("%s = %s;", s.Name, ExprString(s.Value))
+		}
+	case *IfStmt:
+		f.ifChain(s)
+	case *WhileStmt:
+		f.linef("while (%s) {", ExprString(s.Cond))
+		f.indent++
+		f.stmts(s.Body.Stmts)
+		f.indent--
+		f.line("}")
+	case *ForStmt:
+		f.forStmt(s)
+	case *BreakStmt:
+		f.line("break;")
+	case *ContinueStmt:
+		f.line("continue;")
+	case *ReturnStmt:
+		if s.Value != nil {
+			f.linef("return %s;", ExprString(s.Value))
+		} else {
+			f.line("return;")
+		}
+	case *ExprStmt:
+		f.linef("%s;", ExprString(s.X))
+	}
+}
+
+func (f *formatter) ifChain(s *IfStmt) {
+	f.linef("if (%s) {", ExprString(s.Cond))
+	f.indent++
+	f.stmts(s.Then.Stmts)
+	f.indent--
+	for s.Else != nil {
+		// Re-sugar "else { if ... }" chains produced by the parser.
+		if len(s.Else.Stmts) == 1 {
+			if elif, ok := s.Else.Stmts[0].(*IfStmt); ok {
+				f.linef("} else if (%s) {", ExprString(elif.Cond))
+				f.indent++
+				f.stmts(elif.Then.Stmts)
+				f.indent--
+				s = elif
+				continue
+			}
+		}
+		f.line("} else {")
+		f.indent++
+		f.stmts(s.Else.Stmts)
+		f.indent--
+		break
+	}
+	f.line("}")
+}
+
+func (f *formatter) forStmt(s *ForStmt) {
+	init := ""
+	if s.Init != nil {
+		init = strings.TrimSuffix(stmtInline(s.Init), ";")
+	}
+	cond := ""
+	if s.Cond != nil {
+		cond = ExprString(s.Cond)
+	}
+	post := ""
+	if s.Post != nil {
+		post = strings.TrimSuffix(stmtInline(s.Post), ";")
+	}
+	f.linef("for (%s; %s; %s) {", init, cond, post)
+	f.indent++
+	f.stmts(s.Body.Stmts)
+	f.indent--
+	f.line("}")
+}
+
+// stmtInline renders a simple statement without indentation or newline
+// (for-clause position).
+func stmtInline(st Stmt) string {
+	var f formatter
+	f.stmt(st)
+	return strings.TrimSpace(f.sb.String())
+}
+
+// ExprString renders an expression with explicit parentheses everywhere a
+// sub-expression has lower or equal binding strength, so the output
+// re-parses to the same tree regardless of the original spelling.
+func ExprString(e Expr) string {
+	switch x := e.(type) {
+	case *IntLit:
+		return strconv.FormatInt(x.Value, 10)
+	case *FloatLit:
+		s := strconv.FormatFloat(x.Value, 'g', -1, 64)
+		if !strings.ContainsAny(s, ".eE") {
+			s += ".0"
+		}
+		return s
+	case *BoolLit:
+		return strconv.FormatBool(x.Value)
+	case *Ident:
+		return x.Name
+	case *IndexExpr:
+		return fmt.Sprintf("%s[%s]", x.Name, ExprString(x.Index))
+	case *UnaryExpr:
+		return fmt.Sprintf("%s(%s)", x.Op, ExprString(x.X))
+	case *BinaryExpr:
+		return fmt.Sprintf("(%s %s %s)", ExprString(x.L), x.Op, ExprString(x.R))
+	case *CallExpr:
+		args := make([]string, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = ExprString(a)
+		}
+		return fmt.Sprintf("%s(%s)", x.Name, strings.Join(args, ", "))
+	}
+	return "?"
+}

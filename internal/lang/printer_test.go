@@ -1,0 +1,95 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFormatRoundTripsSample(t *testing.T) {
+	p1, err := Parse(sampleProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src2 := Format(p1)
+	p2, err := Parse(src2)
+	if err != nil {
+		t.Fatalf("formatted source does not re-parse: %v\n%s", err, src2)
+	}
+	src3 := Format(p2)
+	if src2 != src3 {
+		t.Fatalf("Format not a fixpoint:\n--- first ---\n%s\n--- second ---\n%s", src2, src3)
+	}
+}
+
+func TestFormatPreservesPrecedence(t *testing.T) {
+	// A nest of mixed-precedence operators must render with enough parens
+	// to re-parse to the same evaluation order.
+	src := `func int f(int a, int b) { return (a + b) * 2 - a % 3 / (b + 1); }`
+	p1, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Format(p1)
+	p2, err := Parse(out)
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, out)
+	}
+	if Format(p2) != out {
+		t.Fatalf("precedence altered by formatting:\n%s", out)
+	}
+}
+
+func TestFormatElseIfChain(t *testing.T) {
+	src := `func void f(int x) {
+	if (x == 0) { output(0); } else if (x == 1) { output(1); } else { output(2); }
+}`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Format(p)
+	if !strings.Contains(out, "} else if (") {
+		t.Errorf("else-if chain not re-sugared:\n%s", out)
+	}
+	if _, err := Parse(out); err != nil {
+		t.Fatalf("re-parse: %v", err)
+	}
+}
+
+func TestFormatFloatLiterals(t *testing.T) {
+	src := `func void f() { outputf(1.0); outputf(2.5e-3); outputf(-0.0); }`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Format(p)
+	p2, err := Parse(out)
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, out)
+	}
+	if Format(p2) != out {
+		t.Fatal("float formatting not stable")
+	}
+	if strings.Contains(out, "outputf(1)") {
+		t.Errorf("float literal lost its decimal point:\n%s", out)
+	}
+}
+
+func TestFormatForVariants(t *testing.T) {
+	srcs := []string{
+		`func void f() { for (int i = 0; i < 3; i = i + 1) { output(i); } }`,
+		`func void f() { int i; for (i = 0; i < 3; i = i + 1) { output(i); } }`,
+		`func void f() { for (;;) { break; } }`,
+		`func void f() { int i = 0; while (i < 3) { i = i + 1; continue; } }`,
+	}
+	for _, src := range srcs {
+		p, err := Parse(src)
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		out := Format(p)
+		if _, err := Parse(out); err != nil {
+			t.Fatalf("%q: re-parse: %v\n%s", src, err, out)
+		}
+	}
+}

@@ -1,0 +1,159 @@
+// Package lang implements the MiniC front-end: a small SPMD source
+// language used as the substrate for the BLOCKWATCH reproduction. MiniC
+// programs declare shared globals and arrays, a once-only setup() function,
+// and a slave() function that every thread executes (the paper's SPMD
+// model). The package provides a lexer, an AST, and a recursive-descent
+// parser; lowering to SSA IR lives in package lower.
+package lang
+
+import "fmt"
+
+// Kind identifies the lexical class of a token.
+type Kind int
+
+// Token kinds. Values start at one so the zero Kind is invalid.
+const (
+	EOF Kind = iota + 1
+	IDENT
+	INTLIT
+	FLOATLIT
+
+	// Keywords.
+	KwInt
+	KwFloat
+	KwBool
+	KwVoid
+	KwIf
+	KwElse
+	KwWhile
+	KwFor
+	KwBreak
+	KwContinue
+	KwReturn
+	KwTrue
+	KwFalse
+	KwGlobal
+	KwFunc
+
+	// Punctuation and operators.
+	LParen
+	RParen
+	LBrace
+	RBrace
+	LBracket
+	RBracket
+	Comma
+	Semicolon
+	Assign
+	Plus
+	Minus
+	Star
+	Slash
+	Percent
+	Eq
+	Ne
+	Lt
+	Le
+	Gt
+	Ge
+	AndAnd
+	OrOr
+	Not
+)
+
+var kindNames = map[Kind]string{
+	EOF:        "EOF",
+	IDENT:      "identifier",
+	INTLIT:     "int literal",
+	FLOATLIT:   "float literal",
+	KwInt:      "int",
+	KwFloat:    "float",
+	KwBool:     "bool",
+	KwVoid:     "void",
+	KwIf:       "if",
+	KwElse:     "else",
+	KwWhile:    "while",
+	KwFor:      "for",
+	KwBreak:    "break",
+	KwContinue: "continue",
+	KwReturn:   "return",
+	KwTrue:     "true",
+	KwFalse:    "false",
+	KwGlobal:   "global",
+	KwFunc:     "func",
+	LParen:     "(",
+	RParen:     ")",
+	LBrace:     "{",
+	RBrace:     "}",
+	LBracket:   "[",
+	RBracket:   "]",
+	Comma:      ",",
+	Semicolon:  ";",
+	Assign:     "=",
+	Plus:       "+",
+	Minus:      "-",
+	Star:       "*",
+	Slash:      "/",
+	Percent:    "%",
+	Eq:         "==",
+	Ne:         "!=",
+	Lt:         "<",
+	Le:         "<=",
+	Gt:         ">",
+	Ge:         ">=",
+	AndAnd:     "&&",
+	OrOr:       "||",
+	Not:        "!",
+}
+
+// String returns a human-readable name for the kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+var keywords = map[string]Kind{
+	"int":      KwInt,
+	"float":    KwFloat,
+	"bool":     KwBool,
+	"void":     KwVoid,
+	"if":       KwIf,
+	"else":     KwElse,
+	"while":    KwWhile,
+	"for":      KwFor,
+	"break":    KwBreak,
+	"continue": KwContinue,
+	"return":   KwReturn,
+	"true":     KwTrue,
+	"false":    KwFalse,
+	"global":   KwGlobal,
+	"func":     KwFunc,
+}
+
+// Pos is a source position (1-based line and column).
+type Pos struct {
+	Line int
+	Col  int
+}
+
+// String renders the position as "line:col".
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is a single lexical token with its source position.
+type Token struct {
+	Kind Kind
+	Text string
+	Pos  Pos
+}
+
+// String renders the token for diagnostics.
+func (t Token) String() string {
+	switch t.Kind {
+	case IDENT, INTLIT, FLOATLIT:
+		return fmt.Sprintf("%s %q", t.Kind, t.Text)
+	default:
+		return t.Kind.String()
+	}
+}

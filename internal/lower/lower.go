@@ -1,0 +1,1019 @@
+// Package lower translates MiniC ASTs (package lang) into SSA IR (package
+// ir). SSA construction uses the Braun et al. on-the-fly algorithm
+// (sealed blocks + incomplete phis) followed by an iterative trivial-phi
+// elimination pass, so that straight-line locals keep a single SSA value
+// across joins and the BLOCKWATCH category analysis sees the same def-use
+// shape LLVM's mem2reg would produce.
+//
+// Lowering also assigns the module-wide identifiers BLOCKWATCH needs:
+// static branch IDs on every conditional branch, loop IDs with explicit
+// LoopPush/LoopInc/LoopPop bookkeeping instructions, and call-site IDs on
+// every call, and it marks instructions lexically inside lock/unlock
+// critical sections (used by the paper's check-elision optimization).
+package lower
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"blockwatch/internal/ir"
+	"blockwatch/internal/lang"
+)
+
+// LowerError describes a semantic error found during lowering.
+type LowerError struct {
+	Pos lang.Pos
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *LowerError) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// Lower translates a parsed program into an IR module and verifies it.
+func Lower(prog *lang.Program, name string) (*ir.Module, error) {
+	lw := &lowerer{
+		mod:   &ir.Module{MName: name},
+		decls: make(map[string]*lang.FuncDecl, len(prog.Funcs)),
+	}
+	for i, g := range prog.Globals {
+		if lw.mod.Global(g.Name) != nil {
+			return nil, &LowerError{Pos: g.Pos, Msg: "duplicate global " + g.Name}
+		}
+		lw.mod.Globals = append(lw.mod.Globals, &ir.Global{
+			GName:    g.Name,
+			Typ:      typeOf(g.Type),
+			IsArray:  g.IsArray,
+			ArrayLen: g.ArrayLen,
+			Index:    i,
+		})
+	}
+	for _, f := range prog.Funcs {
+		if _, dup := lw.decls[f.Name]; dup {
+			return nil, &LowerError{Pos: f.Pos, Msg: "duplicate function " + f.Name}
+		}
+		if lang.IsBuiltin(f.Name) {
+			return nil, &LowerError{Pos: f.Pos, Msg: f.Name + " is a builtin and cannot be redefined"}
+		}
+		lw.decls[f.Name] = f
+	}
+	for _, f := range prog.Funcs {
+		if err := lw.lowerFunc(f); err != nil {
+			return nil, err
+		}
+	}
+	for _, f := range lw.mod.Funcs {
+		pruneUnreachable(f)
+	}
+	removeTrivialPhis(lw.mod)
+	if err := ir.Verify(lw.mod); err != nil {
+		return nil, err
+	}
+	return lw.mod, nil
+}
+
+// Compile parses and lowers MiniC source in one step.
+func Compile(src, name string) (*ir.Module, error) {
+	prog, err := lang.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Lower(prog, name)
+}
+
+func typeOf(t lang.Type) ir.Type {
+	switch t {
+	case lang.TypeInt:
+		return ir.Int
+	case lang.TypeFloat:
+		return ir.Float
+	case lang.TypeBool:
+		return ir.Bool
+	default:
+		return ir.Void
+	}
+}
+
+type lowerer struct {
+	mod   *ir.Module
+	decls map[string]*lang.FuncDecl
+
+	// Per-function construction state.
+	fn     *ir.Func
+	cur    *ir.Block
+	sealed map[*ir.Block]bool
+	// currentDef[name][block] is the reaching SSA value of a local.
+	currentDef map[string]map[*ir.Block]ir.Value
+	// incompletePhis[block][name] are operandless phis awaiting sealing.
+	incompletePhis map[*ir.Block]map[string]*ir.Instr
+	varTypes       map[string]ir.Type
+	loopStack      []loopCtx
+	lockDepth      int
+}
+
+type loopCtx struct {
+	breakTo    *ir.Block
+	continueTo *ir.Block
+}
+
+func (lw *lowerer) errf(pos lang.Pos, format string, args ...any) error {
+	return &LowerError{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (lw *lowerer) lowerFunc(decl *lang.FuncDecl) error {
+	fn := &ir.Func{FName: decl.Name, Ret: typeOf(decl.Ret), Mod: lw.mod}
+	lw.mod.Funcs = append(lw.mod.Funcs, fn)
+	lw.fn = fn
+	lw.sealed = make(map[*ir.Block]bool)
+	lw.currentDef = make(map[string]map[*ir.Block]ir.Value)
+	lw.incompletePhis = make(map[*ir.Block]map[string]*ir.Instr)
+	lw.varTypes = make(map[string]ir.Type)
+	lw.loopStack = nil
+	lw.lockDepth = 0
+
+	entry := fn.NewBlock("entry")
+	lw.cur = entry
+	lw.seal(entry)
+	for i, p := range decl.Params {
+		if _, exists := lw.varTypes[p.Name]; exists {
+			return lw.errf(p.Pos, "duplicate parameter %s", p.Name)
+		}
+		param := &ir.Param{PName: p.Name, Typ: typeOf(p.Type), Idx: i, Fn: fn}
+		fn.Params = append(fn.Params, param)
+		lw.varTypes[p.Name] = param.Typ
+		lw.writeVar(p.Name, entry, param)
+	}
+	if err := lw.lowerBlock(decl.Body); err != nil {
+		return err
+	}
+	// Implicit return for fall-through.
+	if lw.cur.Terminator() == nil {
+		if fn.Ret == ir.Void {
+			lw.emit(ir.OpRet, ir.Void)
+		} else {
+			lw.emit(ir.OpRet, ir.Void, zeroConst(fn.Ret))
+		}
+	}
+	// Terminate any residual dead blocks (created after break/continue/return).
+	for _, b := range fn.Blocks {
+		if b.Terminator() == nil {
+			in := fn.NewInstr(ir.OpRet, ir.Void)
+			if fn.Ret != ir.Void {
+				in.Args = []ir.Value{zeroConst(fn.Ret)}
+			}
+			b.Append(in)
+		}
+	}
+	return nil
+}
+
+func zeroConst(t ir.Type) ir.Value {
+	switch t {
+	case ir.Float:
+		return ir.ConstFloat(0)
+	case ir.Bool:
+		return ir.ConstBool(false)
+	default:
+		return ir.ConstInt(0)
+	}
+}
+
+// emit creates an instruction, tags it with lexical context, and appends it
+// to the current block.
+func (lw *lowerer) emit(op ir.Op, typ ir.Type, args ...ir.Value) *ir.Instr {
+	in := lw.fn.NewInstr(op, typ, args...)
+	in.InCritical = lw.lockDepth > 0
+	in.LoopDepth = len(lw.loopStack)
+	lw.cur.Append(in)
+	return in
+}
+
+func (lw *lowerer) link(from *ir.Block, to *ir.Block) {
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// emitJmp terminates the current block with a jump if it is not already
+// terminated (it may be, after break/continue/return).
+func (lw *lowerer) emitJmp(to *ir.Block) {
+	if lw.cur.Terminator() != nil {
+		return
+	}
+	in := lw.emit(ir.OpJmp, ir.Void)
+	in.Then = to
+	lw.link(lw.cur, to)
+}
+
+// emitBr terminates the current block with a conditional branch and assigns
+// a fresh static branch ID.
+func (lw *lowerer) emitBr(cond ir.Value, then, els *ir.Block, line int, isLoop bool) *ir.Instr {
+	in := lw.emit(ir.OpBr, ir.Void, cond)
+	in.Then = then
+	in.Else = els
+	lw.mod.NumBranches++
+	in.BranchID = lw.mod.NumBranches
+	in.IsLoopBr = isLoop
+	in.SrcLine = line
+	lw.link(lw.cur, then)
+	lw.link(lw.cur, els)
+	return in
+}
+
+// --- Braun et al. SSA construction -----------------------------------------
+
+func (lw *lowerer) seal(b *ir.Block) {
+	if lw.sealed[b] {
+		return
+	}
+	names := make([]string, 0, len(lw.incompletePhis[b]))
+	for name := range lw.incompletePhis[b] {
+		names = append(names, name)
+	}
+	sort.Strings(names) // deterministic instruction IDs
+	for _, name := range names {
+		lw.addPhiOperands(name, lw.incompletePhis[b][name])
+	}
+	delete(lw.incompletePhis, b)
+	lw.sealed[b] = true
+}
+
+func (lw *lowerer) writeVar(name string, b *ir.Block, v ir.Value) {
+	m := lw.currentDef[name]
+	if m == nil {
+		m = make(map[*ir.Block]ir.Value)
+		lw.currentDef[name] = m
+	}
+	m[b] = v
+}
+
+func (lw *lowerer) readVar(name string, b *ir.Block) ir.Value {
+	if v, ok := lw.currentDef[name][b]; ok {
+		return v
+	}
+	return lw.readVarRecursive(name, b)
+}
+
+func (lw *lowerer) readVarRecursive(name string, b *ir.Block) ir.Value {
+	var v ir.Value
+	switch {
+	case !lw.sealed[b]:
+		phi := lw.newPhi(name, b)
+		if lw.incompletePhis[b] == nil {
+			lw.incompletePhis[b] = make(map[string]*ir.Instr)
+		}
+		lw.incompletePhis[b][name] = phi
+		v = phi
+	case len(b.Preds) == 1:
+		v = lw.readVar(name, b.Preds[0])
+	case len(b.Preds) == 0:
+		// Unreachable block or use-before-def: zero value.
+		v = zeroConst(lw.varTypes[name])
+	default:
+		phi := lw.newPhi(name, b)
+		lw.writeVar(name, b, phi)
+		lw.addPhiOperands(name, phi)
+		v = phi
+	}
+	lw.writeVar(name, b, v)
+	return v
+}
+
+func (lw *lowerer) newPhi(name string, b *ir.Block) *ir.Instr {
+	phi := lw.fn.NewInstr(ir.OpPhi, lw.varTypes[name])
+	phi.Blk = b
+	// Phis go at the front of the block.
+	b.Instrs = append([]*ir.Instr{phi}, b.Instrs...)
+	return phi
+}
+
+func (lw *lowerer) addPhiOperands(name string, phi *ir.Instr) {
+	for _, pred := range phi.Blk.Preds {
+		phi.Args = append(phi.Args, lw.readVar(name, pred))
+		phi.PhiPreds = append(phi.PhiPreds, pred)
+	}
+}
+
+// --- statements -------------------------------------------------------------
+
+func (lw *lowerer) lowerBlock(blk *lang.BlockStmt) error {
+	for _, st := range blk.Stmts {
+		if err := lw.lowerStmt(st); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (lw *lowerer) lowerStmt(st lang.Stmt) error {
+	switch s := st.(type) {
+	case *lang.BlockStmt:
+		return lw.lowerBlock(s)
+	case *lang.VarDeclStmt:
+		return lw.lowerVarDecl(s)
+	case *lang.AssignStmt:
+		return lw.lowerAssign(s)
+	case *lang.IfStmt:
+		return lw.lowerIf(s)
+	case *lang.WhileStmt:
+		return lw.lowerWhile(s)
+	case *lang.ForStmt:
+		return lw.lowerFor(s)
+	case *lang.BreakStmt:
+		if len(lw.loopStack) == 0 {
+			return lw.errf(s.Pos, "break outside loop")
+		}
+		lw.emitJmp(lw.loopStack[len(lw.loopStack)-1].breakTo)
+		lw.cur = lw.fn.NewBlock("dead")
+		lw.seal(lw.cur)
+		return nil
+	case *lang.ContinueStmt:
+		if len(lw.loopStack) == 0 {
+			return lw.errf(s.Pos, "continue outside loop")
+		}
+		lw.emitJmp(lw.loopStack[len(lw.loopStack)-1].continueTo)
+		lw.cur = lw.fn.NewBlock("dead")
+		lw.seal(lw.cur)
+		return nil
+	case *lang.ReturnStmt:
+		return lw.lowerReturn(s)
+	case *lang.ExprStmt:
+		_, _, err := lw.lowerExpr(s.X)
+		return err
+	}
+	return fmt.Errorf("unhandled statement %T", st)
+}
+
+func (lw *lowerer) lowerVarDecl(s *lang.VarDeclStmt) error {
+	if _, exists := lw.varTypes[s.Name]; exists {
+		return lw.errf(s.Pos, "duplicate local %s", s.Name)
+	}
+	if lw.mod.Global(s.Name) != nil {
+		return lw.errf(s.Pos, "local %s shadows a global", s.Name)
+	}
+	typ := typeOf(s.Type)
+	lw.varTypes[s.Name] = typ
+	var v ir.Value = zeroConst(typ)
+	if s.Init != nil {
+		iv, it, err := lw.lowerExpr(s.Init)
+		if err != nil {
+			return err
+		}
+		if it != typ {
+			return lw.errf(s.Pos, "cannot initialize %s %s with %s", typ, s.Name, it)
+		}
+		v = iv
+	}
+	lw.writeVar(s.Name, lw.cur, v)
+	return nil
+}
+
+func (lw *lowerer) lowerAssign(s *lang.AssignStmt) error {
+	v, vt, err := lw.lowerExpr(s.Value)
+	if err != nil {
+		return err
+	}
+	if g := lw.mod.Global(s.Name); g != nil {
+		if g.IsArray != (s.Index != nil) {
+			return lw.errf(s.Pos, "global %s: array/scalar mismatch in assignment", s.Name)
+		}
+		if vt != g.Typ {
+			return lw.errf(s.Pos, "cannot assign %s to %s global %s", vt, g.Typ, s.Name)
+		}
+		st := lw.fn.NewInstr(ir.OpStore, ir.Void)
+		st.Global = g
+		if s.Index != nil {
+			idx, it, err := lw.lowerExpr(s.Index)
+			if err != nil {
+				return err
+			}
+			if it != ir.Int {
+				return lw.errf(s.Pos, "array index must be int, got %s", it)
+			}
+			st.Args = []ir.Value{idx, v}
+		} else {
+			st.Args = []ir.Value{v}
+		}
+		st.InCritical = lw.lockDepth > 0
+		st.LoopDepth = len(lw.loopStack)
+		lw.cur.Append(st)
+		return nil
+	}
+	if s.Index != nil {
+		return lw.errf(s.Pos, "%s is not a global array", s.Name)
+	}
+	typ, ok := lw.varTypes[s.Name]
+	if !ok {
+		return lw.errf(s.Pos, "undefined variable %s", s.Name)
+	}
+	if vt != typ {
+		return lw.errf(s.Pos, "cannot assign %s to %s variable %s", vt, typ, s.Name)
+	}
+	lw.writeVar(s.Name, lw.cur, v)
+	return nil
+}
+
+func (lw *lowerer) lowerReturn(s *lang.ReturnStmt) error {
+	if lw.fn.Ret == ir.Void {
+		if s.Value != nil {
+			return lw.errf(s.Pos, "void function returns a value")
+		}
+		lw.emit(ir.OpRet, ir.Void)
+	} else {
+		if s.Value == nil {
+			return lw.errf(s.Pos, "missing return value")
+		}
+		v, vt, err := lw.lowerExpr(s.Value)
+		if err != nil {
+			return err
+		}
+		if vt != lw.fn.Ret {
+			return lw.errf(s.Pos, "return type %s, want %s", vt, lw.fn.Ret)
+		}
+		lw.emit(ir.OpRet, ir.Void, v)
+	}
+	lw.cur = lw.fn.NewBlock("dead")
+	lw.seal(lw.cur)
+	return nil
+}
+
+func (lw *lowerer) lowerIf(s *lang.IfStmt) error {
+	thenB := lw.fn.NewBlock("then")
+	mergeB := lw.fn.NewBlock("merge")
+	elseB := mergeB
+	if s.Else != nil {
+		elseB = lw.fn.NewBlock("else")
+	}
+	if err := lw.lowerCond(s.Cond, thenB, elseB); err != nil {
+		return err
+	}
+	lw.seal(thenB)
+	if s.Else != nil {
+		lw.seal(elseB)
+	}
+	lw.cur = thenB
+	if err := lw.lowerBlock(s.Then); err != nil {
+		return err
+	}
+	lw.emitJmp(mergeB)
+	if s.Else != nil {
+		lw.cur = elseB
+		if err := lw.lowerBlock(s.Else); err != nil {
+			return err
+		}
+		lw.emitJmp(mergeB)
+	}
+	lw.seal(mergeB)
+	lw.cur = mergeB
+	return nil
+}
+
+func (lw *lowerer) lowerWhile(s *lang.WhileStmt) error {
+	return lw.lowerLoop(nil, s.Cond, nil, s.Body, s.Pos)
+}
+
+func (lw *lowerer) lowerFor(s *lang.ForStmt) error {
+	if s.Init != nil {
+		if err := lw.lowerStmt(s.Init); err != nil {
+			return err
+		}
+	}
+	return lw.lowerLoop(nil, s.Cond, s.Post, s.Body, s.Pos)
+}
+
+// lowerLoop emits the canonical loop shape:
+//
+//	pre:    loop.push ; jmp header
+//	header: <cond> ; br cond body, exit      (header unsealed until latch)
+//	body:   ... ; jmp latch
+//	latch:  <post> ; loop.inc ; jmp header
+//	exit:   loop.pop
+func (lw *lowerer) lowerLoop(_ lang.Stmt, cond lang.Expr, post lang.Stmt, body *lang.BlockStmt, pos lang.Pos) error {
+	lw.mod.NumLoops++
+	loopID := lw.mod.NumLoops
+
+	header := lw.fn.NewBlock("loop.head")
+	header.IsLoopHead = true
+	bodyB := lw.fn.NewBlock("loop.body")
+	latch := lw.fn.NewBlock("loop.latch")
+	exit := lw.fn.NewBlock("loop.exit")
+
+	push := lw.emit(ir.OpLoopPush, ir.Void)
+	push.LoopID = loopID
+	lw.emitJmp(header)
+
+	lw.loopStack = append(lw.loopStack, loopCtx{breakTo: exit, continueTo: latch})
+
+	lw.cur = header
+	if cond == nil {
+		cond = &lang.BoolLit{Pos: pos, Value: true}
+	}
+	if err := lw.lowerCondLoop(cond, bodyB, exit, pos.Line); err != nil {
+		return err
+	}
+	lw.seal(bodyB)
+
+	lw.cur = bodyB
+	if err := lw.lowerBlock(body); err != nil {
+		return err
+	}
+	lw.emitJmp(latch)
+	lw.seal(latch)
+
+	lw.cur = latch
+	if post != nil {
+		if err := lw.lowerStmt(post); err != nil {
+			return err
+		}
+	}
+	inc := lw.emit(ir.OpLoopInc, ir.Void)
+	inc.LoopID = loopID
+	lw.emitJmp(header)
+	lw.seal(header)
+
+	lw.loopStack = lw.loopStack[:len(lw.loopStack)-1]
+	lw.seal(exit)
+	lw.cur = exit
+	pop := lw.emit(ir.OpLoopPop, ir.Void)
+	pop.LoopID = loopID
+	return nil
+}
+
+// lowerCond lowers a boolean expression directly into control flow so that
+// every comparison becomes its own branch instruction (the shape LLVM
+// produces for short-circuit operators, and the granularity the paper's
+// analysis works at).
+func (lw *lowerer) lowerCond(e lang.Expr, thenB, elseB *ir.Block) error {
+	return lw.lowerCondEx(e, thenB, elseB, false)
+}
+
+// lowerCondLoop is lowerCond for a loop-header condition: the final branch
+// emitted is tagged as the loop branch.
+func (lw *lowerer) lowerCondLoop(e lang.Expr, thenB, elseB *ir.Block, line int) error {
+	switch x := e.(type) {
+	case *lang.BoolLit:
+		// Constant loop condition: unconditional edge (no checkable branch).
+		if x.Value {
+			lw.emitJmp(thenB)
+		} else {
+			lw.emitJmp(elseB)
+		}
+		return nil
+	}
+	return lw.lowerCondEx(e, thenB, elseB, true)
+}
+
+func (lw *lowerer) lowerCondEx(e lang.Expr, thenB, elseB *ir.Block, isLoop bool) error {
+	switch x := e.(type) {
+	case *lang.BinaryExpr:
+		switch x.Op {
+		case lang.AndAnd:
+			mid := lw.fn.NewBlock("and.rhs")
+			if err := lw.lowerCondEx(x.L, mid, elseB, isLoop); err != nil {
+				return err
+			}
+			lw.seal(mid)
+			lw.cur = mid
+			return lw.lowerCondEx(x.R, thenB, elseB, isLoop)
+		case lang.OrOr:
+			mid := lw.fn.NewBlock("or.rhs")
+			if err := lw.lowerCondEx(x.L, thenB, mid, isLoop); err != nil {
+				return err
+			}
+			lw.seal(mid)
+			lw.cur = mid
+			return lw.lowerCondEx(x.R, thenB, elseB, isLoop)
+		}
+	case *lang.UnaryExpr:
+		if x.Op == lang.Not {
+			return lw.lowerCondEx(x.X, elseB, thenB, isLoop)
+		}
+	}
+	v, vt, err := lw.lowerExpr(e)
+	if err != nil {
+		return err
+	}
+	if vt != ir.Bool {
+		return lw.errf(e.StartPos(), "condition must be bool, got %s", vt)
+	}
+	lw.emitBr(v, thenB, elseB, e.StartPos().Line, isLoop)
+	return nil
+}
+
+// --- expressions ------------------------------------------------------------
+
+func (lw *lowerer) lowerExpr(e lang.Expr) (ir.Value, ir.Type, error) {
+	switch x := e.(type) {
+	case *lang.IntLit:
+		return ir.ConstInt(x.Value), ir.Int, nil
+	case *lang.FloatLit:
+		return ir.ConstFloat(x.Value), ir.Float, nil
+	case *lang.BoolLit:
+		return ir.ConstBool(x.Value), ir.Bool, nil
+	case *lang.Ident:
+		if g := lw.mod.Global(x.Name); g != nil {
+			if g.IsArray {
+				return nil, 0, lw.errf(x.Pos, "array %s used without index", x.Name)
+			}
+			ld := lw.emit(ir.OpLoad, g.Typ)
+			ld.Global = g
+			return ld, g.Typ, nil
+		}
+		typ, ok := lw.varTypes[x.Name]
+		if !ok {
+			return nil, 0, lw.errf(x.Pos, "undefined variable %s", x.Name)
+		}
+		return lw.readVar(x.Name, lw.cur), typ, nil
+	case *lang.IndexExpr:
+		g := lw.mod.Global(x.Name)
+		if g == nil || !g.IsArray {
+			return nil, 0, lw.errf(x.Pos, "%s is not a global array", x.Name)
+		}
+		idx, it, err := lw.lowerExpr(x.Index)
+		if err != nil {
+			return nil, 0, err
+		}
+		if it != ir.Int {
+			return nil, 0, lw.errf(x.Pos, "array index must be int, got %s", it)
+		}
+		ld := lw.emit(ir.OpLoad, g.Typ, idx)
+		ld.Global = g
+		return ld, g.Typ, nil
+	case *lang.UnaryExpr:
+		return lw.lowerUnary(x)
+	case *lang.BinaryExpr:
+		return lw.lowerBinary(x)
+	case *lang.CallExpr:
+		return lw.lowerCall(x)
+	}
+	return nil, 0, fmt.Errorf("unhandled expression %T", e)
+}
+
+func (lw *lowerer) lowerUnary(x *lang.UnaryExpr) (ir.Value, ir.Type, error) {
+	v, vt, err := lw.lowerExpr(x.X)
+	if err != nil {
+		return nil, 0, err
+	}
+	switch x.Op {
+	case lang.Minus:
+		if vt != ir.Int && vt != ir.Float {
+			return nil, 0, lw.errf(x.Pos, "cannot negate %s", vt)
+		}
+		return lw.emit(ir.OpNeg, vt, v), vt, nil
+	case lang.Not:
+		if vt != ir.Bool {
+			return nil, 0, lw.errf(x.Pos, "! requires bool, got %s", vt)
+		}
+		return lw.emit(ir.OpNot, ir.Bool, v), ir.Bool, nil
+	}
+	return nil, 0, lw.errf(x.Pos, "bad unary op")
+}
+
+var binOps = map[lang.Kind]ir.Op{
+	lang.Plus:    ir.OpAdd,
+	lang.Minus:   ir.OpSub,
+	lang.Star:    ir.OpMul,
+	lang.Slash:   ir.OpDiv,
+	lang.Percent: ir.OpRem,
+	lang.Eq:      ir.OpEq,
+	lang.Ne:      ir.OpNe,
+	lang.Lt:      ir.OpLt,
+	lang.Le:      ir.OpLe,
+	lang.Gt:      ir.OpGt,
+	lang.Ge:      ir.OpGe,
+}
+
+func (lw *lowerer) lowerBinary(x *lang.BinaryExpr) (ir.Value, ir.Type, error) {
+	if x.Op == lang.AndAnd || x.Op == lang.OrOr {
+		return lw.lowerShortCircuitValue(x)
+	}
+	l, lt, err := lw.lowerExpr(x.L)
+	if err != nil {
+		return nil, 0, err
+	}
+	r, rt, err := lw.lowerExpr(x.R)
+	if err != nil {
+		return nil, 0, err
+	}
+	op, ok := binOps[x.Op]
+	if !ok {
+		return nil, 0, lw.errf(x.Pos, "bad binary op %s", x.Op)
+	}
+	if lt != rt {
+		return nil, 0, lw.errf(x.Pos, "type mismatch %s %s %s", lt, x.Op, rt)
+	}
+	if op.IsCompare() {
+		if lt == ir.Bool && op != ir.OpEq && op != ir.OpNe {
+			return nil, 0, lw.errf(x.Pos, "ordered comparison on bool")
+		}
+		return lw.emit(op, ir.Bool, l, r), ir.Bool, nil
+	}
+	if lt != ir.Int && lt != ir.Float {
+		return nil, 0, lw.errf(x.Pos, "arithmetic on %s", lt)
+	}
+	if op == ir.OpRem && lt != ir.Int {
+		return nil, 0, lw.errf(x.Pos, "%% requires int operands")
+	}
+	return lw.emit(op, lt, l, r), lt, nil
+}
+
+// lowerShortCircuitValue materializes && / || used in value position
+// (outside a branch condition) via control flow and a phi.
+func (lw *lowerer) lowerShortCircuitValue(x *lang.BinaryExpr) (ir.Value, ir.Type, error) {
+	tmp := fmt.Sprintf("$sc%d", lw.fn.NumInstrs())
+	lw.varTypes[tmp] = ir.Bool
+	thenB := lw.fn.NewBlock("sc.true")
+	elseB := lw.fn.NewBlock("sc.false")
+	mergeB := lw.fn.NewBlock("sc.merge")
+	if err := lw.lowerCond(x, thenB, elseB); err != nil {
+		return nil, 0, err
+	}
+	lw.seal(thenB)
+	lw.seal(elseB)
+	lw.cur = thenB
+	lw.writeVar(tmp, lw.cur, ir.ConstBool(true))
+	lw.emitJmp(mergeB)
+	lw.cur = elseB
+	lw.writeVar(tmp, lw.cur, ir.ConstBool(false))
+	lw.emitJmp(mergeB)
+	lw.seal(mergeB)
+	lw.cur = mergeB
+	return lw.readVar(tmp, mergeB), ir.Bool, nil
+}
+
+func (lw *lowerer) lowerCall(x *lang.CallExpr) (ir.Value, ir.Type, error) {
+	if lang.IsBuiltin(x.Name) {
+		return lw.lowerBuiltin(x)
+	}
+	decl, ok := lw.decls[x.Name]
+	if !ok {
+		return nil, 0, lw.errf(x.Pos, "undefined function %s", x.Name)
+	}
+	if len(x.Args) != len(decl.Params) {
+		return nil, 0, lw.errf(x.Pos, "%s expects %d args, got %d", x.Name, len(decl.Params), len(x.Args))
+	}
+	args := make([]ir.Value, 0, len(x.Args))
+	for i, a := range x.Args {
+		v, vt, err := lw.lowerExpr(a)
+		if err != nil {
+			return nil, 0, err
+		}
+		if want := typeOf(decl.Params[i].Type); vt != want {
+			return nil, 0, lw.errf(a.StartPos(), "%s arg %d: got %s, want %s", x.Name, i+1, vt, want)
+		}
+		args = append(args, v)
+	}
+	ret := typeOf(decl.Ret)
+	call := lw.emit(ir.OpCall, ret, args...)
+	call.Callee = x.Name
+	lw.mod.NumCallSites++
+	call.CallSiteID = lw.mod.NumCallSites
+	return call, ret, nil
+}
+
+func (lw *lowerer) lowerBuiltin(x *lang.CallExpr) (ir.Value, ir.Type, error) {
+	spec := lang.Builtins[x.Name]
+	if len(x.Args) != spec.Arity {
+		return nil, 0, lw.errf(x.Pos, "%s expects %d args, got %d", x.Name, spec.Arity, len(x.Args))
+	}
+	args := make([]ir.Value, 0, len(x.Args))
+	types := make([]ir.Type, 0, len(x.Args))
+	for _, a := range x.Args {
+		v, vt, err := lw.lowerExpr(a)
+		if err != nil {
+			return nil, 0, err
+		}
+		args = append(args, v)
+		types = append(types, vt)
+	}
+	requireNum := func(i int) error {
+		if types[i] != ir.Int && types[i] != ir.Float {
+			return lw.errf(x.Pos, "%s arg %d must be numeric", x.Name, i+1)
+		}
+		return nil
+	}
+	switch x.Name {
+	case "lock":
+		if types[0] != ir.Int {
+			return nil, 0, lw.errf(x.Pos, "lock requires int arg")
+		}
+		lw.emit(ir.OpLock, ir.Void, args[0])
+		lw.lockDepth++
+		return nil, ir.Void, nil
+	case "unlock":
+		if types[0] != ir.Int {
+			return nil, 0, lw.errf(x.Pos, "unlock requires int arg")
+		}
+		if lw.lockDepth > 0 {
+			lw.lockDepth--
+		}
+		lw.emit(ir.OpUnlock, ir.Void, args[0])
+		return nil, ir.Void, nil
+	case "barrier":
+		lw.emit(ir.OpBarrier, ir.Void)
+		return nil, ir.Void, nil
+	case "output", "outputf":
+		if err := requireNum(0); err != nil {
+			return nil, 0, err
+		}
+		lw.emit(ir.OpOutput, ir.Void, args[0])
+		return nil, ir.Void, nil
+	case "itof":
+		if types[0] != ir.Int {
+			return nil, 0, lw.errf(x.Pos, "itof requires int arg")
+		}
+		return lw.emit(ir.OpI2F, ir.Float, args[0]), ir.Float, nil
+	case "ftoi":
+		if types[0] != ir.Float {
+			return nil, 0, lw.errf(x.Pos, "ftoi requires float arg")
+		}
+		return lw.emit(ir.OpF2I, ir.Int, args[0]), ir.Int, nil
+	}
+	// Remaining builtins are pure intrinsics handled by the VM.
+	ret := typeOf(spec.Ret)
+	for i := range args {
+		switch x.Name {
+		case "abs", "min", "max":
+			if types[i] != ir.Int {
+				return nil, 0, lw.errf(x.Pos, "%s requires int args", x.Name)
+			}
+		case "fabs", "sqrt", "sin", "cos", "exp":
+			if types[i] != ir.Float {
+				return nil, 0, lw.errf(x.Pos, "%s requires float args", x.Name)
+			}
+		}
+	}
+	in := lw.emit(ir.OpBuiltin, ret, args...)
+	in.Builtin = x.Name
+	if ret == ir.Void {
+		return nil, ir.Void, nil
+	}
+	return in, ret, nil
+}
+
+// pruneUnreachable removes blocks not reachable from the entry, fixing up
+// pred lists and phi incoming edges of surviving blocks. Lowering creates
+// such blocks for code following break/continue/return.
+func pruneUnreachable(f *ir.Func) {
+	reach := make(map[*ir.Block]bool, len(f.Blocks))
+	var visit func(b *ir.Block)
+	visit = func(b *ir.Block) {
+		if reach[b] {
+			return
+		}
+		reach[b] = true
+		for _, s := range b.Succs {
+			visit(s)
+		}
+	}
+	if len(f.Blocks) == 0 {
+		return
+	}
+	visit(f.Blocks[0])
+
+	kept := f.Blocks[:0]
+	for _, b := range f.Blocks {
+		if reach[b] {
+			kept = append(kept, b)
+		}
+	}
+	f.Blocks = kept
+	for _, b := range f.Blocks {
+		preds := b.Preds[:0]
+		var removedIdx []int
+		for i, p := range b.Preds {
+			if reach[p] {
+				preds = append(preds, p)
+			} else {
+				removedIdx = append(removedIdx, i)
+			}
+		}
+		if len(removedIdx) == 0 {
+			continue
+		}
+		b.Preds = preds
+		for _, in := range b.Instrs {
+			if in.Op != ir.OpPhi {
+				continue
+			}
+			args := in.Args[:0]
+			pp := in.PhiPreds[:0]
+			for i := range in.PhiPreds {
+				if reach[in.PhiPreds[i]] {
+					args = append(args, in.Args[i])
+					pp = append(pp, in.PhiPreds[i])
+				}
+			}
+			in.Args = args
+			in.PhiPreds = pp
+		}
+	}
+}
+
+// --- trivial phi elimination -------------------------------------------------
+
+// removeTrivialPhis iteratively replaces phis whose incoming values are all
+// identical (ignoring self-references) with that value, until fixpoint.
+func removeTrivialPhis(m *ir.Module) {
+	for _, f := range m.Funcs {
+		for {
+			repl := make(map[*ir.Instr]ir.Value)
+			for _, b := range f.Blocks {
+				for _, in := range b.Instrs {
+					if in.Op != ir.OpPhi {
+						continue
+					}
+					var same ir.Value
+					trivial := true
+					for _, a := range in.Args {
+						if a == ir.Value(in) {
+							continue
+						}
+						if same == nil {
+							same = a
+						} else if !sameValue(same, a) {
+							trivial = false
+							break
+						}
+					}
+					if trivial && same != nil {
+						repl[in] = same
+					}
+				}
+			}
+			if len(repl) == 0 {
+				break
+			}
+			// Resolve chains phi→phi.
+			resolve := func(v ir.Value) ir.Value {
+				for {
+					in, ok := v.(*ir.Instr)
+					if !ok {
+						return v
+					}
+					nv, ok := repl[in]
+					if !ok {
+						return v
+					}
+					v = nv
+				}
+			}
+			for _, b := range f.Blocks {
+				kept := b.Instrs[:0]
+				for _, in := range b.Instrs {
+					if _, dead := repl[in]; dead {
+						continue
+					}
+					for i, a := range in.Args {
+						in.Args[i] = resolve(a)
+					}
+					kept = append(kept, in)
+				}
+				b.Instrs = kept
+			}
+		}
+	}
+}
+
+// sameValue reports whether two operands are definitely the same runtime
+// value: identical nodes, or equal constants.
+func sameValue(a, b ir.Value) bool {
+	if a == b {
+		return true
+	}
+	ca, ok1 := a.(*ir.Const)
+	cb, ok2 := b.(*ir.Const)
+	if !ok1 || !ok2 || ca.Typ != cb.Typ {
+		return false
+	}
+	switch ca.Typ {
+	case ir.Int:
+		return ca.I == cb.I
+	case ir.Float:
+		return ca.F == cb.F
+	case ir.Bool:
+		return ca.B == cb.B
+	}
+	return false
+}
+
+// ErrNoSlave is returned by CheckSPMD when the program lacks a slave entry.
+var ErrNoSlave = errors.New("program has no slave() function")
+
+// CheckSPMD validates the SPMD entry-point conventions: slave() must exist,
+// take no parameters, and return void; setup(), when present, must have the
+// same shape.
+func CheckSPMD(m *ir.Module) error {
+	slave := m.Func("slave")
+	if slave == nil {
+		return ErrNoSlave
+	}
+	if len(slave.Params) != 0 || slave.Ret != ir.Void {
+		return errors.New("slave() must take no parameters and return void")
+	}
+	if setup := m.Func("setup"); setup != nil {
+		if len(setup.Params) != 0 || setup.Ret != ir.Void {
+			return errors.New("setup() must take no parameters and return void")
+		}
+	}
+	return nil
+}

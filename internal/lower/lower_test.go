@@ -1,0 +1,516 @@
+package lower
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"blockwatch/internal/ir"
+)
+
+func mustCompile(t *testing.T, src string) *ir.Module {
+	t.Helper()
+	m, err := Compile(src, "test")
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	return m
+}
+
+func TestLowerStraightLine(t *testing.T) {
+	m := mustCompile(t, `
+global int g;
+func void slave() {
+	int x = 1;
+	int y = x + 2;
+	g = y * 3;
+}`)
+	f := m.Func("slave")
+	if f == nil {
+		t.Fatal("no slave")
+	}
+	if len(f.Blocks) != 1 {
+		t.Fatalf("got %d blocks, want 1", len(f.Blocks))
+	}
+	var stores int
+	for _, in := range f.Blocks[0].Instrs {
+		if in.Op == ir.OpStore {
+			stores++
+		}
+	}
+	if stores != 1 {
+		t.Errorf("got %d stores, want 1", stores)
+	}
+}
+
+func TestLowerIfProducesPhi(t *testing.T) {
+	m := mustCompile(t, `
+func int f(int a) {
+	int x = 0;
+	if (a > 0) {
+		x = 1;
+	} else {
+		x = 2;
+	}
+	return x;
+}`)
+	f := m.Func("f")
+	var phis int
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpPhi {
+				phis++
+				if len(in.Args) != 2 {
+					t.Errorf("phi has %d args, want 2", len(in.Args))
+				}
+			}
+		}
+	}
+	if phis != 1 {
+		t.Errorf("got %d phis, want 1", phis)
+	}
+}
+
+func TestTrivialPhiRemoved(t *testing.T) {
+	// x is not reassigned in either arm, so no phi must survive for it.
+	m := mustCompile(t, `
+func int f(int a) {
+	int x = 5;
+	if (a > 0) {
+		output(1);
+	} else {
+		output(2);
+	}
+	return x;
+}`)
+	f := m.Func("f")
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpPhi {
+				t.Errorf("unexpected phi %s survived", in.Name())
+			}
+		}
+	}
+	// The return must directly use the parameter-independent constant.
+	for _, b := range f.Blocks {
+		if term := b.Terminator(); term != nil && term.Op == ir.OpRet && len(term.Args) == 1 {
+			if c, ok := term.Args[0].(*ir.Const); !ok || c.I != 5 {
+				t.Errorf("return arg = %v, want constant 5", term.Args[0])
+			}
+		}
+	}
+}
+
+func TestLowerLoopShape(t *testing.T) {
+	m := mustCompile(t, `
+func void slave() {
+	int i;
+	for (i = 0; i < 10; i = i + 1) {
+		output(i);
+	}
+}`)
+	f := m.Func("slave")
+	var push, inc, pop, loopBr int
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			switch in.Op {
+			case ir.OpLoopPush:
+				push++
+			case ir.OpLoopInc:
+				inc++
+			case ir.OpLoopPop:
+				pop++
+			case ir.OpBr:
+				if in.IsLoopBr {
+					loopBr++
+				}
+			}
+		}
+	}
+	if push != 1 || inc != 1 || pop != 1 || loopBr != 1 {
+		t.Errorf("loop shape: push=%d inc=%d pop=%d loopBr=%d, want all 1", push, inc, pop, loopBr)
+	}
+	if m.NumLoops != 1 {
+		t.Errorf("NumLoops = %d, want 1", m.NumLoops)
+	}
+	// The induction variable must be a phi in the loop header.
+	found := false
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpPhi && len(in.Args) == 2 {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("no induction-variable phi found")
+	}
+}
+
+func TestLowerWhileBreakContinue(t *testing.T) {
+	m := mustCompile(t, `
+func void slave() {
+	int i = 0;
+	while (i < 100) {
+		i = i + 1;
+		if (i == 5) {
+			continue;
+		}
+		if (i == 50) {
+			break;
+		}
+		output(i);
+	}
+}`)
+	if err := ir.Verify(m); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+}
+
+func TestShortCircuitCondBecomesTwoBranches(t *testing.T) {
+	m := mustCompile(t, `
+func void slave(int a, int b) {
+	if (a > 0 && b > 0) {
+		output(1);
+	}
+}`)
+	// Wait: slave has params here; just checking branch counts.
+	if m.NumBranches != 2 {
+		t.Errorf("NumBranches = %d, want 2 (one per comparison)", m.NumBranches)
+	}
+}
+
+func TestShortCircuitValuePosition(t *testing.T) {
+	m := mustCompile(t, `
+func bool f(int a, int b) {
+	bool r = a > 0 || b > 0;
+	return r;
+}`)
+	if err := ir.Verify(m); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if m.NumBranches != 2 {
+		t.Errorf("NumBranches = %d, want 2", m.NumBranches)
+	}
+}
+
+func TestNotInvertsBranchTargets(t *testing.T) {
+	m := mustCompile(t, `
+func void f(int a) {
+	if (!(a > 0)) {
+		output(1);
+	}
+}`)
+	f := m.Func("f")
+	br := m.Branches()[0]
+	_ = f
+	// The then-target of the br must be the implicit else/merge of the
+	// source if: i.e. "then" of br leads to the block without output.
+	hasOutput := func(b *ir.Block) bool {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpOutput {
+				return true
+			}
+		}
+		return false
+	}
+	if hasOutput(br.Then) {
+		t.Error("br.Then contains output; ! should have swapped targets")
+	}
+	if !hasOutput(br.Else) {
+		t.Error("br.Else lacks output; ! should have swapped targets")
+	}
+}
+
+func TestCriticalSectionMarking(t *testing.T) {
+	m := mustCompile(t, `
+global int counter;
+func void slave() {
+	lock(0);
+	if (counter > 5) {
+		counter = 0;
+	}
+	unlock(0);
+	if (counter > 7) {
+		output(1);
+	}
+}`)
+	brs := m.Branches()
+	if len(brs) != 2 {
+		t.Fatalf("got %d branches, want 2", len(brs))
+	}
+	if !brs[0].InCritical {
+		t.Error("first branch should be marked critical")
+	}
+	if brs[1].InCritical {
+		t.Error("second branch should not be marked critical")
+	}
+}
+
+func TestCallSiteIDsUnique(t *testing.T) {
+	m := mustCompile(t, `
+func int helper(int a) { return a + 1; }
+func void slave() {
+	int x = helper(1);
+	int y = helper(2);
+	output(x + y);
+}`)
+	if m.NumCallSites != 2 {
+		t.Fatalf("NumCallSites = %d, want 2", m.NumCallSites)
+	}
+	seen := map[int]bool{}
+	for _, b := range m.Func("slave").Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpCall {
+				if seen[in.CallSiteID] {
+					t.Errorf("duplicate call site ID %d", in.CallSiteID)
+				}
+				seen[in.CallSiteID] = true
+			}
+		}
+	}
+	if len(seen) != 2 {
+		t.Errorf("got %d distinct call sites, want 2", len(seen))
+	}
+}
+
+func TestLoopDepthOnBranches(t *testing.T) {
+	m := mustCompile(t, `
+func void slave() {
+	int i;
+	int j;
+	for (i = 0; i < 4; i = i + 1) {
+		for (j = 0; j < 4; j = j + 1) {
+			if (i + j == 3) {
+				output(1);
+			}
+		}
+	}
+}`)
+	var depths []int
+	for _, br := range m.Branches() {
+		if !br.IsLoopBr {
+			depths = append(depths, br.LoopDepth)
+		}
+	}
+	if len(depths) != 1 || depths[0] != 2 {
+		t.Errorf("inner if depth = %v, want [2]", depths)
+	}
+}
+
+func TestLowerErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"undefined var", `func void f() { x = 1; }`, "undefined variable"},
+		{"undefined func", `func void f() { g(); }`, "undefined function"},
+		{"type mismatch assign", `func void f() { int x = 1.5; }`, "initialize"},
+		{"type mismatch binop", `func void f() { int x = 1; float y = 2.0; output(x + y); }`, "type mismatch"},
+		{"non-bool cond", `func void f() { if (1) { } }`, "condition must be bool"},
+		{"break outside loop", `func void f() { break; }`, "break outside loop"},
+		{"continue outside loop", `func void f() { continue; }`, "continue outside loop"},
+		{"duplicate local", `func void f() { int x; int x; }`, "duplicate local"},
+		{"duplicate func", `func void f() {} func void f() {}`, "duplicate function"},
+		{"duplicate global", "global int g;\nglobal int g;", "duplicate global"},
+		{"shadow global", `global int g; func void f() { int g; }`, "shadows a global"},
+		{"redefine builtin", `func void tid() {}`, "builtin"},
+		{"bad arg count", `func int h(int a) { return a; } func void f() { output(h(1,2)); }`, "expects 1 args"},
+		{"bad arg type", `func int h(int a) { return a; } func void f() { output(h(1.5)); }`, "want int"},
+		{"array no index", `global int a[4]; func void f() { output(a); }`, "without index"},
+		{"index non-array", `global int s; func void f() { s[0] = 1; }`, "array/scalar mismatch"},
+		{"float index", `global int a[4]; func void f() { output(a[1.5]); }`, "index must be int"},
+		{"ret type", `func int f() { return 1.5; }`, "return type"},
+		{"void returns value", `func void f() { return 1; }`, "void function returns"},
+		{"missing return value", `func int f() { return; }`, "missing return value"},
+		{"rem float", `func void f() { float x = 1.0 % 2.0; }`, "requires int"},
+		{"negate bool", `func void f() { bool b = -true; }`, "cannot negate"},
+		{"not int", `func void f() { bool b = !3; }`, "requires bool"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Compile(tc.src, "t")
+			if err == nil {
+				t.Fatalf("want error containing %q, got nil", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestCheckSPMD(t *testing.T) {
+	m := mustCompile(t, `func void slave() { output(1); }`)
+	if err := CheckSPMD(m); err != nil {
+		t.Errorf("valid SPMD rejected: %v", err)
+	}
+	m2 := mustCompile(t, `func void other() { }`)
+	if err := CheckSPMD(m2); !errors.Is(err, ErrNoSlave) {
+		t.Errorf("want ErrNoSlave, got %v", err)
+	}
+	m3 := mustCompile(t, `func int slave() { return 1; }`)
+	if err := CheckSPMD(m3); err == nil {
+		t.Error("slave with return value accepted")
+	}
+	m4 := mustCompile(t, `func void slave() {} func void setup(int x) {}`)
+	if err := CheckSPMD(m4); err == nil {
+		t.Error("setup with params accepted")
+	}
+}
+
+func TestVerifyAllLoweredModules(t *testing.T) {
+	srcs := []string{
+		`func void slave() { int i; for (i=0;i<3;i=i+1) { if (i==1) { break; } } }`,
+		`func void slave() { int i=0; while (true) { i=i+1; if (i>4) { break; } } }`,
+		`func int fib(int n) { if (n < 2) { return n; } return fib(n-1) + fib(n-2); }
+		 func void slave() { output(fib(10)); }`,
+		`global float a[8];
+		 func void slave() { int i; for (i=0;i<8;i=i+1) { a[i] = itof(i) * 2.0; } outputf(a[3]); }`,
+	}
+	for i, src := range srcs {
+		m, err := Compile(src, "t")
+		if err != nil {
+			t.Errorf("case %d: %v", i, err)
+			continue
+		}
+		if err := ir.Verify(m); err != nil {
+			t.Errorf("case %d verify: %v", i, err)
+		}
+	}
+}
+
+func TestModuleStringDump(t *testing.T) {
+	m := mustCompile(t, `
+global int g;
+global float arr[4];
+func void slave() {
+	int i;
+	for (i = 0; i < 4; i = i + 1) {
+		if (g == i) {
+			arr[i] = 1.0;
+		}
+	}
+}`)
+	s := m.String()
+	for _, want := range []string{"module test", "global int g", "global float arr[4]",
+		"func void slave", "phi", "br", "branch#", "loop.push"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("dump missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestUnreachableCodeIsPruned(t *testing.T) {
+	m := mustCompile(t, `
+func int f(int a) {
+	return a;
+	output(99);
+}`)
+	f := m.Func("f")
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpOutput {
+				t.Fatal("unreachable output survived pruning")
+			}
+		}
+	}
+}
+
+func TestUnreachableAfterBreakInsideLoop(t *testing.T) {
+	m := mustCompile(t, `
+func void f() {
+	int i;
+	for (i = 0; i < 4; i = i + 1) {
+		break;
+		output(1);
+	}
+	output(2);
+}`)
+	if err := ir.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+	var outputs int
+	for _, b := range m.Func("f").Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpOutput {
+				outputs++
+			}
+		}
+	}
+	if outputs != 1 {
+		t.Fatalf("got %d outputs, want 1 (dead one pruned)", outputs)
+	}
+	// Every surviving block must be reachable from entry.
+	f := m.Func("f")
+	reach := map[*ir.Block]bool{}
+	var walk func(b *ir.Block)
+	walk = func(b *ir.Block) {
+		if reach[b] {
+			return
+		}
+		reach[b] = true
+		for _, s := range b.Succs {
+			walk(s)
+		}
+	}
+	walk(f.Entry())
+	for _, b := range f.Blocks {
+		if !reach[b] {
+			t.Fatalf("unreachable block %s kept", b.Name())
+		}
+	}
+}
+
+func TestPhiIncomingPrunedWithDeadPred(t *testing.T) {
+	// The loop latch is unreachable when the body always breaks; the
+	// header phi must lose the dead incoming edge and collapse.
+	m := mustCompile(t, `
+func int f() {
+	int s = 0;
+	int i;
+	for (i = 0; i < 4; i = i + 1) {
+		s = 7;
+		break;
+	}
+	return s;
+}`)
+	if err := ir.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+	res := 0
+	for _, b := range m.Func("f").Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpPhi {
+				if len(in.Args) != len(b.Preds) {
+					t.Fatalf("phi arity %d != preds %d", len(in.Args), len(b.Preds))
+				}
+				res++
+			}
+		}
+	}
+	_ = res
+}
+
+func TestLoopHeadMarking(t *testing.T) {
+	m := mustCompile(t, `
+func void f() {
+	int i;
+	for (i = 0; i < 3; i = i + 1) {
+		output(i);
+	}
+	if (true) {
+		output(9);
+	}
+}`)
+	heads := 0
+	for _, b := range m.Func("f").Blocks {
+		if b.IsLoopHead {
+			heads++
+		}
+	}
+	if heads != 1 {
+		t.Fatalf("got %d loop heads, want 1", heads)
+	}
+}

@@ -1,0 +1,164 @@
+package monitor
+
+import (
+	"fmt"
+
+	"blockwatch/internal/core"
+	"blockwatch/internal/ir"
+)
+
+// CheckReports validates the reports collected for one branch instance
+// against the branch's check plan and returns a violation description, or
+// "" when the reports are consistent with the statically inferred
+// similarity. Soundness rule: with fewer than two reports nothing can be
+// cross-checked (the paper notes BLOCKWATCH needs at least two threads).
+func CheckReports(plan *core.CheckPlan, reports []Report) string {
+	if len(reports) < 2 {
+		return ""
+	}
+	if dup := duplicateThread(reports); dup >= 0 {
+		return fmt.Sprintf("thread %d reported the same branch instance twice", dup)
+	}
+	switch plan.Kind {
+	case core.CheckShared:
+		return checkShared(reports)
+	case core.CheckThreadID:
+		return checkThreadID(plan, reports)
+	case core.CheckPartial:
+		return checkPartial(reports)
+	case core.CheckUniform:
+		return checkUniform(reports)
+	}
+	return ""
+}
+
+// checkUniform: every thread must take the same decision; condition data
+// is thread-dependent but the decision provably is not (uniform-loop
+// extension).
+func checkUniform(reports []Report) string {
+	first := reports[0]
+	for _, r := range reports[1:] {
+		if r.Taken != first.Taken {
+			return fmt.Sprintf("uniform-loop outcome differs between threads %d and %d",
+				first.Thread, r.Thread)
+		}
+	}
+	return ""
+}
+
+func duplicateThread(reports []Report) int32 {
+	seen := make(map[int32]bool, len(reports))
+	for _, r := range reports {
+		if seen[r.Thread] {
+			return r.Thread
+		}
+		seen[r.Thread] = true
+	}
+	return -1
+}
+
+// checkShared: every thread must observe the same condition data and take
+// the same decision (paper Table I, row "shared").
+func checkShared(reports []Report) string {
+	first := reports[0]
+	for _, r := range reports[1:] {
+		if r.Sig != first.Sig {
+			return fmt.Sprintf("shared condition data differs between threads %d and %d",
+				first.Thread, r.Thread)
+		}
+		if r.Taken != first.Taken {
+			return fmt.Sprintf("shared branch outcome differs between threads %d and %d",
+				first.Thread, r.Thread)
+		}
+	}
+	return ""
+}
+
+// checkThreadID: the shared operand must agree across threads, and when the
+// branch condition is a direct comparison between the raw thread ID and a
+// shared int value (plan.Relation != 0), every thread's outcome is fully
+// determined: the report carries the shared operand's raw value, so the
+// monitor recomputes "tid REL value" per thread and flags any mismatch.
+// This realizes paper Table I's "the branch decision is related to thread
+// ID — threads of certain thread IDs take the same decision" exactly (and
+// subsumes the at-most-one-taker example the paper gives for equality).
+func checkThreadID(plan *core.CheckPlan, reports []Report) string {
+	first := reports[0]
+	for _, r := range reports[1:] {
+		if r.Sig != first.Sig {
+			return fmt.Sprintf("shared operand of thread-ID branch differs between threads %d and %d",
+				first.Thread, r.Thread)
+		}
+	}
+	if plan.Relation == 0 {
+		return ""
+	}
+	rel := plan.Relation
+	if !plan.TidOnLeft {
+		rel = mirrorRelation(rel)
+	}
+	shared := int64(first.Sig)
+	for _, r := range reports {
+		want := evalRelation(rel, int64(r.Thread), shared)
+		if r.Taken != want {
+			return fmt.Sprintf("thread %d outcome %t contradicts tid %s %d",
+				r.Thread, r.Taken, rel, shared)
+		}
+	}
+	return ""
+}
+
+// evalRelation computes "tid REL shared" over int64s, mirroring the
+// interpreter's integer compare semantics.
+func evalRelation(rel ir.Op, tid, shared int64) bool {
+	switch rel {
+	case ir.OpEq:
+		return tid == shared
+	case ir.OpNe:
+		return tid != shared
+	case ir.OpLt:
+		return tid < shared
+	case ir.OpLe:
+		return tid <= shared
+	case ir.OpGt:
+		return tid > shared
+	case ir.OpGe:
+		return tid >= shared
+	}
+	return false
+}
+
+// mirrorRelation rewrites "shared REL tid" as "tid REL' shared".
+func mirrorRelation(op ir.Op) ir.Op {
+	switch op {
+	case ir.OpLt:
+		return ir.OpGt
+	case ir.OpLe:
+		return ir.OpGe
+	case ir.OpGt:
+		return ir.OpLt
+	case ir.OpGe:
+		return ir.OpLe
+	}
+	return op
+}
+
+// checkPartial: threads whose condition signatures are identical must take
+// the same decision (paper Table I, row "partial"; also used for branches
+// promoted from "none" by the paper's first optimization).
+func checkPartial(reports []Report) string {
+	outcome := make(map[uint64]bool, len(reports))
+	owner := make(map[uint64]int32, len(reports))
+	for _, r := range reports {
+		if prev, ok := outcome[r.Sig]; ok {
+			if prev != r.Taken {
+				return fmt.Sprintf("threads %d and %d hold identical condition data but diverge",
+					owner[r.Sig], r.Thread)
+			}
+			continue
+		}
+		outcome[r.Sig] = r.Taken
+		owner[r.Sig] = r.Thread
+	}
+	return ""
+}

@@ -1,0 +1,427 @@
+package monitor
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"blockwatch/internal/core"
+	"blockwatch/internal/queue"
+)
+
+// DefaultQueueCap is the per-thread front-end queue capacity. The paper
+// sets "a sufficiently large value to prevent it from being a bottleneck".
+const DefaultQueueCap = 1 << 14
+
+// Config configures a Monitor.
+type Config struct {
+	// NumThreads is the number of program threads that will send events.
+	NumThreads int
+	// Plans maps static branch ID → check plan (from core.Analyze).
+	Plans map[int]*core.CheckPlan
+	// QueueCap overrides the per-thread queue capacity (0 = default).
+	QueueCap int
+	// CheckingDisabled makes the monitor drain events without storing or
+	// checking them — the paper's configuration for the 32-thread
+	// performance runs ("the monitor does not do anything with the
+	// information").
+	CheckingDisabled bool
+	// MaxInstances bounds the back-end table (0 = DefaultMaxInstances).
+	// When a run floods the table — only possible when an injected fault
+	// sends a thread into a runaway loop — pending instances are checked
+	// and the table is cleared, exactly like a forced generation flush.
+	// The paper similarly fixes its queue lengths; an unbounded table
+	// would let a faulty thread exhaust memory before hang detection.
+	MaxInstances int
+}
+
+// DefaultMaxInstances bounds the monitor's back-end table.
+const DefaultMaxInstances = 1 << 20
+
+// Stats are monitor-side counters.
+type Stats struct {
+	Events    uint64 // branch events received
+	Instances uint64 // branch instances checked
+	Flushes   uint64 // barrier-generation flushes performed
+}
+
+// ViolationSummary aggregates violations per static branch.
+type ViolationSummary struct {
+	BranchID int
+	Count    int
+	First    string // first reason observed
+}
+
+// Monitor is the BLOCKWATCH runtime monitor. Create with New, start the
+// asynchronous checking goroutine with Start, send events from program
+// threads with Send, and stop with Close (which drains outstanding events,
+// performs the final pending check, and waits for the goroutine to exit).
+type Monitor struct {
+	cfg    Config
+	queues []*queue.SPSC[Event]
+
+	table        map[uint64]*level1
+	numInstances int
+	maxInstances int
+	flushCount   []uint64 // per-thread barrier flushes processed
+	doneThreads  []bool   // per-thread EvDone processed
+	flushedGens  uint64
+	doneCount    int
+
+	mu         sync.Mutex
+	violations []Violation
+	detected   atomic.Bool
+	stats      Stats
+
+	started atomic.Bool
+	stop    chan struct{}
+	done    chan struct{}
+}
+
+type level1 struct {
+	plan      *core.CheckPlan
+	instances map[uint64]*instance
+}
+
+type instance struct {
+	reports []Report
+	checked bool
+}
+
+// errors for configuration problems.
+var (
+	ErrNoThreads = errors.New("monitor requires at least one thread")
+	ErrNoPlans   = errors.New("monitor requires a check-plan table")
+)
+
+// New builds a monitor for the given configuration.
+func New(cfg Config) (*Monitor, error) {
+	if cfg.NumThreads < 1 {
+		return nil, ErrNoThreads
+	}
+	if cfg.Plans == nil {
+		return nil, ErrNoPlans
+	}
+	cap := cfg.QueueCap
+	if cap <= 0 {
+		cap = DefaultQueueCap
+	}
+	maxInst := cfg.MaxInstances
+	if maxInst <= 0 {
+		maxInst = DefaultMaxInstances
+	}
+	m := &Monitor{
+		cfg:          cfg,
+		table:        make(map[uint64]*level1),
+		maxInstances: maxInst,
+		flushCount:   make([]uint64, cfg.NumThreads),
+		doneThreads:  make([]bool, cfg.NumThreads),
+		stop:         make(chan struct{}),
+		done:         make(chan struct{}),
+	}
+	m.queues = make([]*queue.SPSC[Event], cfg.NumThreads)
+	for i := range m.queues {
+		q, err := queue.NewSPSC[Event](cap)
+		if err != nil {
+			return nil, fmt.Errorf("front-end queue: %w", err)
+		}
+		m.queues[i] = q
+	}
+	return m, nil
+}
+
+// Send enqueues an event from thread ev.Thread, spinning if the thread's
+// queue is momentarily full (the producer never blocks on a lock).
+func (m *Monitor) Send(ev Event) {
+	q := m.queues[ev.Thread]
+	for !q.Push(ev) {
+		runtime.Gosched()
+	}
+}
+
+// Start launches the asynchronous monitor goroutine (paper design goal 1).
+func (m *Monitor) Start() {
+	if m.started.Swap(true) {
+		return
+	}
+	go m.loop()
+}
+
+// Close asks the monitor to finish draining and waits for it. It is safe
+// to call after all program threads have sent their EvDone events; any
+// still-pending instances are checked before the goroutine exits.
+func (m *Monitor) Close() {
+	if !m.started.Load() {
+		// Never started: drain synchronously so callers still get checks.
+		m.drainAll()
+		m.checkPending()
+		return
+	}
+	close(m.stop)
+	<-m.done
+}
+
+// loop drains the per-thread queues round-robin without taking locks on
+// the hot path (paper design goal 3), checking instances as they complete.
+func (m *Monitor) loop() {
+	defer close(m.done)
+	for {
+		idle := true
+		for tid, q := range m.queues {
+			// A thread that has flushed past the current generation is
+			// gated: its post-barrier events must not be mixed with other
+			// threads' pre-barrier events (per-queue FIFO plus this gate
+			// give generation-consistent processing).
+			for i := 0; i < 64 && !m.gated(tid); i++ {
+				ev, ok := q.Pop()
+				if !ok {
+					break
+				}
+				idle = false
+				m.process(ev)
+			}
+		}
+		if m.doneCount >= m.cfg.NumThreads {
+			m.checkPending()
+			return
+		}
+		if idle {
+			select {
+			case <-m.stop:
+				// Final drain after the program stopped producing.
+				m.drainAll()
+				m.checkPending()
+				return
+			default:
+				runtime.Gosched()
+			}
+		}
+	}
+}
+
+// gated reports whether thread tid's queue must pause until the current
+// barrier generation is flushed.
+func (m *Monitor) gated(tid int) bool {
+	return m.flushCount[tid] > m.flushedGens
+}
+
+// drainAll empties every queue, forcing generations closed when some
+// thread never produced its flush (e.g. it crashed under fault injection).
+func (m *Monitor) drainAll() {
+	for {
+		progress := false
+		backlog := false
+		for tid, q := range m.queues {
+			for !m.gated(tid) {
+				ev, ok := q.Pop()
+				if !ok {
+					break
+				}
+				progress = true
+				m.process(ev)
+			}
+			if !q.Empty() {
+				backlog = true
+			}
+		}
+		if !backlog {
+			return
+		}
+		if !progress {
+			// Every non-empty queue is gated: a thread is missing its
+			// flush. Close the generation with what we have.
+			m.checkPending()
+			m.table = make(map[uint64]*level1)
+			m.numInstances = 0
+			m.flushedGens++
+			m.stats.Flushes++
+		}
+	}
+}
+
+func (m *Monitor) process(ev Event) {
+	switch ev.Kind {
+	case EvFlush:
+		m.flushCount[ev.Thread]++
+		m.maybeFlushGeneration()
+	case EvDone:
+		m.doneCount++
+		m.doneThreads[ev.Thread] = true
+		// A finished thread's queue is fully drained (EvDone is its last
+		// event), so it can no longer hold a generation open; recompute.
+		m.maybeFlushGeneration()
+	case EvBranch:
+		m.stats.Events++
+		if m.cfg.CheckingDisabled {
+			return
+		}
+		m.insert(ev)
+	}
+}
+
+// maybeFlushGeneration checks pending instances once every live thread's
+// events up to the same barrier have been processed. Per-thread queues are
+// FIFO, so flushCount[i] == g implies every pre-barrier-g event of thread
+// i has been seen; finished threads (EvDone processed) are excluded so a
+// thread that crashed before a barrier cannot wedge the generation — and
+// thereby deadlock producers spinning on their gated, full queues.
+func (m *Monitor) maybeFlushGeneration() {
+	min := ^uint64(0)
+	live := 0
+	for i, c := range m.flushCount {
+		if m.doneThreads[i] {
+			continue
+		}
+		live++
+		if c < min {
+			min = c
+		}
+	}
+	if live == 0 {
+		return // final pending check happens on loop exit
+	}
+	for m.flushedGens < min {
+		m.checkPending()
+		m.table = make(map[uint64]*level1)
+		m.numInstances = 0
+		m.flushedGens++
+		m.stats.Flushes++
+	}
+}
+
+// insert stores a branch report in the two-level hash table (paper: first
+// level call-site/static-branch key, second level loop-iteration key) and
+// eagerly checks the instance once every thread has reported.
+func (m *Monitor) insert(ev Event) {
+	l1, ok := m.table[ev.Key1]
+	if !ok {
+		plan := m.cfg.Plans[int(ev.BranchID)]
+		if plan == nil || !plan.Checked() {
+			return
+		}
+		l1 = &level1{plan: plan, instances: make(map[uint64]*instance)}
+		m.table[ev.Key1] = l1
+	}
+	inst, ok := l1.instances[ev.Key2]
+	if !ok {
+		if m.numInstances >= m.maxInstances {
+			// Table flooded (runaway faulty loop): behave like a forced
+			// generation flush so memory stays bounded.
+			m.checkPending()
+			m.table = make(map[uint64]*level1)
+			m.numInstances = 0
+			m.stats.Flushes++
+			l1 = &level1{plan: m.cfg.Plans[int(ev.BranchID)], instances: make(map[uint64]*instance)}
+			m.table[ev.Key1] = l1
+		}
+		inst = &instance{reports: make([]Report, 0, m.cfg.NumThreads)}
+		l1.instances[ev.Key2] = inst
+		m.numInstances++
+	}
+	if inst.checked {
+		// A straggler report for an already-checked instance: re-check the
+		// full set (only possible under fault, never in error-free runs).
+		inst.checked = false
+	}
+	inst.reports = append(inst.reports, Report{Thread: ev.Thread, Sig: ev.Sig, Taken: ev.Taken})
+	if len(inst.reports) >= m.cfg.NumThreads {
+		m.checkInstance(l1.plan, ev.Key1, ev.Key2, inst)
+	}
+}
+
+func (m *Monitor) checkInstance(plan *core.CheckPlan, k1, k2 uint64, inst *instance) {
+	if inst.checked {
+		return
+	}
+	inst.checked = true
+	m.stats.Instances++
+	if reason := CheckReports(plan, inst.reports); reason != "" {
+		m.recordViolation(Violation{
+			BranchID: plan.BranchID,
+			Key1:     k1,
+			Key2:     k2,
+			Reason:   reason,
+		})
+	}
+}
+
+// checkPending validates instances that never received all threads'
+// reports (branches executed by a subset of threads); at least two
+// reports are required for any cross-thread check.
+func (m *Monitor) checkPending() {
+	for k1, l1 := range m.table {
+		for k2, inst := range l1.instances {
+			if !inst.checked && len(inst.reports) >= 2 {
+				m.checkInstance(l1.plan, k1, k2, inst)
+			}
+		}
+	}
+}
+
+func (m *Monitor) recordViolation(v Violation) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.violations = append(m.violations, v)
+	m.detected.Store(true)
+}
+
+// Detected reports whether any violation has been recorded. Safe to call
+// from any goroutine.
+func (m *Monitor) Detected() bool { return m.detected.Load() }
+
+// Violations returns a copy of the recorded violations.
+func (m *Monitor) Violations() []Violation {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Violation, len(m.violations))
+	copy(out, m.violations)
+	return out
+}
+
+// Stats returns the monitor's counters. Call after Close.
+func (m *Monitor) Stats() Stats { return m.stats }
+
+// Summarize groups the recorded violations by static branch, ordered by
+// descending count (diagnostics for localizing the corrupted branch).
+func (m *Monitor) Summarize() []ViolationSummary {
+	return SummarizeViolations(m.Violations())
+}
+
+// SummarizeViolations groups violations by branch ID, most frequent first.
+func SummarizeViolations(vs []Violation) []ViolationSummary {
+	byBranch := make(map[int]*ViolationSummary)
+	var order []int
+	for _, v := range vs {
+		s, ok := byBranch[v.BranchID]
+		if !ok {
+			s = &ViolationSummary{BranchID: v.BranchID, First: v.Reason}
+			byBranch[v.BranchID] = s
+			order = append(order, v.BranchID)
+		}
+		s.Count++
+	}
+	out := make([]ViolationSummary, 0, len(order))
+	for _, id := range order {
+		out = append(out, *byBranch[id])
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].BranchID < out[j].BranchID
+	})
+	return out
+}
+
+// QueueBacklog returns the current total number of undrained events
+// (diagnostic).
+func (m *Monitor) QueueBacklog() int {
+	n := 0
+	for _, q := range m.queues {
+		n += q.Len()
+	}
+	return n
+}

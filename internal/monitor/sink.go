@@ -1,0 +1,21 @@
+package monitor
+
+// Sink is the interface the interpreter uses to deliver events: both the
+// flat Monitor and the Hierarchical extension implement it.
+type Sink interface {
+	// Send enqueues one event from its thread's queue (lock-free).
+	Send(ev Event)
+	// Start launches the asynchronous checking goroutine(s).
+	Start()
+	// Close drains outstanding events, performs final checks, and waits.
+	Close()
+	// Detected reports whether any violation was recorded.
+	Detected() bool
+	// Violations returns a copy of the recorded violations.
+	Violations() []Violation
+}
+
+var (
+	_ Sink = (*Monitor)(nil)
+	_ Sink = (*Hierarchical)(nil)
+)

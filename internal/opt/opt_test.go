@@ -1,0 +1,255 @@
+package opt
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"blockwatch/internal/core"
+	"blockwatch/internal/interp"
+	"blockwatch/internal/ir"
+	"blockwatch/internal/lang/langtest"
+	"blockwatch/internal/lower"
+	"blockwatch/internal/splash"
+)
+
+func compileOpt(t *testing.T, src string) (*ir.Module, Stats) {
+	t.Helper()
+	m, err := lower.Compile(src, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := Optimize(m)
+	if err := ir.Verify(m); err != nil {
+		t.Fatalf("optimized module fails verification: %v", err)
+	}
+	return m, st
+}
+
+func TestConstantFolding(t *testing.T) {
+	m, st := compileOpt(t, `
+func void slave() {
+	output(2 + 3 * 4);
+	output(ftoi(itof(10) / 2.0));
+}`)
+	if st.Folded == 0 {
+		t.Fatal("nothing folded")
+	}
+	// After folding, the only instructions left in slave should be the
+	// two outputs and the return.
+	f := m.Func("slave")
+	var nonTerm int
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op != ir.OpRet && in.Op != ir.OpOutput {
+				nonTerm++
+			}
+		}
+	}
+	if nonTerm != 0 {
+		t.Errorf("%d residual instructions after folding:\n%s", nonTerm, f.String())
+	}
+	res, err := interp.Run(m, interp.Options{Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if interp.AsInt(res.Output[0]) != 14 || interp.AsInt(res.Output[1]) != 5 {
+		t.Fatalf("folded output wrong: %v", res.Output)
+	}
+}
+
+func TestAlgebraicSimplification(t *testing.T) {
+	m, _ := compileOpt(t, `
+func void slave(){
+	int x = tid();
+	output(x + 0);
+	output(x * 1);
+	output(x * 0);
+	output(x / 1);
+	output(x - 0);
+}`)
+	// x*0 folds to 0; the others must collapse to x itself (no adds or
+	// muls survive).
+	f := m.Func("slave")
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			switch in.Op {
+			case ir.OpAdd, ir.OpMul, ir.OpSub, ir.OpDiv:
+				t.Errorf("identity op survived: %s", in)
+			}
+		}
+	}
+}
+
+func TestDivByZeroNotFolded(t *testing.T) {
+	m, _ := compileOpt(t, `
+func void slave() {
+	int z = 0;
+	output(5 / z);
+}`)
+	res, err := interp.Run(m, interp.Options{Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Crashed() {
+		t.Fatal("div-by-zero trap optimized away")
+	}
+}
+
+func TestCSEWithinBlock(t *testing.T) {
+	m, st := compileOpt(t, `
+global int g;
+func void slave() {
+	int a = tid() * 3 + 1;
+	int b = tid() * 3 + 1;
+	output(a + b);
+}`)
+	if st.CSE == 0 {
+		t.Fatalf("no CSE performed:\n%s", m.Func("slave").String())
+	}
+}
+
+func TestDeadCodeRemoved(t *testing.T) {
+	m, st := compileOpt(t, `
+global int g;
+func void slave() {
+	int unused = g * 7 + tid();
+	output(1);
+}`)
+	if st.Dead == 0 {
+		t.Fatal("dead code not removed")
+	}
+	f := m.Func("slave")
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpMul || in.Op == ir.OpLoad {
+				t.Errorf("dead instruction survived: %s", in)
+			}
+		}
+	}
+}
+
+func TestFloatIdentitiesNotSimplified(t *testing.T) {
+	// x + 0.0 is NOT x under IEEE (x = -0.0); the optimizer must leave it.
+	m, _ := compileOpt(t, `
+func void slave() {
+	float x = -0.0;
+	outputf(x + 0.0);
+}`)
+	res, err := interp.Run(m, interp.Options{Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if interp.AsFloat(res.Output[0]) != 0.0 || res.Output[0]>>63 != 0 {
+		t.Fatalf("-0.0 + 0.0 = %x, want +0.0 bits", res.Output[0])
+	}
+}
+
+// TestOptimizedSplashEquivalent: every benchmark produces identical output
+// optimized and unoptimized, at two thread counts, and remains analyzable
+// with identical branch categories.
+func TestOptimizedSplashEquivalent(t *testing.T) {
+	for _, p := range splash.Programs() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			plain, err := p.Compile()
+			if err != nil {
+				t.Fatal(err)
+			}
+			optm, err := p.Compile()
+			if err != nil {
+				t.Fatal(err)
+			}
+			st := Optimize(optm)
+			if err := ir.Verify(optm); err != nil {
+				t.Fatalf("verify after opt: %v", err)
+			}
+			t.Logf("%s: folded=%d simplified=%d cse=%d dead=%d",
+				p.Name, st.Folded, st.Simplified, st.CSE, st.Dead)
+			for _, threads := range []int{1, 4} {
+				r1, err := interp.Run(plain, interp.Options{Threads: threads})
+				if err != nil {
+					t.Fatal(err)
+				}
+				r2, err := interp.Run(optm, interp.Options{Threads: threads})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(r1.Output, r2.Output) {
+					t.Fatalf("%d threads: optimized output differs", threads)
+				}
+			}
+			a1, err := core.Analyze(plain, core.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			a2, err := core.Analyze(optm, core.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for id := range a1.Plans {
+				if a2.Plans[id] == nil {
+					t.Fatalf("branch #%d lost by optimizer", id)
+				}
+			}
+		})
+	}
+}
+
+// TestOptimizedGeneratedEquivalent: random programs keep their output
+// under optimization.
+func TestOptimizedGeneratedEquivalent(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		src := langtest.Generate(seed, langtest.Options{})
+		plain, err := lower.Compile(src, "gen")
+		if err != nil {
+			t.Fatal(err)
+		}
+		optm, err := lower.Compile(src, "gen")
+		if err != nil {
+			t.Fatal(err)
+		}
+		Optimize(optm)
+		if err := ir.Verify(optm); err != nil {
+			t.Fatalf("seed %d: verify: %v\n%s", seed, err, src)
+		}
+		r1, err := interp.Run(plain, interp.Options{Threads: 3, StepLimit: 5_000_000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := interp.Run(optm, interp.Options{Threads: 3, StepLimit: 5_000_000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(r1.Output, r2.Output) {
+			t.Fatalf("seed %d: optimization changed output\n%s", seed, src)
+		}
+	}
+}
+
+func TestOptimizeReducesWork(t *testing.T) {
+	src := strings.ReplaceAll(`
+global int n;
+func void setup() { n = 32; }
+func void slave() {
+	int i;
+	int s = 0;
+	for (i = 0; i < n; i = i + 1) {
+		s = s + i * 1 + 0;
+	}
+	output(s);
+}`, "\r", "")
+	plain, err := lower.Compile(src, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	optm, err := lower.Compile(src, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	Optimize(optm)
+	if optm.Func("slave").NumInstrs() >= plain.Func("slave").NumInstrs() {
+		t.Errorf("optimizer did not shrink slave: %d vs %d",
+			optm.Func("slave").NumInstrs(), plain.Func("slave").NumInstrs())
+	}
+}

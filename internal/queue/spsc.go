@@ -1,0 +1,76 @@
+// Package queue implements the lock-free single-producer/single-consumer
+// ring buffer used as the monitor's per-thread front-end queue, adapted —
+// as in the paper (Section III-B) — from Lamport's wait-free construction:
+// the producer only writes the tail index and the consumer only writes the
+// head index, so no locks or read-modify-write operations are needed.
+package queue
+
+import (
+	"errors"
+	"sync/atomic"
+)
+
+// ErrBadCapacity is returned when a queue is created with capacity < 1.
+var ErrBadCapacity = errors.New("queue capacity must be at least 1")
+
+// SPSC is a bounded lock-free single-producer/single-consumer FIFO.
+// Exactly one goroutine may call Push and exactly one may call Pop.
+type SPSC[T any] struct {
+	buf  []T
+	mask uint64
+	_    [64]byte // keep head and tail on separate cache lines
+	head atomic.Uint64
+	_    [64]byte
+	tail atomic.Uint64
+}
+
+// NewSPSC returns a queue holding at least capacity elements (rounded up to
+// a power of two).
+func NewSPSC[T any](capacity int) (*SPSC[T], error) {
+	if capacity < 1 {
+		return nil, ErrBadCapacity
+	}
+	n := uint64(1)
+	for n < uint64(capacity) {
+		n <<= 1
+	}
+	return &SPSC[T]{buf: make([]T, n), mask: n - 1}, nil
+}
+
+// Push appends v and reports whether there was room (Lamport's producer:
+// read head, write slot, then publish by storing tail).
+func (q *SPSC[T]) Push(v T) bool {
+	tail := q.tail.Load()
+	if tail-q.head.Load() > q.mask {
+		return false // full
+	}
+	q.buf[tail&q.mask] = v
+	q.tail.Store(tail + 1)
+	return true
+}
+
+// Pop removes and returns the oldest element (Lamport's consumer: read
+// tail, read slot, then publish by storing head).
+func (q *SPSC[T]) Pop() (T, bool) {
+	var zero T
+	head := q.head.Load()
+	if head == q.tail.Load() {
+		return zero, false // empty
+	}
+	v := q.buf[head&q.mask]
+	q.buf[head&q.mask] = zero // release references for GC
+	q.head.Store(head + 1)
+	return v, true
+}
+
+// Len returns the number of buffered elements (racy but monotonic-safe for
+// each endpoint's own use).
+func (q *SPSC[T]) Len() int {
+	return int(q.tail.Load() - q.head.Load())
+}
+
+// Cap returns the queue capacity.
+func (q *SPSC[T]) Cap() int { return len(q.buf) }
+
+// Empty reports whether the queue currently holds no elements.
+func (q *SPSC[T]) Empty() bool { return q.Len() == 0 }

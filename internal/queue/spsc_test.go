@@ -1,0 +1,192 @@
+package queue
+
+import (
+	"runtime"
+	"testing"
+	"testing/quick"
+)
+
+func TestFIFOOrder(t *testing.T) {
+	q, err := NewSPSC[int](8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if !q.Push(i) {
+			t.Fatalf("Push(%d) failed", i)
+		}
+	}
+	if q.Push(99) {
+		t.Fatal("Push on full queue succeeded")
+	}
+	for i := 0; i < 8; i++ {
+		v, ok := q.Pop()
+		if !ok || v != i {
+			t.Fatalf("Pop = %d,%t, want %d,true", v, ok, i)
+		}
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("Pop on empty queue succeeded")
+	}
+}
+
+func TestCapacityRounding(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 2, 3: 4, 5: 8, 8: 8, 9: 16, 1000: 1024}
+	for in, want := range cases {
+		q, err := NewSPSC[byte](in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if q.Cap() != want {
+			t.Errorf("NewSPSC(%d).Cap() = %d, want %d", in, q.Cap(), want)
+		}
+	}
+}
+
+func TestBadCapacity(t *testing.T) {
+	if _, err := NewSPSC[int](0); err == nil {
+		t.Fatal("want error for capacity 0")
+	}
+	if _, err := NewSPSC[int](-3); err == nil {
+		t.Fatal("want error for negative capacity")
+	}
+}
+
+func TestWraparound(t *testing.T) {
+	q, _ := NewSPSC[int](4)
+	// Interleave pushes and pops so indices wrap many times.
+	next := 0
+	for round := 0; round < 100; round++ {
+		for i := 0; i < 3; i++ {
+			if !q.Push(round*3 + i) {
+				t.Fatal("unexpected full")
+			}
+		}
+		for i := 0; i < 3; i++ {
+			v, ok := q.Pop()
+			if !ok || v != next {
+				t.Fatalf("round %d: Pop = %d,%t want %d", round, v, ok, next)
+			}
+			next++
+		}
+	}
+	if !q.Empty() {
+		t.Fatal("queue should be empty")
+	}
+}
+
+func TestConcurrentProducerConsumer(t *testing.T) {
+	q, _ := NewSPSC[uint64](64)
+	const n = 20000
+	done := make(chan uint64, 1)
+	go func() {
+		var sum uint64
+		var prev uint64
+		first := true
+		for i := 0; i < n; {
+			v, ok := q.Pop()
+			if !ok {
+				runtime.Gosched()
+				continue
+			}
+			if !first && v != prev+1 {
+				t.Errorf("out of order: %d after %d", v, prev)
+				break
+			}
+			prev, first = v, false
+			sum += v
+			i++
+		}
+		done <- sum
+	}()
+	for i := uint64(1); i <= n; {
+		if q.Push(i) {
+			i++
+		} else {
+			runtime.Gosched()
+		}
+	}
+	var want uint64
+	for i := uint64(1); i <= n; i++ {
+		want += i
+	}
+	if got := <-done; got != want {
+		t.Fatalf("sum = %d, want %d", got, want)
+	}
+}
+
+// TestPropertySequencePreserved: any pushed byte sequence pops back
+// identically when the queue is drained between batches.
+func TestPropertySequencePreserved(t *testing.T) {
+	f := func(batches [][]byte) bool {
+		q, _ := NewSPSC[byte](256)
+		for _, batch := range batches {
+			if len(batch) > 256 {
+				batch = batch[:256]
+			}
+			for _, b := range batch {
+				if !q.Push(b) {
+					return false
+				}
+			}
+			for _, b := range batch {
+				v, ok := q.Pop()
+				if !ok || v != b {
+					return false
+				}
+			}
+		}
+		return q.Empty()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLenTracksOccupancy(t *testing.T) {
+	q, _ := NewSPSC[int](16)
+	for i := 0; i < 10; i++ {
+		q.Push(i)
+	}
+	if q.Len() != 10 {
+		t.Errorf("Len = %d, want 10", q.Len())
+	}
+	for i := 0; i < 4; i++ {
+		q.Pop()
+	}
+	if q.Len() != 6 {
+		t.Errorf("Len = %d, want 6", q.Len())
+	}
+}
+
+func BenchmarkPushPop(b *testing.B) {
+	q, _ := NewSPSC[uint64](1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q.Push(uint64(i))
+		q.Pop()
+	}
+}
+
+func BenchmarkConcurrentThroughput(b *testing.B) {
+	q, _ := NewSPSC[uint64](4096)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < b.N; {
+			if _, ok := q.Pop(); ok {
+				i++
+			} else {
+				runtime.Gosched() // single-core hosts: let the producer run
+			}
+		}
+	}()
+	for i := 0; i < b.N; {
+		if q.Push(uint64(i)) {
+			i++
+		} else {
+			runtime.Gosched()
+		}
+	}
+	<-done
+}

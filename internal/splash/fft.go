@@ -1,0 +1,132 @@
+package splash
+
+// fftSrc is the radix-2 FFT kernel: bit-reverse permutation, log₂(n)
+// barrier-separated butterfly stages with twiddle factors, and a scale()
+// helper invoked from two call sites with different shared arguments —
+// the multiple-instances pattern of the paper's Figure 2.
+const fftSrc = `
+// fft: radix-2 decimation-in-time butterflies.
+global float re[128];
+global float imv[128];
+global float tre[128];
+global float tim[128];
+global int fn;     // point count (128)
+global int logn;   // log2(fn)
+
+func void setup() {
+	int i;
+	fn = 128;
+	logn = 7;
+	for (i = 0; i < fn; i = i + 1) {
+		re[i] = itof(rnd() % 2000) / 1000.0 - 1.0;
+		imv[i] = itof(rnd() % 2000) / 1000.0 - 1.0;
+	}
+}
+
+// reverse returns x with its low "bits" bits reversed.
+func int reverse(int x, int bits) {
+	int r = 0;
+	int b;
+	for (b = 0; b < bits; b = b + 1) {
+		r = r * 2 + x % 2;
+		x = x / 2;
+	}
+	return r;
+}
+
+// scale multiplies the whole signal by f (two call sites, like Figure 2's
+// foo(1) / foo(2)).
+func void scale(float f) {
+	int me = tid();
+	int nt = nthreads();
+	int i;
+	if (f < 1.0) {
+		lock(1);
+		oddscale = oddscale + 1;
+		unlock(1);
+	}
+	for (i = 0; i < fn; i = i + 1) {
+		if (i % nt == me) {
+			re[i] = re[i] * f;
+			imv[i] = imv[i] * f;
+		}
+	}
+}
+
+global int oddscale;
+
+func void slave() {
+	int me = tid();
+	int nt = nthreads();
+	int i;
+	int s;
+	int k;
+	// Phase 1: bit-reverse permutation into the scratch arrays
+	// (interleaved ownership: thread me owns indices i with i%nt == me).
+	for (i = 0; i < fn; i = i + 1) {
+		if (i % nt == me) {
+			int r = reverse(i, logn);
+			tre[r] = re[i];
+			tim[r] = imv[i];
+		}
+	}
+	barrier();
+	for (i = 0; i < fn; i = i + 1) {
+		if (i % nt == me) {
+			re[i] = tre[i];
+			imv[i] = tim[i];
+		}
+	}
+	barrier();
+	// Phase 2: butterfly stages.
+	for (s = 1; s <= logn; s = s + 1) {
+		int mlen = 1;
+		for (k = 0; k < s; k = k + 1) {
+			mlen = mlen * 2;
+		}
+		int half = mlen / 2;
+		int b;
+		for (b = 0; b < fn / 2; b = b + 1) {
+			if (b % nt != me) {
+				continue;
+			}
+			int grp = b / half;
+			int pos = b % half;
+			int idx1 = grp * mlen + pos;
+			int idx2 = idx1 + half;
+			float ang = -6.283185307179586 * itof(pos) / itof(mlen);
+			float wr = cos(ang);
+			float wi = sin(ang);
+			float xr = re[idx2] * wr - imv[idx2] * wi;
+			float xi = re[idx2] * wi + imv[idx2] * wr;
+			re[idx2] = re[idx1] - xr;
+			imv[idx2] = imv[idx1] - xi;
+			re[idx1] = re[idx1] + xr;
+			imv[idx1] = imv[idx1] + xi;
+		}
+		barrier();
+	}
+	// Phase 3: normalization through the two-site helper. The strategy
+	// flag takes one of two shared values (partial pattern).
+	int strategy = 1;
+	if (logn % 2 == 1) {
+		strategy = 2;
+	}
+	if (strategy == 2) {
+		scale(1.0);
+	}
+	barrier();
+	if (fn > 64) {
+		scale(0.5);
+	}
+	barrier();
+	if (me == 0) {
+		float sum = 0.0;
+		for (i = 0; i < fn; i = i + 1) {
+			sum = sum + re[i] * re[i] + imv[i] * imv[i];
+		}
+		output(ftoi(sum * 1000.0));
+		output(oddscale);
+	}
+}
+`

@@ -1,0 +1,217 @@
+package splash
+
+// oceanContigSrc is the contiguous-partition ocean kernel: red-black SOR
+// relaxation over a bordered 34×34 grid, rows partitioned in contiguous
+// per-thread blocks, with a barrier-synchronized residual reduction per
+// phase — the structure of SPLASH-2 ocean's slave loops. Float outputs
+// are quantized to three decimals, mirroring the limited-precision text
+// output real SPLASH-2 programs print (and hence the same fault-masking
+// the paper's golden-output comparison has).
+const oceanContigSrc = `
+// continuous-ocean: red-black successive over-relaxation.
+global float grid[1156];   // 34 x 34 with fixed border
+global float oerr[32];     // per-thread residual
+global float toterr;       // reduced residual (written in parallel section)
+global int gN;             // interior dimension (32)
+global int gRows;          // row stride (34)
+global int gSteps;         // timestep count
+global float gTol;         // convergence tolerance
+
+func void setup() {
+	int i;
+	int j;
+	gN = 32;
+	gRows = 34;
+	gSteps = 6;
+	gTol = 0.001;
+	for (i = 0; i < gRows; i = i + 1) {
+		for (j = 0; j < gRows; j = j + 1) {
+			grid[i * gRows + j] = itof(rnd() % 1000) / 100.0;
+		}
+	}
+}
+
+// qz quantizes to two decimals (printf-precision text output).
+func int qz(float v) {
+	return ftoi(v * 100.0);
+}
+
+func float relaxRow(int row, int phase, int mode) {
+	int j;
+	float localerr = 0.0;
+	float w = 0.25;
+	// mode is one of two shared values (a partial-category operand).
+	if (mode == 2) {
+		w = 0.2;
+	}
+	for (j = 1; j <= gN; j = j + 1) {
+		if ((row + j) % 2 == phase) {
+			float old = grid[row * gRows + j];
+			float upd = w * (grid[(row - 1) * gRows + j] + grid[(row + 1) * gRows + j]
+				+ grid[row * gRows + j - 1] + grid[row * gRows + j + 1]);
+			if (mode == 2) {
+				upd = upd + 0.2 * old;
+			}
+			grid[row * gRows + j] = upd;
+			float d = upd - old;
+			if (d < 0.0) {
+				d = -d;
+			}
+			localerr = localerr + d;
+		}
+	}
+	return localerr;
+}
+
+func void slave() {
+	int me = tid();
+	int per = gN / nthreads();
+	int step;
+	int phase;
+	int i;
+	int k;
+	for (step = 0; step < gSteps; step = step + 1) {
+		// Alternate plain Jacobi weighting and damped SOR: a local flag
+		// assigned one of two shared constants (paper's partial pattern).
+		int mode = 1;
+		if (step % 2 == 1) {
+			mode = 2;
+		}
+		for (phase = 0; phase < 2; phase = phase + 1) {
+			float localerr = 0.0;
+			for (i = 1 + me * per; i < 1 + (me + 1) * per; i = i + 1) {
+				localerr = localerr + relaxRow(i, phase, mode);
+			}
+			oerr[me] = localerr;
+			barrier();
+			if (me == 0) {
+				float tot = 0.0;
+				for (k = 0; k < nthreads(); k = k + 1) {
+					tot = tot + oerr[k];
+				}
+				toterr = tot;
+			}
+			barrier();
+			if (toterr < gTol) {
+				// Converged early: nothing more to relax this phase.
+				oerr[me] = 0.0;
+			}
+		}
+	}
+	barrier();
+	output(qz(oerr[me]));
+	if (me == 0) {
+		float sum = 0.0;
+		for (k = 0; k < gRows * gRows; k = k + 1) {
+			sum = sum + grid[k];
+		}
+		output(qz(sum));
+		output(qz(toterr));
+	}
+}
+`
+
+// oceanNoncontigSrc is the non-contiguous variant: each thread walks its
+// own chunk of a scrambled row-pointer array (SPLASH-2 ocean's 4-D array
+// layout), so row indices flow through thread-local indirection and far
+// fewer branches are statically similar — the paper's contrast between
+// the two ocean versions.
+const oceanNoncontigSrc = `
+// noncontinuous-ocean: red-black SOR through row-pointer indirection.
+global float grid[1156];   // 34 x 34 with fixed border
+global int rowptr[32];     // interior row order, scrambled
+global float oerr[32];
+global float toterr;
+global int gN;
+global int gRows;
+global int gSteps;
+
+func void setup() {
+	int i;
+	int j;
+	int t;
+	gN = 32;
+	gRows = 34;
+	gSteps = 6;
+	for (i = 0; i < gRows; i = i + 1) {
+		for (j = 0; j < gRows; j = j + 1) {
+			grid[i * gRows + j] = itof(rnd() % 1000) / 100.0;
+		}
+	}
+	// Identity order, then swap pairs pseudo-randomly (stays a permutation).
+	for (i = 0; i < gN; i = i + 1) {
+		rowptr[i] = i + 1;
+	}
+	for (i = 0; i < gN; i = i + 1) {
+		j = rnd() % gN;
+		t = rowptr[i];
+		rowptr[i] = rowptr[j];
+		rowptr[j] = t;
+	}
+}
+
+func int qz(float v) {
+	return ftoi(v * 100.0);
+}
+
+func void slave() {
+	int me = tid();
+	int per = gN / nthreads();
+	int step;
+	int phase;
+	int r;
+	int j;
+	int k;
+	for (step = 0; step < gSteps; step = step + 1) {
+		float w = 0.25;
+		int mode = 1;
+		if (step % 2 == 1) {
+			mode = 2;
+		}
+		if (mode == 2) {
+			w = 0.2;
+		}
+		for (phase = 0; phase < 2; phase = phase + 1) {
+			float localerr = 0.0;
+			for (r = me * per; r < (me + 1) * per; r = r + 1) {
+				int row = rowptr[r];
+				for (j = 1; j <= gN; j = j + 1) {
+					if ((row + j) % 2 == phase) {
+						float old = grid[row * gRows + j];
+						float upd = w * (grid[(row - 1) * gRows + j] + grid[(row + 1) * gRows + j]
+							+ grid[row * gRows + j - 1] + grid[row * gRows + j + 1]);
+						if (mode == 2) {
+							upd = upd + 0.2 * old;
+						}
+						grid[row * gRows + j] = upd;
+						float d = upd - old;
+						if (d < 0.0) {
+							d = -d;
+						}
+						localerr = localerr + d;
+					}
+				}
+			}
+			oerr[me] = localerr;
+			barrier();
+			if (me == 0) {
+				float tot = 0.0;
+				for (k = 0; k < nthreads(); k = k + 1) {
+					tot = tot + oerr[k];
+				}
+				toterr = tot;
+			}
+			barrier();
+		}
+	}
+	barrier();
+	output(qz(oerr[me]));
+	if (me == 0) {
+		float sum = 0.0;
+		for (k = 0; k < gRows * gRows; k = k + 1) {
+			sum = sum + grid[k];
+		}
+		output(qz(sum));
+	}
+}
+`

@@ -1,0 +1,129 @@
+package splash
+
+// radixSrc is the parallel radix sort kernel: two 4-bit digit passes, each
+// with per-thread histograms, a serial scan that assigns per-(digit,
+// thread) starting offsets, and a stable parallel redistribution —
+// SPLASH-2 radix's structure with its characteristic mix of thread-ID
+// loop bounds and shared digit loops.
+const radixSrc = `
+// radix: parallel LSD radix sort, 4-bit digits, 8-bit keys.
+global int keys[256];
+global int dest[256];
+global int hist[512];    // thread*16 + digit
+global int offs[512];    // digit*32 + thread -> start offset
+global int cursor[512];  // digit*32 + thread -> next slot
+global int nk;           // key count (256)
+global int radixW;       // digit width in values (16)
+global int npasses;      // digit passes (2)
+
+func void setup() {
+	int i;
+	nk = 256;
+	radixW = 16;
+	npasses = 2;
+	for (i = 0; i < nk; i = i + 1) {
+		keys[i] = rnd() % 256;
+	}
+}
+
+// digitOf extracts the pass-th 4-bit digit of key.
+func int digitOf(int key, int pass) {
+	int shift = key;
+	int p;
+	for (p = 0; p < pass; p = p + 1) {
+		shift = shift / 16;
+	}
+	return shift % 16;
+}
+
+func void slave() {
+	int me = tid();
+	int nt = nthreads();
+	int per = nk / nt;
+	int pass;
+	int i;
+	int d;
+	int t;
+	for (pass = 0; pass < npasses; pass = pass + 1) {
+		// Phase 1: per-thread digit histogram of my chunk.
+		for (d = 0; d < radixW; d = d + 1) {
+			hist[me * 16 + d] = 0;
+		}
+		for (i = 0; i < nk; i = i + 1) {
+			// Contiguous block ownership keeps the sort stable.
+			if (i / per == me) {
+				int dg = digitOf(keys[i], pass);
+				hist[me * 16 + dg] = hist[me * 16 + dg] + 1;
+			}
+		}
+		barrier();
+		// Phase 2: serial scan orders (digit, thread) pairs.
+		if (me == 0) {
+			int run = 0;
+			for (d = 0; d < radixW; d = d + 1) {
+				for (t = 0; t < nt; t = t + 1) {
+					offs[d * 32 + t] = run;
+					run = run + hist[t * 16 + d];
+				}
+			}
+		}
+		barrier();
+		for (d = 0; d < radixW; d = d + 1) {
+			cursor[d * 32 + me] = offs[d * 32 + me];
+		}
+		// Phase 3: stable redistribution of my chunk.
+		for (i = 0; i < nk; i = i + 1) {
+			if (i / per == me) {
+				int dg2 = digitOf(keys[i], pass);
+				int slot = cursor[dg2 * 32 + me];
+				cursor[dg2 * 32 + me] = slot + 1;
+				dest[slot] = keys[i];
+			}
+		}
+		barrier();
+		// Phase 4: copy back for the next pass.
+		for (i = 0; i < nk; i = i + 1) {
+			if (i / per == me) {
+				keys[i] = dest[i];
+			}
+		}
+		barrier();
+	}
+	// Verification and checksum. The stride is one of two shared values
+	// (partial pattern): full verification for small inputs, sampled
+	// verification for large ones.
+	int stride = 1;
+	if (nk > 128) {
+		stride = 2;
+	}
+	int checked = 0;
+	if (stride == 1) {
+		checked = nk;
+	} else {
+		checked = nk / 2;
+	}
+	output(checked);
+	int sorted = 1;
+	int sum = 0;
+	for (i = 0; i < nk; i = i + 1) {
+		if (i / per == me) {
+			if (i > 0) {
+				if (keys[i] < keys[i - 1]) {
+					sorted = 0;
+				}
+			}
+			sum = sum + keys[i] * (i + 1);
+		}
+	}
+	output(sum);
+	output(sorted);
+	barrier();
+	if (me == 0) {
+		int tot = 0;
+		for (i = 0; i < nk; i = i + 1) {
+			tot = tot + keys[i];
+		}
+		output(tot);
+	}
+}
+`

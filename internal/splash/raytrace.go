@@ -1,0 +1,166 @@
+package splash
+
+// raytraceSrc is the ray-casting kernel: a 16×16 image partitioned by
+// rows, 2×2 supersampling, a bounded reflection-bounce loop, sphere
+// intersection tests, and a shadow test that loops over the scene again.
+// The shadow loop sits at loop-nesting depth 7, past BLOCKWATCH's
+// default instrumentation cap of 6 — reproducing the paper's explanation
+// for raytrace's weak coverage. Intersection branches depend on private
+// ray state (the paper's function-pointer-induced "none" profile).
+const raytraceSrc = `
+// raytrace: recursive-reflection ray caster over a sphere scene.
+global float scx[6];
+global float scy[6];
+global float scz[6];
+global float srad[6];
+global float srefl[6];
+global float img[1024];
+global int nsph;     // sphere count (6)
+global int width;    // image side (32)
+global int nsub;     // supersample side (1)
+global int nbounce;  // reflection bounces (2)
+
+func void setup() {
+	int s;
+	nsph = 6;
+	width = 32;
+	nsub = 1;
+	nbounce = 2;
+	for (s = 0; s < nsph; s = s + 1) {
+		scx[s] = itof(rnd() % 1000) / 500.0 - 1.0;
+		scy[s] = itof(rnd() % 1000) / 500.0 - 1.0;
+		scz[s] = 2.0 + itof(rnd() % 1000) / 500.0;
+		srad[s] = 0.2 + itof(rnd() % 100) / 400.0;
+		srefl[s] = itof(rnd() % 100) / 150.0;
+	}
+}
+
+// hitT returns the ray parameter of the nearest intersection with sphere
+// s, or -1.0 on a miss. Ray: origin (ox,oy,oz), direction (dx,dy,dz).
+func float hitT(float ox, float oy, float oz, float dx, float dy, float dz, int s) {
+	float cx = ox - scx[s];
+	float cy = oy - scy[s];
+	float cz = oz - scz[s];
+	float a = dx * dx + dy * dy + dz * dz;
+	float b = 2.0 * (cx * dx + cy * dy + cz * dz);
+	float cc = cx * cx + cy * cy + cz * cz - srad[s] * srad[s];
+	float disc = b * b - 4.0 * a * cc;
+	if (disc < 0.0) {
+		return -1.0;
+	}
+	float t = (-b - sqrt(disc)) / (2.0 * a);
+	if (t < 0.001) {
+		return -1.0;
+	}
+	return t;
+}
+
+// qz quantizes to half-unit precision: shading is tolerant of sub-pixel
+// deviations.
+func int qz(float v) {
+	return ftoi(v * 2.0);
+}
+
+func void slave() {
+	int me = tid();
+	int nt = nthreads();
+	int rows = width / nt;
+	int y;
+	int x;
+	int sy;
+	int sx;
+	int bounce;
+	int s;
+	int sh;
+	int ss;
+	for (y = 0; y < width; y = y + 1) {
+		// Interleaved row ownership.
+		if (y % nt != me) {
+			continue;
+		}
+		for (x = 0; x < width; x = x + 1) {
+			float pix = 0.0;
+			for (sy = 0; sy < nsub; sy = sy + 1) {
+				for (sx = 0; sx < nsub; sx = sx + 1) {
+					// Primary ray through the subpixel, with stochastic
+					// jitter (private data: these branches have no
+					// cross-thread similarity, like the paper's raytrace).
+					float ox = 0.0;
+					float oy = 0.0;
+					float oz = 0.0;
+					float jx = itof(rnd() % 8) * 0.0001;
+					float jy = itof(rnd() % 8) * 0.0001;
+					if (jx > 0.0004) {
+						jx = -jx;
+					}
+					if (jy > 0.0004) {
+						jy = -jy;
+					}
+					float dx = (itof(x * nsub + sx) / itof(width * nsub)) * 2.0 - 1.0 + jx;
+					float dy = (itof(y * nsub + sy) / itof(width * nsub)) * 2.0 - 1.0 + jy;
+					float dz = 1.0;
+					float weight = 1.0;
+					for (bounce = 0; bounce < nbounce; bounce = bounce + 1) {
+						float best = 1000000.0;
+						int hit = -1;
+						for (s = 0; s < nsph; s = s + 1) {
+							float t = hitT(ox, oy, oz, dx, dy, dz, s);
+							if (t > 0.0) {
+								if (t < best) {
+									best = t;
+									hit = s;
+								}
+							}
+						}
+						if (hit < 0) {
+							// Sky: gradient by direction.
+							pix = pix + weight * (0.3 + 0.2 * dy);
+							break;
+						}
+						// Shade the hit point; shadow loop is nesting
+						// depth 7 (unchecked under the default cap).
+						float hx = ox + dx * best;
+						float hy = oy + dy * best;
+						float hz = oz + dz * best;
+						float lit = 1.0;
+						for (sh = 0; sh < nsph; sh = sh + 1) {
+							// Soft-shadow sampling loop: nesting depth 7,
+							// past the default instrumentation cap.
+							for (ss = 0; ss < 2; ss = ss + 1) {
+								if (sh != hit) {
+									float st = hitT(hx, hy, hz,
+										0.3 + 0.05 * itof(ss), -1.0, 0.2, sh);
+									if (st > 0.0) {
+										lit = lit * 0.7;
+									}
+								}
+							}
+						}
+						pix = pix + weight * lit * (1.0 - srefl[hit]) * 0.8;
+						// Reflect for the next bounce.
+						weight = weight * srefl[hit];
+						ox = hx;
+						oy = hy;
+						oz = hz;
+						dz = -dz;
+					}
+				}
+			}
+			img[y * width + x] = pix / itof(nsub * nsub);
+		}
+	}
+	barrier();
+	float rowsum = 0.0;
+	for (x = 0; x < width; x = x + 1) {
+		rowsum = rowsum + img[me * width + x];
+	}
+	output(qz(rowsum));
+	if (me == 0) {
+		float total = 0.0;
+		for (x = 0; x < width * width; x = x + 1) {
+			total = total + img[x];
+		}
+		output(qz(total));
+	}
+}
+`

@@ -1,0 +1,162 @@
+// Package splash provides the seven SPLASH-2 benchmark kernels used in the
+// paper's evaluation (Table IV), rewritten as MiniC SPMD programs. The
+// kernels are scaled down to simulator-friendly sizes but preserve each
+// benchmark's control-data structure — partitioned grid sweeps with shared
+// bounds (ocean), butterfly stages with shared trip counts and multi-site
+// helper calls (fft), data-dependent traversal (fmm), digit histograms
+// (radix), deeply nested per-ray loops (raytrace), and O(N²) cutoff tests
+// (water-nsquared) — which is what the BLOCKWATCH analysis and checks
+// exercise.
+package splash
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"blockwatch/internal/ir"
+	"blockwatch/internal/lower"
+)
+
+// Program is one benchmark: a name, its MiniC source, and metadata.
+type Program struct {
+	// Name matches the paper's Table IV row (lowercased, hyphenated).
+	Name string
+	// Desc is a one-line description.
+	Desc string
+	// Source is the MiniC program text.
+	Source string
+	// MaxThreads is the largest power-of-two thread count the kernel's
+	// data size supports.
+	MaxThreads int
+}
+
+// Programs returns the seven benchmarks in the paper's Table IV order.
+func Programs() []Program {
+	return []Program{
+		{"continuous-ocean", "red-black SOR ocean solver, contiguous row partitions", oceanContigSrc, 32},
+		{"fft", "radix-2 FFT butterfly stages with transpose-style helper calls", fftSrc, 32},
+		{"fmm", "particle-cell force approximation (Barnes-Hut style acceptance tests)", fmmSrc, 32},
+		{"noncontinuous-ocean", "red-black SOR with indirection through row-pointer arrays", oceanNoncontigSrc, 32},
+		{"radix", "parallel radix sort: per-digit histograms, scan, redistribution", radixSrc, 32},
+		{"raytrace", "sphere-scene ray caster with deep loop nesting and data-driven dispatch", raytraceSrc, 32},
+		{"water-nsquared", "O(N²) molecular dynamics with cutoff tests", waterSrc, 32},
+	}
+}
+
+// Names returns the benchmark names in Table IV order.
+func Names() []string {
+	ps := Programs()
+	out := make([]string, len(ps))
+	for i, p := range ps {
+		out[i] = p.Name
+	}
+	return out
+}
+
+// Get returns the program with the given name.
+func Get(name string) (Program, error) {
+	for _, p := range Programs() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Program{}, fmt.Errorf("unknown benchmark %q (have: %s)",
+		name, strings.Join(Names(), ", "))
+}
+
+// Load compiles the named benchmark to IR.
+func Load(name string) (*ir.Module, error) {
+	p, err := Get(name)
+	if err != nil {
+		return nil, err
+	}
+	return p.Compile()
+}
+
+// Compile lowers the program's source to a verified IR module.
+func (p Program) Compile() (*ir.Module, error) {
+	m, err := lower.Compile(p.Source, p.Name)
+	if err != nil {
+		return nil, fmt.Errorf("compile %s: %w", p.Name, err)
+	}
+	if err := lower.CheckSPMD(m); err != nil {
+		return nil, fmt.Errorf("%s: %w", p.Name, err)
+	}
+	return m, nil
+}
+
+// LOC counts non-blank, non-comment-only source lines.
+func (p Program) LOC() int {
+	n := 0
+	for _, line := range strings.Split(p.Source, "\n") {
+		s := strings.TrimSpace(line)
+		if s == "" || strings.HasPrefix(s, "//") {
+			continue
+		}
+		n++
+	}
+	return n
+}
+
+// ParallelLOC counts source lines inside functions reachable from slave()
+// (the paper's "LOC in parallel section").
+func (p Program) ParallelLOC() (int, error) {
+	m, err := p.Compile()
+	if err != nil {
+		return 0, err
+	}
+	slave := m.Func("slave")
+	reach := map[string]bool{"slave": true}
+	work := []*ir.Func{slave}
+	for len(work) > 0 {
+		f := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op == ir.OpCall && !reach[in.Callee] {
+					reach[in.Callee] = true
+					if callee := m.Func(in.Callee); callee != nil {
+						work = append(work, callee)
+					}
+				}
+			}
+		}
+	}
+	names := make([]string, 0, len(reach))
+	for n := range reach {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	total := 0
+	for _, n := range names {
+		total += funcLOC(p.Source, n)
+	}
+	return total, nil
+}
+
+// funcLOC counts the source lines of the named function by brace matching.
+func funcLOC(src, name string) int {
+	lines := strings.Split(src, "\n")
+	inFunc := false
+	depth := 0
+	count := 0
+	for _, line := range lines {
+		s := strings.TrimSpace(line)
+		if !inFunc {
+			if strings.HasPrefix(s, "func ") && strings.Contains(s, " "+name+"(") {
+				inFunc = true
+			} else {
+				continue
+			}
+		}
+		if s != "" && !strings.HasPrefix(s, "//") {
+			count++
+		}
+		depth += strings.Count(line, "{") - strings.Count(line, "}")
+		if inFunc && depth == 0 && strings.Contains(line, "}") {
+			return count
+		}
+	}
+	return count
+}

@@ -1,0 +1,306 @@
+package splash
+
+import (
+	"reflect"
+	"testing"
+
+	"blockwatch/internal/core"
+	"blockwatch/internal/interp"
+)
+
+func TestAllProgramsCompile(t *testing.T) {
+	for _, p := range Programs() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			if _, err := p.Compile(); err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+		})
+	}
+}
+
+func TestProgramsListIsStable(t *testing.T) {
+	want := []string{
+		"continuous-ocean", "fft", "fmm", "noncontinuous-ocean",
+		"radix", "raytrace", "water-nsquared",
+	}
+	if got := Names(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Names() = %v, want %v (paper Table IV order)", got, want)
+	}
+	if _, err := Get("fft"); err != nil {
+		t.Error(err)
+	}
+	if _, err := Get("nope"); err == nil {
+		t.Error("Get(nope) should fail")
+	}
+	if _, err := Load("nope"); err == nil {
+		t.Error("Load(nope) should fail")
+	}
+}
+
+func TestAllProgramsRunCleanly(t *testing.T) {
+	for _, p := range Programs() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			m, err := p.Compile()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, threads := range []int{1, 4} {
+				res, err := interp.Run(m, interp.Options{Threads: threads})
+				if err != nil {
+					t.Fatalf("%d threads: %v", threads, err)
+				}
+				if !res.Clean() {
+					t.Fatalf("%d threads trapped: %v", threads, res.Traps)
+				}
+				if len(res.Output) == 0 {
+					t.Fatalf("%d threads: no output", threads)
+				}
+			}
+		})
+	}
+}
+
+func TestAllProgramsDeterministic(t *testing.T) {
+	for _, p := range Programs() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			m, err := p.Compile()
+			if err != nil {
+				t.Fatal(err)
+			}
+			var first []interp.Value
+			for trial := 0; trial < 3; trial++ {
+				res, err := interp.Run(m, interp.Options{Threads: 4})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if trial == 0 {
+					first = res.Output
+					continue
+				}
+				if !reflect.DeepEqual(res.Output, first) {
+					t.Fatalf("trial %d output differs from trial 0 — kernel is nondeterministic", trial)
+				}
+			}
+		})
+	}
+}
+
+func TestAllProgramsAnalyzable(t *testing.T) {
+	for _, p := range Programs() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			m, err := p.Compile()
+			if err != nil {
+				t.Fatal(err)
+			}
+			a, err := core.Analyze(m, core.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			st := a.Stats()
+			if st.ParallelBranches < 10 {
+				t.Errorf("only %d parallel branches — kernel too small to be representative", st.ParallelBranches)
+			}
+			// The paper's headline: 49%-98% of branches are similar.
+			if f := st.SimilarFraction(); f < 0.40 {
+				t.Errorf("similar fraction %.2f below 0.40 — check the kernel's control-data structure", f)
+			}
+			if a.Iterations >= 10 {
+				t.Errorf("analysis took %d sweeps; paper reports k < 10", a.Iterations)
+			}
+		})
+	}
+}
+
+// TestNoFalsePositives is the paper's Section IV experiment: error-free
+// instrumented runs must never report a violation. The full 100-run
+// campaign lives in the harness; here each kernel gets several runs at two
+// thread counts.
+func TestNoFalsePositives(t *testing.T) {
+	for _, p := range Programs() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			m, err := p.Compile()
+			if err != nil {
+				t.Fatal(err)
+			}
+			a, err := core.Analyze(m, core.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, threads := range []int{2, 4} {
+				for trial := 0; trial < 3; trial++ {
+					res, err := interp.Run(m, interp.Options{
+						Threads: threads,
+						Mode:    interp.MonitorActive,
+						Plans:   a.Plans,
+						Seed:    uint64(trial),
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !res.Clean() {
+						t.Fatalf("threads=%d trial=%d trapped: %v", threads, trial, res.Traps)
+					}
+					if res.Detected {
+						t.Fatalf("FALSE POSITIVE threads=%d trial=%d: %v",
+							threads, trial, res.Violations)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestInstrumentationPreservesOutput(t *testing.T) {
+	for _, p := range Programs() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			m, err := p.Compile()
+			if err != nil {
+				t.Fatal(err)
+			}
+			a, err := core.Analyze(m, core.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			base, err := interp.Run(m, interp.Options{Threads: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			inst, err := interp.Run(m, interp.Options{
+				Threads: 4, Mode: interp.MonitorActive, Plans: a.Plans,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(base.Output, inst.Output) {
+				t.Fatal("instrumentation changed program output")
+			}
+			if inst.SimTime <= base.SimTime {
+				t.Errorf("instrumented run not slower: %d vs %d cycles", inst.SimTime, base.SimTime)
+			}
+		})
+	}
+}
+
+func TestRaytraceHasUncheckedDeepBranches(t *testing.T) {
+	m, err := Load("raytrace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := core.Analyze(m, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deep := 0
+	for _, plan := range a.Plans {
+		if plan.Reason == core.ReasonTooDeep {
+			deep++
+		}
+	}
+	if deep == 0 {
+		t.Fatal("raytrace must have branches beyond the nesting cap (paper's coverage-gap cause)")
+	}
+}
+
+func TestWaterHasCriticalSectionElision(t *testing.T) {
+	m, err := Load("water-nsquared")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := core.Analyze(m, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	critical := 0
+	for _, plan := range a.Plans {
+		if plan.Reason == core.ReasonCritical {
+			critical++
+		}
+	}
+	if critical == 0 {
+		t.Fatal("water-nsquared must have a critical-section-elided branch")
+	}
+}
+
+func TestLOCAccounting(t *testing.T) {
+	for _, p := range Programs() {
+		loc := p.LOC()
+		if loc < 40 {
+			t.Errorf("%s: LOC = %d, suspiciously small", p.Name, loc)
+		}
+		ploc, err := p.ParallelLOC()
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		if ploc <= 0 || ploc > loc {
+			t.Errorf("%s: parallel LOC %d outside (0, %d]", p.Name, ploc, loc)
+		}
+	}
+}
+
+func TestRadixActuallySorts(t *testing.T) {
+	m, err := Load("radix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := interp.Run(m, interp.Options{Threads: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Output layout: thread 0 emits [checked, checksum, sortedflag, total];
+	// threads 1..3 emit [checked, checksum, sortedflag]. All sorted flags
+	// must be 1.
+	if len(res.Output) != 13 {
+		t.Fatalf("radix output len = %d, want 13", len(res.Output))
+	}
+	flagPos := []int{2, 6, 9, 12}
+	for tidx, pos := range flagPos {
+		if flag := interp.AsInt(res.Output[pos]); flag != 1 {
+			t.Fatalf("thread %d chunk not sorted", tidx)
+		}
+	}
+}
+
+func TestProgramsScaleAcrossThreadCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-thread sweep in short mode")
+	}
+	// Under the calibrated cost model (memory-bandwidth contention,
+	// growing barrier costs) small kernels scale sub-linearly and the
+	// communication-heaviest (radix) may not speed up at all — the regime
+	// the paper's 32-core host is in. Require: no kernel slows down badly,
+	// and most kernels do speed up.
+	speedups := 0
+	for _, p := range Programs() {
+		m, err := p.Compile()
+		if err != nil {
+			t.Fatal(err)
+		}
+		r1, err := interp.Run(m, interp.Options{Threads: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r8, err := interp.Run(m, interp.Options{Threads: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r8.Clean() {
+			t.Fatalf("%s: 8 threads trapped: %v", p.Name, r8.Traps)
+		}
+		if r8.SimTime < r1.SimTime {
+			speedups++
+		}
+		if r8.SimTime > 2*r1.SimTime {
+			t.Errorf("%s: 8 threads more than 2x slower: 1t=%d, 8t=%d",
+				p.Name, r1.SimTime, r8.SimTime)
+		}
+	}
+	if speedups < 4 {
+		t.Errorf("only %d/7 kernels speed up at 8 threads", speedups)
+	}
+}

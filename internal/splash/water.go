@@ -1,0 +1,143 @@
+package splash
+
+// waterSrc is the water-nsquared kernel: an O(N²) molecular-dynamics force
+// computation with a cutoff-radius test, barrier-separated integration
+// steps, and a lock-protected potential-energy reduction whose interior
+// branch exercises BLOCKWATCH's critical-section elision.
+const waterSrc = `
+// water-nsquared: O(N^2) MD with cutoff.
+global float wx[64];
+global float wy[64];
+global float wvx[64];
+global float wvy[64];
+global float wfx[64];
+global float wfy[64];
+global float wpot[32];   // per-thread potential contributions
+global float gPot;       // reduced potential energy
+global float gMaxF;      // maximum force magnitude seen (lock-protected)
+global int nm;           // molecule count (64)
+global int nsteps;       // integration steps (3)
+global float cutoff2;    // squared cutoff radius
+global float dt;         // timestep
+
+func void setup() {
+	int i;
+	nm = 64;
+	nsteps = 3;
+	cutoff2 = 0.09;
+	dt = 0.0005;
+	for (i = 0; i < nm; i = i + 1) {
+		wx[i] = itof(rnd() % 1000) / 1000.0;
+		wy[i] = itof(rnd() % 1000) / 1000.0;
+		wvx[i] = itof(rnd() % 200) / 1000.0 - 0.1;
+		wvy[i] = itof(rnd() % 200) / 1000.0 - 0.1;
+	}
+}
+
+// ljForce is a Lennard-Jones-flavoured pair force magnitude at squared
+// distance r2.
+func float ljForce(float r2) {
+	float inv = 1.0 / (r2 + 0.001);
+	float inv3 = inv * inv * inv;
+	return inv3 * (inv3 - 0.5);
+}
+
+func int qz(float v) {
+	return ftoi(v * 1000.0);
+}
+
+func void slave() {
+	int me = tid();
+	int per = nm / nthreads();
+	int step;
+	int i;
+	int j;
+	for (step = 0; step < nsteps; step = step + 1) {
+		// First step integrates at half dt (leapfrog start): a local flag
+		// holding one of two shared values (partial pattern).
+		float stepdt = dt;
+		int half = 0;
+		if (step == 0) {
+			half = 1;
+		}
+		if (half == 1) {
+			stepdt = dt * 0.5;
+		}
+		// Phase 1: forces on my molecules against all others.
+		float localpot = 0.0;
+		float localmax = 0.0;
+		for (i = me * per; i < (me + 1) * per; i = i + 1) {
+			float ax = 0.0;
+			float ay = 0.0;
+			for (j = 0; j < nm; j = j + 1) {
+				if (j != i) {
+					float ddx = wx[j] - wx[i];
+					float ddy = wy[j] - wy[i];
+					float r2 = ddx * ddx + ddy * ddy;
+					if (r2 < cutoff2) {
+						float f = ljForce(r2);
+						ax = ax + f * ddx;
+						ay = ay + f * ddy;
+						localpot = localpot + f * r2 * 0.5;
+					}
+				}
+			}
+			wfx[i] = ax;
+			wfy[i] = ay;
+			float mag = fabs(ax) + fabs(ay);
+			if (mag > localmax) {
+				localmax = mag;
+			}
+		}
+		wpot[me] = wpot[me] + localpot;
+		lock(2);
+		if (localmax > gMaxF) {
+			gMaxF = localmax;
+		}
+		unlock(2);
+		barrier();
+		// Phase 2: integrate my molecules.
+		for (i = me * per; i < (me + 1) * per; i = i + 1) {
+			wvx[i] = wvx[i] + wfx[i] * stepdt;
+			wvy[i] = wvy[i] + wfy[i] * stepdt;
+			wx[i] = wx[i] + wvx[i] * stepdt;
+			wy[i] = wy[i] + wvy[i] * stepdt;
+			// Reflecting walls keep the box closed.
+			if (wx[i] < 0.0) {
+				wx[i] = -wx[i];
+				wvx[i] = -wvx[i];
+			}
+			if (wx[i] > 1.0) {
+				wx[i] = 2.0 - wx[i];
+				wvx[i] = -wvx[i];
+			}
+			if (wy[i] < 0.0) {
+				wy[i] = -wy[i];
+				wvy[i] = -wvy[i];
+			}
+			if (wy[i] > 1.0) {
+				wy[i] = 2.0 - wy[i];
+				wvy[i] = -wvy[i];
+			}
+		}
+		barrier();
+	}
+	// Per-thread kinetic energy.
+	float ke = 0.0;
+	for (i = 0; i < nm; i = i + 1) {
+		if (i % nthreads() == me) {
+			ke = ke + wvx[i] * wvx[i] + wvy[i] * wvy[i];
+		}
+	}
+	output(qz(ke));
+	barrier();
+	if (me == 0) {
+		int t;
+		for (t = 0; t < nthreads(); t = t + 1) {
+			gPot = gPot + wpot[t];
+		}
+		output(qz(gPot));
+		output(qz(gMaxF));
+	}
+}
+`
