@@ -6,6 +6,7 @@
 package blockwatch
 
 import (
+	"fmt"
 	"testing"
 
 	"blockwatch/internal/core"
@@ -13,6 +14,7 @@ import (
 	"blockwatch/internal/inject"
 	"blockwatch/internal/monitor"
 	"blockwatch/internal/queue"
+	"blockwatch/internal/splash"
 )
 
 func benchCfg() harness.Config {
@@ -130,6 +132,46 @@ func BenchmarkAblationOptimizations(b *testing.B) {
 		if _, err := harness.Ablation(cfg); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkCampaignWorkers measures fault-injection campaign wall clock
+// against the Workers knob on the fft benchmark. The fault list and the
+// resulting tallies are identical at every worker count (see
+// internal/inject/parallel_test.go); only the scheduling differs, so the
+// sub-benchmark ratios directly report parallel speedup. On a single-core
+// host the workers serialize and all counts should be within noise of
+// workers=1.
+func BenchmarkCampaignWorkers(b *testing.B) {
+	prog, err := splash.Get("fft")
+	if err != nil {
+		b.Fatal(err)
+	}
+	mod, err := prog.Compile()
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, err := core.Analyze(mod, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c := inject.Campaign{
+					Module:  mod,
+					Plans:   a.Plans,
+					Threads: 4,
+					Faults:  40,
+					Type:    inject.BranchFlip,
+					Seed:    1,
+					Workers: w,
+				}
+				if _, err := c.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

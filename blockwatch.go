@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"time"
 
 	"blockwatch/internal/core"
 	"blockwatch/internal/inject"
@@ -325,6 +326,44 @@ type CampaignOptions struct {
 	Seed    int64
 	// Analysis supplies a precomputed Report for Protect.
 	Analysis *Report
+	// Workers is the number of faulty runs executed concurrently
+	// (0 = all cores, 1 = sequential). Every statistical field of
+	// CampaignResult is identical for any worker count; only the
+	// wall-clock Elapsed and Latency observability data vary.
+	Workers int
+	// Progress, when non-nil, receives periodic snapshots of the running
+	// campaign. Callbacks are serialized but may arrive from worker
+	// goroutines.
+	Progress func(CampaignProgress)
+}
+
+// CampaignProgress is a live snapshot of a running campaign.
+type CampaignProgress struct {
+	// Injected is the number of faulty runs completed so far, out of
+	// Total planned.
+	Injected, Total int
+	// Activated counts completed runs whose fault was reached.
+	Activated int
+	// Per-outcome counts so far.
+	Benign, Detected, Crashed, Hung, SDC int
+	// Elapsed is the wall-clock time since the injection phase started.
+	Elapsed time.Duration
+}
+
+// LatencyStats aggregates wall-clock faulty-run durations for one outcome
+// class. Latencies are machine-dependent observability data, not part of
+// the deterministic campaign statistics.
+type LatencyStats struct {
+	Count           int
+	Total, Min, Max time.Duration
+}
+
+// Mean returns the average duration (0 for an empty aggregate).
+func (l LatencyStats) Mean() time.Duration {
+	if l.Count == 0 {
+		return 0
+	}
+	return l.Total / time.Duration(l.Count)
 }
 
 // CampaignResult summarizes a campaign.
@@ -338,6 +377,11 @@ type CampaignResult struct {
 	SDC       int
 	// Coverage is 1 − SDC/activated, the paper's metric.
 	Coverage float64
+	// Elapsed is the wall-clock time of the injection phase.
+	Elapsed time.Duration
+	// Latency aggregates per-outcome run durations, keyed by outcome name
+	// ("benign", "detected", "crash", "hang", "sdc", "not-activated").
+	Latency map[string]LatencyStats
 }
 
 // Campaign runs the paper's Section IV fault-injection methodology on the
@@ -353,6 +397,23 @@ func (p *Program) Campaign(opts CampaignOptions) (*CampaignResult, error) {
 		Faults:  opts.Faults,
 		Type:    model,
 		Seed:    opts.Seed,
+		Workers: opts.Workers,
+	}
+	if opts.Progress != nil {
+		cb := opts.Progress
+		c.Progress = func(ip inject.CampaignProgress) {
+			cb(CampaignProgress{
+				Injected:  ip.Injected,
+				Total:     ip.Total,
+				Activated: ip.Activated,
+				Benign:    ip.Counts[inject.Benign],
+				Detected:  ip.Counts[inject.Detected],
+				Crashed:   ip.Counts[inject.Crash],
+				Hung:      ip.Counts[inject.Hang],
+				SDC:       ip.Counts[inject.SDC],
+				Elapsed:   ip.Elapsed,
+			})
+		}
 	}
 	if opts.Protect {
 		rep := opts.Analysis
@@ -370,7 +431,7 @@ func (p *Program) Campaign(opts CampaignOptions) (*CampaignResult, error) {
 		return nil, fmt.Errorf("campaign on %s: %w", p.name, err)
 	}
 	t := res.Tally
-	return &CampaignResult{
+	out := &CampaignResult{
 		Injected:  t.Injected,
 		Activated: t.Activated,
 		Benign:    t.Counts[inject.Benign],
@@ -379,5 +440,13 @@ func (p *Program) Campaign(opts CampaignOptions) (*CampaignResult, error) {
 		Hung:      t.Counts[inject.Hang],
 		SDC:       t.Counts[inject.SDC],
 		Coverage:  t.Coverage(),
-	}, nil
+		Elapsed:   res.Elapsed,
+		Latency:   make(map[string]LatencyStats, len(res.Latency)),
+	}
+	for outcome, ls := range res.Latency {
+		out.Latency[outcome.String()] = LatencyStats{
+			Count: ls.Count, Total: ls.Total, Min: ls.Min, Max: ls.Max,
+		}
+	}
+	return out, nil
 }

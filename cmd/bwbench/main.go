@@ -15,6 +15,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -24,30 +25,36 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "bwbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("bwbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		exp    = flag.String("exp", "all", "experiment id (tables|table3|table4|table5|fig6|fig7|fig8|fig9|falsepos|duplication|ablation|nestsweep|all)")
-		faults = flag.Int("faults", 1000, "faults per campaign cell")
-		fpruns = flag.Int("fpruns", 100, "error-free runs per program for the false-positive experiment")
-		seed   = flag.Int64("seed", 1, "campaign seed")
-		quiet  = flag.Bool("q", false, "suppress progress lines")
+		exp     = fs.String("exp", "all", "experiment id (tables|table3|table4|table5|fig6|fig7|fig8|fig9|falsepos|duplication|ablation|nestsweep|all)")
+		faults  = fs.Int("faults", 1000, "faults per campaign cell")
+		fpruns  = fs.Int("fpruns", 100, "error-free runs per program for the false-positive experiment")
+		seed    = fs.Int64("seed", 1, "campaign seed")
+		workers = fs.Int("workers", 0, "concurrent faulty runs per campaign (0 = all cores)")
+		quiet   = fs.Bool("q", false, "suppress progress lines")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	cfg := harness.Config{
 		Faults:            *faults,
 		FalsePositiveRuns: *fpruns,
 		Seed:              *seed,
+		Workers:           *workers,
 	}
 	if !*quiet {
 		cfg.Progress = func(format string, args ...any) {
-			fmt.Fprintf(os.Stderr, "... "+format+"\n", args...)
+			fmt.Fprintf(stderr, "... "+format+"\n", args...)
 		}
 	}
 
@@ -56,8 +63,8 @@ func run() error {
 	ran := 0
 
 	if want("tables") {
-		fmt.Println(harness.Table1())
-		fmt.Println(harness.RenderTable2())
+		fmt.Fprintln(stdout,harness.Table1())
+		fmt.Fprintln(stdout,harness.RenderTable2())
 		ran++
 	}
 	if want("table3") {
@@ -65,7 +72,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		fmt.Println(out)
+		fmt.Fprintln(stdout,out)
 		ran++
 	}
 	if want("table4") {
@@ -73,7 +80,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		fmt.Println(harness.RenderTable4(rows))
+		fmt.Fprintln(stdout,harness.RenderTable4(rows))
 		ran++
 	}
 	if want("table5") {
@@ -81,7 +88,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		fmt.Println(harness.RenderTable5(rows))
+		fmt.Fprintln(stdout,harness.RenderTable5(rows))
 		ran++
 	}
 	if want("fig6") {
@@ -89,7 +96,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		fmt.Println(harness.RenderFig6(res))
+		fmt.Fprintln(stdout,harness.RenderFig6(res))
 		ran++
 	}
 	if want("fig7") {
@@ -97,7 +104,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		fmt.Println(harness.RenderFig7(points))
+		fmt.Fprintln(stdout,harness.RenderFig7(points))
 		ran++
 	}
 	if want("fig8") {
@@ -105,7 +112,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		fmt.Println(harness.RenderCoverage(res, "Figure 8"))
+		fmt.Fprintln(stdout,harness.RenderCoverage(res, "Figure 8"))
 		ran++
 	}
 	if want("fig9") {
@@ -113,7 +120,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		fmt.Println(harness.RenderCoverage(res, "Figure 9"))
+		fmt.Fprintln(stdout,harness.RenderCoverage(res, "Figure 9"))
 		ran++
 	}
 	if want("falsepos") {
@@ -121,7 +128,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		fmt.Println(harness.RenderFalsePositives(res))
+		fmt.Fprintln(stdout,harness.RenderFalsePositives(res))
 		ran++
 	}
 	if want("duplication") {
@@ -129,7 +136,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		fmt.Println(harness.RenderDuplication(res))
+		fmt.Fprintln(stdout,harness.RenderDuplication(res))
 		ran++
 	}
 	if want("ablation") {
@@ -137,7 +144,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		fmt.Println(harness.RenderAblation(rows))
+		fmt.Fprintln(stdout,harness.RenderAblation(rows))
 		ran++
 	}
 	if want("nestsweep") {
@@ -145,7 +152,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		fmt.Println(harness.RenderNestSweep(points))
+		fmt.Fprintln(stdout,harness.RenderNestSweep(points))
 		ran++
 	}
 	if ran == 0 {
@@ -154,6 +161,6 @@ func run() error {
 				"fig7", "fig8", "fig9", "falsepos", "duplication", "ablation",
 				"nestsweep", "all"}, ", "))
 	}
-	fmt.Fprintf(os.Stderr, "bwbench: %d experiment(s) in %s\n", ran, time.Since(start).Round(time.Millisecond))
+	fmt.Fprintf(stderr, "bwbench: %d experiment(s) in %s\n", ran, time.Since(start).Round(time.Millisecond))
 	return nil
 }

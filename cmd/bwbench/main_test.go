@@ -1,0 +1,44 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunStaticTables exercises the cheap static experiments end to end.
+func TestRunStaticTables(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-exp", "tables", "-q"}, &out, &errb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if out.Len() == 0 {
+		t.Fatal("tables experiment produced no output")
+	}
+	if !strings.Contains(errb.String(), "1 experiment(s)") {
+		t.Errorf("missing completion summary:\n%s", errb.String())
+	}
+}
+
+// TestRunSmallCampaign runs the Figure 8 reproduction at a tiny fault
+// count with an explicit worker count.
+func TestRunSmallCampaign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign experiment in -short mode")
+	}
+	var out, errb bytes.Buffer
+	args := []string{"-exp", "table5", "-faults", "5", "-workers", "2", "-q"}
+	if err := run(args, &out, &errb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "Table V") {
+		t.Errorf("missing Table V output:\n%s", out.String())
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-exp", "nope", "-q"}, &out, &errb); err == nil {
+		t.Error("expected error for unknown experiment id")
+	}
+}

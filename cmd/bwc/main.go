@@ -20,6 +20,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -27,40 +28,44 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "bwc:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("bwc", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		bench     = flag.String("bench", "", "bundled benchmark name")
-		dump      = flag.Bool("dump", false, "print SSA IR")
-		maxNest   = flag.Int("maxnest", 0, "loop-nesting cap (0 = default 6, -1 = unlimited)")
-		noPromote = flag.Bool("nopromote", false, "disable none→partial promotion")
-		dedup     = flag.Bool("dedup", false, "enable redundant-check elimination")
-		list      = flag.Bool("list", false, "list bundled benchmarks")
-		optimize  = flag.Bool("O", false, "run SSA optimizations before analysis")
+		bench     = fs.String("bench", "", "bundled benchmark name")
+		dump      = fs.Bool("dump", false, "print SSA IR")
+		maxNest   = fs.Int("maxnest", 0, "loop-nesting cap (0 = default 6, -1 = unlimited)")
+		noPromote = fs.Bool("nopromote", false, "disable none→partial promotion")
+		dedup     = fs.Bool("dedup", false, "enable redundant-check elimination")
+		list      = fs.Bool("list", false, "list bundled benchmarks")
+		optimize  = fs.Bool("O", false, "run SSA optimizations before analysis")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	if *list {
-		fmt.Println(strings.Join(blockwatch.Benchmarks(), "\n"))
+		fmt.Fprintln(stdout, strings.Join(blockwatch.Benchmarks(), "\n"))
 		return nil
 	}
 
-	prog, err := loadProgram(*bench, flag.Args())
+	prog, err := loadProgram(*bench, fs.Args())
 	if err != nil {
 		return err
 	}
 	if *optimize {
 		st := prog.Optimize()
-		fmt.Printf("optimizer: folded=%d simplified=%d cse=%d dead=%d\n",
+		fmt.Fprintf(stdout, "optimizer: folded=%d simplified=%d cse=%d dead=%d\n",
 			st.Folded, st.Simplified, st.CSE, st.Dead)
 	}
 	if *dump {
-		fmt.Println(prog.DumpIR())
+		fmt.Fprintln(stdout, prog.DumpIR())
 	}
 	rep, err := prog.Analyze(blockwatch.AnalysisOptions{
 		MaxNest:          *maxNest,
@@ -70,20 +75,20 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("program %s: %d branches, %d in parallel section, analysis converged in %d sweeps\n",
+	fmt.Fprintf(stdout, "program %s: %d branches, %d in parallel section, analysis converged in %d sweeps\n",
 		rep.Program, rep.TotalBranches, rep.ParallelBranches, rep.Iterations)
-	fmt.Printf("categories: shared=%d threadID=%d partial=%d none=%d  (similar: %.0f%%)\n",
+	fmt.Fprintf(stdout, "categories: shared=%d threadID=%d partial=%d none=%d  (similar: %.0f%%)\n",
 		rep.PerCategory["shared"], rep.PerCategory["threadID"],
 		rep.PerCategory["partial"], rep.PerCategory["none"],
 		100*rep.SimilarFraction)
-	fmt.Printf("checked branches: %d\n\n", rep.Checked)
-	fmt.Printf("%-9s %6s %-9s %-8s %s\n", "branch", "line", "category", "checked", "note")
+	fmt.Fprintf(stdout, "checked branches: %d\n\n", rep.Checked)
+	fmt.Fprintf(stdout, "%-9s %6s %-9s %-8s %s\n", "branch", "line", "category", "checked", "note")
 	for _, br := range rep.Branches {
 		note := br.Why
 		if br.Checked && br.Promoted {
 			note = "promoted none→partial"
 		}
-		fmt.Printf("#%-8d %6d %-9s %-8t %s\n", br.BranchID, br.Line, br.Category, br.Checked, note)
+		fmt.Fprintf(stdout, "#%-8d %6d %-9s %-8t %s\n", br.BranchID, br.Line, br.Category, br.Checked, note)
 	}
 	return nil
 }

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-list"}, &out, &errb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, name := range []string{"fft", "radix"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing %q:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestRunAnalyzeBench(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-bench", "fft"}, &out, &errb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, want := range []string{"program fft:", "categories:", "checked branches:"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("analysis output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunOptimizeAndDump(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-O", "-dump", "-bench", "fft"}, &out, &errb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "optimizer:") {
+		t.Errorf("-O printed no optimizer stats:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "module fft") {
+		t.Errorf("-dump printed no IR:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run(nil, &out, &errb); err == nil {
+		t.Error("expected error with no file and no -bench")
+	}
+	if err := run([]string{"-badflag"}, &out, &errb); err == nil {
+		t.Error("expected error for unknown flag")
+	}
+}

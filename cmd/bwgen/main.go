@@ -16,6 +16,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"blockwatch"
@@ -23,23 +24,27 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "bwgen:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("bwgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		seed  = flag.Int64("seed", 1, "generator seed")
-		stmts = flag.Int("stmts", 8, "max top-level statements")
-		depth = flag.Int("depth", 3, "max nesting depth")
-		check = flag.Bool("check", false, "compile, analyze and run the program protected")
+		seed  = fs.Int64("seed", 1, "generator seed")
+		stmts = fs.Int("stmts", 8, "max top-level statements")
+		depth = fs.Int("depth", 3, "max nesting depth")
+		check = fs.Bool("check", false, "compile, analyze and run the program protected")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	src := langtest.Generate(*seed, langtest.Options{MaxStmts: *stmts, MaxDepth: *depth})
-	fmt.Print(src)
+	fmt.Fprint(stdout, src)
 	if !*check {
 		return nil
 	}
@@ -55,7 +60,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "check: %d parallel branches (%d checked), detected=%t crashed=%t hung=%t\n",
+	fmt.Fprintf(stderr, "check: %d parallel branches (%d checked), detected=%t crashed=%t hung=%t\n",
 		rep.ParallelBranches, rep.Checked, res.Detected, res.Crashed, res.Hung)
 	if res.Detected {
 		return fmt.Errorf("FALSE POSITIVE on error-free run: %v", res.Violations)

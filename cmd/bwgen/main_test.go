@@ -1,0 +1,52 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunEmitsProgram(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-seed", "7"}, &out, &errb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	src := out.String()
+	if !strings.Contains(src, "func void slave()") {
+		t.Errorf("generated source has no slave():\n%s", src)
+	}
+}
+
+func TestRunDeterministicPerSeed(t *testing.T) {
+	gen := func() string {
+		var out, errb bytes.Buffer
+		if err := run([]string{"-seed", "3"}, &out, &errb); err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		return out.String()
+	}
+	if gen() != gen() {
+		t.Error("same seed produced different programs")
+	}
+}
+
+// TestRunCheckMode exercises the self-test path: generate, compile,
+// analyze, and run protected; any false positive is an error.
+func TestRunCheckMode(t *testing.T) {
+	for _, seed := range []string{"1", "2", "3"} {
+		var out, errb bytes.Buffer
+		if err := run([]string{"-seed", seed, "-check"}, &out, &errb); err != nil {
+			t.Fatalf("run -check seed %s: %v", seed, err)
+		}
+		if !strings.Contains(errb.String(), "check:") {
+			t.Errorf("seed %s: no check summary on stderr:\n%s", seed, errb.String())
+		}
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-definitely-not-a-flag"}, &out, &errb); err == nil {
+		t.Error("expected error for unknown flag")
+	}
+}

@@ -16,32 +16,44 @@
 //	-faults N     injections per campaign (default 1000, as in the paper)
 //	-type T       branch-flip | branch-condition (default branch-flip)
 //	-seed N       campaign seed
+//	-workers N    concurrent faulty runs (0 = all cores; results are
+//	              identical for any worker count)
+//	-progress     print live campaign progress and per-outcome latency
+//	              aggregates to stderr
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"sort"
 
 	"blockwatch"
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "bwinject:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("bwinject", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		bench   = flag.String("bench", "", "bundled benchmark name")
-		threads = flag.Int("threads", 4, "thread count")
-		faults  = flag.Int("faults", 1000, "faults per campaign")
-		ftype   = flag.String("type", "branch-flip", "branch-flip | branch-condition")
-		seed    = flag.Int64("seed", 1, "campaign seed")
+		bench    = fs.String("bench", "", "bundled benchmark name")
+		threads  = fs.Int("threads", 4, "thread count")
+		faults   = fs.Int("faults", 1000, "faults per campaign")
+		ftype    = fs.String("type", "branch-flip", "branch-flip | branch-condition")
+		seed     = fs.Int64("seed", 1, "campaign seed")
+		workers  = fs.Int("workers", 0, "concurrent faulty runs (0 = all cores)")
+		progress = fs.Bool("progress", false, "print live progress to stderr")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	var model blockwatch.FaultModel
 	switch *ftype {
@@ -53,14 +65,21 @@ func run() error {
 		return fmt.Errorf("unknown fault type %q", *ftype)
 	}
 
-	prog, err := loadProgram(*bench, flag.Args())
+	prog, err := loadProgram(*bench, fs.Args())
 	if err != nil {
 		return err
 	}
 	opts := blockwatch.CampaignOptions{
 		Threads: *threads, Faults: *faults, Model: model, Seed: *seed,
+		Workers: *workers,
 	}
-	fmt.Printf("campaign: %s, %d threads, %d %s faults\n",
+	if *progress {
+		opts.Progress = func(p blockwatch.CampaignProgress) {
+			fmt.Fprintf(stderr, "progress: %d/%d injected, %d activated, sdc=%d detected=%d (%s)\n",
+				p.Injected, p.Total, p.Activated, p.SDC, p.Detected, p.Elapsed.Round(1e6))
+		}
+	}
+	fmt.Fprintf(stdout, "campaign: %s, %d threads, %d %s faults\n",
 		prog.Name(), *threads, *faults, *ftype)
 
 	base, err := prog.Campaign(opts)
@@ -72,15 +91,34 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	printTally("without BLOCKWATCH", base)
-	printTally("with BLOCKWATCH", prot)
-	fmt.Printf("coverage gain: %.1f%% -> %.1f%%\n", 100*base.Coverage, 100*prot.Coverage)
+	printTally(stdout, "without BLOCKWATCH", base)
+	printTally(stdout, "with BLOCKWATCH", prot)
+	fmt.Fprintf(stdout, "coverage gain: %.1f%% -> %.1f%%\n", 100*base.Coverage, 100*prot.Coverage)
+	if *progress {
+		printLatency(stderr, "without BLOCKWATCH", base)
+		printLatency(stderr, "with BLOCKWATCH", prot)
+	}
 	return nil
 }
 
-func printTally(label string, r *blockwatch.CampaignResult) {
-	fmt.Printf("%-20s activated=%d benign=%d detected=%d crash=%d hang=%d sdc=%d coverage=%.1f%%\n",
+func printTally(w io.Writer, label string, r *blockwatch.CampaignResult) {
+	fmt.Fprintf(w, "%-20s activated=%d benign=%d detected=%d crash=%d hang=%d sdc=%d coverage=%.1f%%\n",
 		label, r.Activated, r.Benign, r.Detected, r.Crashed, r.Hung, r.SDC, 100*r.Coverage)
+}
+
+func printLatency(w io.Writer, label string, r *blockwatch.CampaignResult) {
+	fmt.Fprintf(w, "%s: campaign wall-clock %s; per-outcome run latency:\n",
+		label, r.Elapsed.Round(1e6))
+	outcomes := make([]string, 0, len(r.Latency))
+	for o := range r.Latency {
+		outcomes = append(outcomes, o)
+	}
+	sort.Strings(outcomes)
+	for _, o := range outcomes {
+		ls := r.Latency[o]
+		fmt.Fprintf(w, "  %-14s n=%-6d mean=%-10s min=%-10s max=%s\n",
+			o, ls.Count, ls.Mean(), ls.Min, ls.Max)
+	}
 }
 
 func loadProgram(bench string, args []string) (*blockwatch.Program, error) {

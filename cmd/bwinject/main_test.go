@@ -1,0 +1,96 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// smokeProgram is small enough that a campaign finishes in well under a
+// second but still has branches in the parallel section to inject into.
+const smokeProgram = `
+global int n;
+global int acc[8];
+
+func void setup() {
+	n = 24;
+}
+
+func void slave() {
+	int me = tid();
+	int i;
+	int s = 0;
+	for (i = 0; i < n; i = i + 1) {
+		if (i % 2 == 0) {
+			s = s + i;
+		}
+	}
+	acc[me] = s;
+	barrier();
+	if (me == 0) {
+		output(acc[0]);
+	}
+}
+`
+
+func writeSmokeProgram(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "smoke.mc")
+	if err := os.WriteFile(path, []byte(smokeProgram), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunCampaignOnFile(t *testing.T) {
+	var out, errb bytes.Buffer
+	args := []string{"-threads", "2", "-faults", "30", "-workers", "2",
+		"-progress", writeSmokeProgram(t)}
+	if err := run(args, &out, &errb); err != nil {
+		t.Fatalf("run: %v\nstderr: %s", err, errb.String())
+	}
+	for _, want := range []string{"without BLOCKWATCH", "with BLOCKWATCH", "coverage gain"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+	if !strings.Contains(errb.String(), "progress:") {
+		t.Errorf("-progress produced no progress lines:\n%s", errb.String())
+	}
+	if !strings.Contains(errb.String(), "per-outcome run latency") {
+		t.Errorf("-progress produced no latency summary:\n%s", errb.String())
+	}
+}
+
+func TestRunWorkerCountDoesNotChangeTallies(t *testing.T) {
+	path := writeSmokeProgram(t)
+	tallies := func(workers string) string {
+		t.Helper()
+		var out, errb bytes.Buffer
+		args := []string{"-threads", "2", "-faults", "30", "-seed", "5",
+			"-workers", workers, path}
+		if err := run(args, &out, &errb); err != nil {
+			t.Fatalf("run(workers=%s): %v", workers, err)
+		}
+		return out.String()
+	}
+	if seq, par := tallies("1"), tallies("4"); seq != par {
+		t.Errorf("tallies differ between -workers 1 and -workers 4:\n%s\nvs\n%s", seq, par)
+	}
+}
+
+func TestRunRejectsBadFaultType(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-type", "bogus", "-bench", "fft"}, &out, &errb); err == nil {
+		t.Fatal("expected error for unknown fault type")
+	}
+}
+
+func TestRunRejectsMissingProgram(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run(nil, &out, &errb); err == nil {
+		t.Fatal("expected error with no file and no -bench")
+	}
+}

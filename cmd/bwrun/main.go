@@ -19,6 +19,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
 
@@ -26,25 +27,29 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "bwrun:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("bwrun", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		bench    = flag.String("bench", "", "bundled benchmark name")
-		threads  = flag.Int("threads", 4, "SPMD thread count")
-		protect  = flag.Bool("protect", false, "enable BLOCKWATCH checking")
-		seed     = flag.Uint64("seed", 0, "rnd() seed")
-		overhead = flag.Bool("overhead", false, "report instrumentation overhead")
-		trace    = flag.Bool("trace", false, "print every executed branch to stderr")
-		monitors = flag.Int("monitors", 1, "hierarchical sub-monitors (>1 enables the Section VI extension)")
+		bench    = fs.String("bench", "", "bundled benchmark name")
+		threads  = fs.Int("threads", 4, "SPMD thread count")
+		protect  = fs.Bool("protect", false, "enable BLOCKWATCH checking")
+		seed     = fs.Uint64("seed", 0, "rnd() seed")
+		overhead = fs.Bool("overhead", false, "report instrumentation overhead")
+		trace    = fs.Bool("trace", false, "print every executed branch to stderr")
+		monitors = fs.Int("monitors", 1, "hierarchical sub-monitors (>1 enables the Section VI extension)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
-	prog, err := loadProgram(*bench, flag.Args())
+	prog, err := loadProgram(*bench, fs.Args())
 	if err != nil {
 		return err
 	}
@@ -55,38 +60,38 @@ func run() error {
 		MonitorGroups: *monitors,
 	}
 	if *trace {
-		runOpts.Trace = os.Stderr
+		runOpts.Trace = stderr
 	}
 	res, err := prog.Run(runOpts)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("program %s, %d threads, protected=%t\n", prog.Name(), *threads, *protect)
-	fmt.Printf("output (%d values):\n", len(res.Output))
+	fmt.Fprintf(stdout, "program %s, %d threads, protected=%t\n", prog.Name(), *threads, *protect)
+	fmt.Fprintf(stdout, "output (%d values):\n", len(res.Output))
 	for i, v := range res.Output {
 		// Print both interpretations; MiniC programs know which they used.
-		fmt.Printf("  [%3d] int=%-12d float=%g\n", i, int64(v), math.Float64frombits(v))
+		fmt.Fprintf(stdout, "  [%3d] int=%-12d float=%g\n", i, int64(v), math.Float64frombits(v))
 	}
-	fmt.Printf("parallel-section span: %d simulated cycles\n", res.SimTime)
+	fmt.Fprintf(stdout, "parallel-section span: %d simulated cycles\n", res.SimTime)
 	switch {
 	case res.Detected:
-		fmt.Println("DETECTED violations:")
+		fmt.Fprintln(stdout, "DETECTED violations:")
 		for _, v := range res.Violations {
-			fmt.Println("  ", v)
+			fmt.Fprintln(stdout, "  ", v)
 		}
 	case res.Crashed:
-		fmt.Println("run CRASHED")
+		fmt.Fprintln(stdout, "run CRASHED")
 	case res.Hung:
-		fmt.Println("run HUNG")
+		fmt.Fprintln(stdout, "run HUNG")
 	default:
-		fmt.Println("run clean, no violations")
+		fmt.Fprintln(stdout, "run clean, no violations")
 	}
 	if *overhead {
 		oh, err := prog.Overhead(*threads)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("instrumentation overhead at %d threads: %.2fx\n", *threads, oh)
+		fmt.Fprintf(stdout, "instrumentation overhead at %d threads: %.2fx\n", *threads, oh)
 	}
 	return nil
 }

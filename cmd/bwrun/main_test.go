@@ -1,0 +1,88 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const smokeProgram = `
+global int total;
+
+func void setup() {
+	total = 0;
+}
+
+func void slave() {
+	int me = tid();
+	if (me == 0) {
+		output(nthreads());
+	}
+	barrier();
+	output(me);
+}
+`
+
+func writeSmokeProgram(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "smoke.mc")
+	if err := os.WriteFile(path, []byte(smokeProgram), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunFileClean(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-threads", "2", writeSmokeProgram(t)}, &out, &errb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "run clean, no violations") {
+		t.Errorf("expected clean run, got:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "output (3 values)") {
+		t.Errorf("expected 3 output values (1 + one per thread), got:\n%s", out.String())
+	}
+}
+
+func TestRunProtectedBenchWithOverhead(t *testing.T) {
+	var out, errb bytes.Buffer
+	err := run([]string{"-bench", "fft", "-threads", "2", "-protect", "-overhead"}, &out, &errb)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "protected=true") {
+		t.Errorf("missing protected banner:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "instrumentation overhead") {
+		t.Errorf("-overhead produced no overhead line:\n%s", out.String())
+	}
+	if strings.Contains(out.String(), "DETECTED") {
+		t.Errorf("false positive on error-free protected run:\n%s", out.String())
+	}
+}
+
+func TestRunTraceGoesToStderr(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-threads", "2", "-trace", writeSmokeProgram(t)}, &out, &errb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(errb.String(), "branch#") {
+		t.Errorf("-trace wrote no branch lines to stderr:\n%s", errb.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run(nil, &out, &errb); err == nil {
+		t.Error("expected error with no file and no -bench")
+	}
+	if err := run([]string{"-bench", "no-such-kernel"}, &out, &errb); err == nil {
+		t.Error("expected error for unknown benchmark")
+	}
+	if err := run([]string{"-badflag"}, &out, &errb); err == nil {
+		t.Error("expected error for unknown flag")
+	}
+}

@@ -76,13 +76,14 @@ func Duplication(cfg Config) (*DuplResult, error) {
 			bwCamp := inject.Campaign{
 				Module: b.Mod, Plans: b.Analysis.Plans, Threads: threads,
 				Faults: cfg.Faults, Type: inject.BranchFlip, Seed: cfg.Seed,
+				Workers: cfg.Workers,
 			}
 			bw, err := bwCamp.Run()
 			if err != nil {
 				return nil, err
 			}
 			row.BWCoverage = bw.Tally.Coverage()
-			dcov, err := duplCoverage(b.Mod, threads, cfg.Faults, cfg.Seed)
+			dcov, err := duplCoverage(b.Mod, threads, cfg.Faults, cfg.Seed, cfg.Workers)
 			if err != nil {
 				return nil, err
 			}
@@ -95,10 +96,12 @@ func Duplication(cfg Config) (*DuplResult, error) {
 
 // duplCoverage runs a branch-flip campaign against the duplication
 // detector: a fault is covered unless the duplicated system reports no
-// mismatch AND the primary output silently differs from golden.
-func duplCoverage(mod *ir.Module, threads, faults int, seed int64) (float64, error) {
+// mismatch AND the primary output silently differs from golden. The
+// runner builds a fresh injector and two fresh interpreter instances per
+// call, so it is safe for the campaign's concurrent workers.
+func duplCoverage(mod *ir.Module, threads, faults int, seed int64, workers int) (float64, error) {
 	c := inject.Campaign{Module: mod, Threads: threads, Faults: faults,
-		Type: inject.BranchFlip, Seed: seed}
+		Type: inject.BranchFlip, Seed: seed, Workers: workers}
 	res, err := c.RunWith(func(f inject.Fault, stepLimit uint64, golden []interp.Value) (inject.Outcome, error) {
 		ij := inject.NewSingle(f)
 		dres, err := dupl.Run(mod, dupl.Options{Threads: threads, Fault: ij, StepLimit: stepLimit})
@@ -205,6 +208,7 @@ func Ablation(cfg Config) ([]AblationRow, error) {
 		campaign := inject.Campaign{
 			Module: b.Mod, Plans: b.Analysis.Plans, Threads: 4,
 			Faults: cfg.Faults, Type: inject.BranchFlip, Seed: cfg.Seed,
+			Workers: cfg.Workers,
 		}
 		cb, err := campaign.Run()
 		if err != nil {

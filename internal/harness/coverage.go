@@ -55,6 +55,7 @@ func Coverage(cfg Config, ft inject.FaultType) (*CoverageResult, error) {
 				Faults:  cfg.Faults,
 				Type:    ft,
 				Seed:    cfg.Seed + int64(ti),
+				Workers: cfg.Workers,
 			}
 			orig, err := campaign.Run()
 			if err != nil {

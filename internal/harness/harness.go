@@ -30,6 +30,9 @@ type Config struct {
 	PerfThreads []int
 	// Seed makes campaigns reproducible.
 	Seed int64
+	// Workers is the campaign worker-pool size (0 = all cores). Campaign
+	// statistics are identical for any value; only wall-clock changes.
+	Workers int
 	// AnalysisOptions configures the static analysis.
 	AnalysisOptions core.Options
 	// Progress, when non-nil, receives status lines for long experiments.

@@ -54,6 +54,7 @@ func NestSweep(cfg Config) ([]NestPoint, error) {
 		campaign := inject.Campaign{
 			Module: mod, Plans: a.Plans, Threads: 4,
 			Faults: cfg.Faults, Type: inject.BranchFlip, Seed: cfg.Seed,
+			Workers: cfg.Workers,
 		}
 		res, err := campaign.Run()
 		if err != nil {

@@ -12,6 +12,10 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"blockwatch/internal/core"
 	"blockwatch/internal/interp"
@@ -180,12 +184,80 @@ type Campaign struct {
 	// MonitorGroups selects the hierarchical monitor extension for the
 	// protected runs (0/1 = flat monitor).
 	MonitorGroups int
+	// Workers is the number of faulty runs executed concurrently
+	// (0 = runtime.GOMAXPROCS(0), 1 = fully sequential). The fault list is
+	// sampled from the campaign RNG before any run starts and results are
+	// aggregated in fault order, so Tally, FirstDetected, and the returned
+	// error are identical for every worker count.
+	Workers int
+	// Progress, when non-nil, receives a snapshot after roughly every
+	// ProgressEvery completed runs and always after the final one.
+	// Callbacks are serialized but may be invoked from worker goroutines.
+	Progress func(CampaignProgress)
+	// ProgressEvery is the Progress granularity in completed runs
+	// (0 = max(1, Faults/64)).
+	ProgressEvery int
+}
+
+// CampaignProgress is a live snapshot of a running campaign, delivered to
+// the Campaign.Progress callback.
+type CampaignProgress struct {
+	// Injected is the number of faulty runs completed so far.
+	Injected int
+	// Total is the number of planned runs.
+	Total int
+	// Activated counts completed runs whose fault was activated.
+	Activated int
+	// Counts are per-outcome totals so far (a private copy per snapshot).
+	Counts map[Outcome]int
+	// Elapsed is the wall-clock time since the first faulty run started.
+	Elapsed time.Duration
+}
+
+// LatencyStats aggregates wall-clock durations of faulty runs. Unlike the
+// tallies, latencies depend on the host machine and are not deterministic.
+type LatencyStats struct {
+	Count int
+	Total time.Duration
+	Min   time.Duration
+	Max   time.Duration
+}
+
+// Mean returns the average duration (0 for an empty aggregate).
+func (l LatencyStats) Mean() time.Duration {
+	if l.Count == 0 {
+		return 0
+	}
+	return l.Total / time.Duration(l.Count)
+}
+
+func (l *LatencyStats) add(d time.Duration) {
+	if l.Count == 0 || d < l.Min {
+		l.Min = d
+	}
+	if d > l.Max {
+		l.Max = d
+	}
+	l.Count++
+	l.Total += d
 }
 
 // CampaignResult is the aggregate of one campaign.
 type CampaignResult struct {
 	Tally      Tally
 	GoldenTime int64 // simulated cycles of the golden run
+	// FirstDetected is the index (in fault-sampling order) of the first
+	// fault whose run was classified Detected; -1 when none was. It is
+	// independent of worker count and scheduling.
+	FirstDetected int
+	// FirstDetectedFault is the fault at FirstDetected (zero when -1).
+	FirstDetectedFault Fault
+	// Elapsed is the wall-clock time of the injection phase (observability
+	// only; machine-dependent).
+	Elapsed time.Duration
+	// Latency aggregates per-outcome wall-clock run durations
+	// (observability only; machine-dependent).
+	Latency map[Outcome]LatencyStats
 }
 
 // Errors returned by Run.
@@ -203,12 +275,21 @@ func (c Campaign) Run() (*CampaignResult, error) {
 }
 
 // Runner executes one faulty run (under any detector) and classifies it.
-// The golden output is provided for SDC comparison.
+// The golden output is provided for SDC comparison. When Campaign.Workers
+// is not 1, the Runner is invoked from multiple goroutines concurrently
+// and must not share mutable state across calls.
 type Runner func(f Fault, stepLimit uint64, golden []interp.Value) (Outcome, error)
 
 // RunWith executes the campaign's profiling and sampling steps but
 // delegates each faulty run to a custom Runner — used to evaluate other
 // detectors (e.g. duplication) under the identical fault distribution.
+//
+// The full fault list is sampled from the campaign RNG before any faulty
+// run starts, so the sampled distribution is byte-identical to the
+// historical sequential implementation; the runs then fan out over
+// Workers goroutines and are aggregated in fault order, making every
+// field of CampaignResult except the wall-clock Elapsed/Latency
+// observability data independent of worker count and scheduling.
 func (c Campaign) RunWith(run Runner) (*CampaignResult, error) {
 	if c.Faults < 1 {
 		return nil, ErrNoFaults
@@ -230,43 +311,188 @@ func (c Campaign) RunWith(run Runner) (*CampaignResult, error) {
 	if !golden.Clean() {
 		return nil, fmt.Errorf("golden run not clean: %v", golden.Traps)
 	}
-	var maxSteps, total uint64
+	var total uint64
 	for _, n := range golden.BranchCounts {
 		total += n
-		if n > maxSteps {
-			maxSteps = n
-		}
 	}
 	if total == 0 {
 		return nil, ErrNoBranches
 	}
 
+	// Step 2: sample every (thread, branch) target up front, in the exact
+	// RNG consumption order of the sequential implementation.
 	rng := rand.New(rand.NewSource(c.Seed))
-	res := &CampaignResult{GoldenTime: golden.SimTime}
-	res.Tally.Counts = make(map[Outcome]int)
+	faults := c.sampleFaults(rng, golden.BranchCounts)
 
 	stepLimit := sumSteps(golden) * stepFactor
 
-	// Steps 2–3: sample (thread, branch) uniformly over executed branches
-	// and inject one fault per run.
-	for i := 0; i < c.Faults; i++ {
-		f := Fault{
-			Type:   c.Type,
-			Thread: c.pickThread(rng, golden.BranchCounts),
-			Bit:    uint(rng.Intn(31)), // low 31 bits: plausible data faults
-		}
-		f.Seq = 1 + uint64(rng.Int63n(int64(golden.BranchCounts[f.Thread])))
-		out, err := run(f, stepLimit, golden.Output)
-		if err != nil {
-			return nil, fmt.Errorf("fault %d: %w", i, err)
-		}
+	// Step 3: inject one fault per run, fanned out over the worker pool.
+	outcomes := make([]Outcome, len(faults))
+	latencies := make([]time.Duration, len(faults))
+	errs := make([]error, len(faults))
+
+	workers := c.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(faults) {
+		workers = len(faults)
+	}
+
+	start := time.Now()
+	tracker := newProgressTracker(c, len(faults), start)
+
+	var (
+		next     atomic.Int64
+		failedAt atomic.Int64 // lowest failed fault index so far
+		wg       sync.WaitGroup
+	)
+	failedAt.Store(int64(len(faults)))
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= len(faults) {
+					return
+				}
+				// Soft-cancel: once some earlier index failed, skip later
+				// work. The lowest failing index is always executed (only
+				// strictly later indices are skipped), so the returned
+				// error stays deterministic.
+				if int(failedAt.Load()) < i {
+					continue
+				}
+				t0 := time.Now()
+				out, err := run(faults[i], stepLimit, golden.Output)
+				latencies[i] = time.Since(t0)
+				if err != nil {
+					errs[i] = err
+					for {
+						cur := failedAt.Load()
+						if int64(i) >= cur || failedAt.CompareAndSwap(cur, int64(i)) {
+							break
+						}
+					}
+					continue
+				}
+				outcomes[i] = out
+				tracker.done(out)
+			}
+		}()
+	}
+	wg.Wait()
+
+	if i := int(failedAt.Load()); i < len(faults) {
+		return nil, fmt.Errorf("fault %d: %w", i, errs[i])
+	}
+
+	// Deterministic aggregation: walk outcomes in fault order.
+	res := &CampaignResult{
+		GoldenTime:    golden.SimTime,
+		FirstDetected: -1,
+		Elapsed:       time.Since(start),
+		Latency:       make(map[Outcome]LatencyStats),
+	}
+	res.Tally.Counts = make(map[Outcome]int)
+	for i, out := range outcomes {
 		res.Tally.Injected++
 		if out != NotActivated {
 			res.Tally.Activated++
 		}
 		res.Tally.Counts[out]++
+		if out == Detected && res.FirstDetected < 0 {
+			res.FirstDetected = i
+			res.FirstDetectedFault = faults[i]
+		}
+		ls := res.Latency[out]
+		ls.add(latencies[i])
+		res.Latency[out] = ls
 	}
 	return res, nil
+}
+
+// sampleFaults draws the campaign's full fault list. The per-fault RNG
+// consumption order (thread, bit, seq) must not change: it is what keeps
+// parallel campaigns byte-identical to the historical sequential ones.
+func (c Campaign) sampleFaults(rng *rand.Rand, counts []uint64) []Fault {
+	faults := make([]Fault, c.Faults)
+	for i := range faults {
+		f := Fault{
+			Type:   c.Type,
+			Thread: c.pickThread(rng, counts),
+			Bit:    uint(rng.Intn(31)), // low 31 bits: plausible data faults
+		}
+		f.Seq = 1 + uint64(rng.Int63n(int64(counts[f.Thread])))
+		faults[i] = f
+	}
+	return faults
+}
+
+// progressTracker maintains the live counters behind the Progress
+// callback. It is intentionally separate from the deterministic
+// aggregation: snapshots reflect completion order, the final result does
+// not.
+type progressTracker struct {
+	mu        sync.Mutex
+	cb        func(CampaignProgress)
+	every     int
+	total     int
+	start     time.Time
+	injected  int
+	activated int
+	counts    map[Outcome]int
+	sinceCb   int
+}
+
+func newProgressTracker(c Campaign, total int, start time.Time) *progressTracker {
+	if c.Progress == nil {
+		return nil
+	}
+	every := c.ProgressEvery
+	if every <= 0 {
+		every = total / 64
+		if every < 1 {
+			every = 1
+		}
+	}
+	return &progressTracker{
+		cb:     c.Progress,
+		every:  every,
+		total:  total,
+		start:  start,
+		counts: make(map[Outcome]int),
+	}
+}
+
+func (p *progressTracker) done(out Outcome) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.injected++
+	if out != NotActivated {
+		p.activated++
+	}
+	p.counts[out]++
+	p.sinceCb++
+	if p.sinceCb < p.every && p.injected < p.total {
+		return
+	}
+	p.sinceCb = 0
+	snap := CampaignProgress{
+		Injected:  p.injected,
+		Total:     p.total,
+		Activated: p.activated,
+		Counts:    make(map[Outcome]int, len(p.counts)),
+		Elapsed:   time.Since(p.start),
+	}
+	for k, v := range p.counts {
+		snap.Counts[k] = v
+	}
+	p.cb(snap)
 }
 
 // pickThread samples a thread weighted by its executed branch count so

@@ -1,0 +1,38 @@
+package lang
+
+import "testing"
+
+// FuzzParse feeds arbitrary bytes through the lexer and parser. Both must
+// reject malformed input with an error, never a panic — the front half of
+// the pipeline's robustness contract.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"global int n;\nfunc void setup() { n = 4; }\nfunc void slave() { output(tid()); }\n",
+		"func void slave() { int i; for (i = 0; i < 4; i = i + 1) { barrier(); } }",
+		"func int f(int x) { return x * 2; }",
+		"global float a[16];",
+		"func void slave() { if (tid() == 0) { output(1); } else { output(2); } }",
+		"/* comment */ func void slave() {} // trailing",
+		"global int \x00;",
+		"func func func",
+		"global int n; func void slave() { n = 1e309; }",
+		"{}}}((( \"unterminated",
+		"int 0x;",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		toks, err := Lex(src)
+		if err != nil {
+			return
+		}
+		// Parse re-lexes internally; also exercise it on pre-lexed input
+		// being valid to keep the two entry points honest.
+		_ = toks
+		if _, err := Parse(src); err != nil {
+			return
+		}
+	})
+}

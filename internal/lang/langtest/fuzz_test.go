@@ -1,0 +1,52 @@
+package langtest
+
+import (
+	"testing"
+
+	"blockwatch/internal/core"
+	"blockwatch/internal/interp"
+	"blockwatch/internal/lower"
+)
+
+// FuzzNoFalsePositive is the paper's zero-false-positive invariant as a
+// fuzz target: every generated program is race-free and deterministic by
+// construction, so a protected (monitored) run must never report a
+// violation, at any thread count or monitor topology.
+func FuzzNoFalsePositive(f *testing.F) {
+	for seed := int64(0); seed < 12; seed++ {
+		f.Add(seed, uint8(seed%8), uint8(seed%3))
+	}
+	f.Fuzz(func(t *testing.T, seed int64, threadsRaw, groupsRaw uint8) {
+		threads := 1 + int(threadsRaw%8) // 1..8
+		groups := 1 + int(groupsRaw%4)   // 1..4 (hierarchical when > 1)
+		if groups > threads {
+			groups = threads
+		}
+		src := Generate(seed, Options{})
+		mod, err := lower.Compile(src, "fuzz")
+		if err != nil {
+			t.Fatalf("generated program failed to compile: %v\n%s", err, src)
+		}
+		a, err := core.Analyze(mod, core.Options{})
+		if err != nil {
+			t.Fatalf("analysis failed: %v\n%s", err, src)
+		}
+		res, err := interp.Run(mod, interp.Options{
+			Threads:       threads,
+			Mode:          interp.MonitorActive,
+			Plans:         a.Plans,
+			MonitorGroups: groups,
+			StepLimit:     5_000_000,
+		})
+		if err != nil {
+			t.Fatalf("protected run failed: %v\n%s", err, src)
+		}
+		if !res.Clean() {
+			t.Fatalf("generated program trapped: %v\n%s", res.Traps, src)
+		}
+		if res.Detected {
+			t.Fatalf("FALSE POSITIVE (seed %d, %d threads, %d groups): %v\n%s",
+				seed, threads, groups, res.Violations, src)
+		}
+	})
+}

@@ -1,0 +1,40 @@
+package lower_test
+
+import (
+	"testing"
+
+	"blockwatch/internal/lang/langtest"
+	"blockwatch/internal/lower"
+	"blockwatch/internal/splash"
+)
+
+// FuzzCompile drives arbitrary bytes through the full front end —
+// lexer → parser → type check → SSA lowering → IR verification. Malformed
+// input must come back as an error, never a panic; accepted input must
+// additionally pass the SPMD structural check without panicking.
+func FuzzCompile(f *testing.F) {
+	for _, name := range splash.Names() {
+		p, err := splash.Get(name)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(p.Source)
+	}
+	for seed := int64(0); seed < 8; seed++ {
+		f.Add(langtest.Generate(seed, langtest.Options{}))
+	}
+	f.Add("func void slave() { barrier(); }")
+	f.Add("global int a[0]; func void slave() { a[-1] = 0; }")
+	f.Add("func int slave() { return slave(); }")
+	f.Add("global float \xff\xfe;")
+	f.Add("func void slave() { lock(0); unlock(1); }")
+	f.Fuzz(func(t *testing.T, src string) {
+		mod, err := lower.Compile(src, "fuzz")
+		if err != nil {
+			return
+		}
+		// Compile verifies the SSA internally; CheckSPMD must also be
+		// total on whatever Compile accepts.
+		_ = lower.CheckSPMD(mod)
+	})
+}

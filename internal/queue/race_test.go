@@ -1,0 +1,104 @@
+package queue
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// TestSPSCStressUnderRace hammers several queues concurrently — one
+// producer and one consumer goroutine per queue, as the SPSC contract
+// requires — so `go test -race` can observe the Lamport publication
+// protocol under real contention. Sized to stay well under ~5s with the
+// race detector on.
+func TestSPSCStressUnderRace(t *testing.T) {
+	const (
+		pairs = 4
+		msgs  = 30_000
+	)
+	var wg sync.WaitGroup
+	for p := 0; p < pairs; p++ {
+		q, err := NewSPSC[int](64) // small capacity: force wraparound and full/empty edges
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < msgs; i++ {
+				for !q.Push(i) {
+					runtime.Gosched()
+				}
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for want := 0; want < msgs; {
+				v, ok := q.Pop()
+				if !ok {
+					runtime.Gosched()
+					continue
+				}
+				if v != want {
+					t.Errorf("FIFO violated: got %d, want %d", v, want)
+					return
+				}
+				want++
+			}
+			if !q.Empty() {
+				t.Errorf("queue not empty after consuming all %d messages", msgs)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestSPSCLenObservers adds racy Len/Empty readers on top of an active
+// producer/consumer pair: for a third-party observer Len carries no
+// numeric guarantee (the two index loads are not a snapshot), but the
+// reads must be data-race-free (atomic loads only), which is what the
+// race detector verifies here.
+func TestSPSCLenObservers(t *testing.T) {
+	const msgs = 20_000
+	q, err := NewSPSC[uint64](128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg, observer sync.WaitGroup
+	stop := make(chan struct{})
+	observer.Add(1)
+	go func() {
+		defer observer.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = q.Len()
+				_ = q.Empty()
+			}
+		}
+	}()
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := uint64(0); i < msgs; i++ {
+			for !q.Push(i) {
+				runtime.Gosched()
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for n := 0; n < msgs; {
+			if _, ok := q.Pop(); ok {
+				n++
+			} else {
+				runtime.Gosched()
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	observer.Wait()
+}
