@@ -203,6 +203,43 @@ func BenchmarkMonitorThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkSendOverflow measures the monitor's Send hot path across the
+// overflow-policy × queue-capacity grid. Checking is disabled so the
+// numbers isolate the producer-side cost: the policy branch, the queue
+// push, and (when the drain lags a small queue) the spin or drop path.
+// The dropped/op metric shows how much coverage each lossy configuration
+// sacrifices to keep the producer unblocked.
+func BenchmarkSendOverflow(b *testing.B) {
+	policies := []monitor.OverflowPolicy{
+		monitor.OverflowBlock, monitor.OverflowDropNewest, monitor.OverflowBlockTimeout,
+	}
+	for _, pol := range policies {
+		for _, qcap := range []int{64, 1 << 14} {
+			b.Run(fmt.Sprintf("%s/cap=%d", pol, qcap), func(b *testing.B) {
+				m, err := monitor.New(monitor.Config{
+					NumThreads: 1, Plans: benchPlans(), QueueCap: qcap,
+					Overflow: pol, CheckingDisabled: true,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				m.Start()
+				ev := monitor.Event{Kind: monitor.EvBranch, Thread: 0, BranchID: 1, Key1: 1, Sig: 5, Taken: true}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					ev.Key2 = uint64(i)
+					m.Send(ev)
+				}
+				b.StopTimer()
+				m.Send(monitor.Event{Kind: monitor.EvDone, Thread: 0})
+				m.Close()
+				b.ReportMetric(float64(m.Stats().Dropped)/float64(b.N), "dropped/op")
+			})
+		}
+	}
+}
+
 // BenchmarkInterpreter measures raw interpreter speed on the fft kernel
 // (the substrate cost every experiment pays).
 func BenchmarkInterpreter(b *testing.B) {

@@ -34,6 +34,7 @@ import (
 	"blockwatch/internal/interp"
 	"blockwatch/internal/ir"
 	"blockwatch/internal/lower"
+	"blockwatch/internal/monitor"
 	"blockwatch/internal/opt"
 	"blockwatch/internal/splash"
 )
@@ -208,6 +209,49 @@ func (p *Program) Analyze(opts AnalysisOptions) (*Report, error) {
 	return rep, nil
 }
 
+// OverflowPolicy selects what the monitor does when a thread's event
+// queue is full (the fail-open resilience layer; see docs/internals.md).
+// Dropping loses coverage, never soundness: every check rule is
+// subset-closed, so surviving reports still check validly.
+type OverflowPolicy int
+
+// Overflow policies.
+const (
+	// OverflowBlock spins until the queue has room (lossless, default).
+	OverflowBlock OverflowPolicy = iota
+	// OverflowDropNewest drops the new branch event when the queue is full.
+	OverflowDropNewest
+	// OverflowBlockTimeout spins a bounded number of times, then drops.
+	OverflowBlockTimeout
+)
+
+func (p OverflowPolicy) toMonitor() monitor.OverflowPolicy {
+	switch p {
+	case OverflowDropNewest:
+		return monitor.OverflowDropNewest
+	case OverflowBlockTimeout:
+		return monitor.OverflowBlockTimeout
+	}
+	return monitor.OverflowBlock
+}
+
+// ParseOverflowPolicy parses the CLI names "block", "drop-newest" and
+// "block-timeout".
+func ParseOverflowPolicy(s string) (OverflowPolicy, error) {
+	switch s {
+	case "block", "":
+		return OverflowBlock, nil
+	case "drop-newest":
+		return OverflowDropNewest, nil
+	case "block-timeout":
+		return OverflowBlockTimeout, nil
+	}
+	return 0, fmt.Errorf("unknown overflow policy %q (block | drop-newest | block-timeout)", s)
+}
+
+// String names the policy.
+func (p OverflowPolicy) String() string { return p.toMonitor().String() }
+
 // RunOptions configures one execution.
 type RunOptions struct {
 	// Threads is the SPMD thread count (≥ 1).
@@ -226,6 +270,15 @@ type RunOptions struct {
 	// MonitorGroups selects the hierarchical monitor extension with that
 	// many sub-monitors (0/1 = the paper's flat monitor).
 	MonitorGroups int
+	// QueueCap overrides the monitor's per-thread queue capacity
+	// (0 = default 16384).
+	QueueCap int
+	// Overflow selects the monitor's queue-overflow policy.
+	Overflow OverflowPolicy
+	// StallDeadline arms the monitor's stall watchdog: a barrier
+	// generation that makes no progress for this long is force-closed
+	// (0 = watchdog disabled).
+	StallDeadline time.Duration
 }
 
 // RunResult is the outcome of one execution.
@@ -242,6 +295,17 @@ type RunResult struct {
 	// Crashed and Hung report abnormal termination.
 	Crashed bool
 	Hung    bool
+	// Health is the monitor's fail-open state after the run: "healthy",
+	// "degraded" (events dropped/quarantined or a watchdog fire — coverage
+	// reduced, guarantees intact), or "failed" (monitor panic; the run
+	// completed unchecked). Empty when the monitor was off.
+	Health string
+	// DroppedEvents counts branch events dropped by the overflow policy.
+	DroppedEvents uint64
+	// QuarantinedEvents counts malformed or straggler events skipped.
+	QuarantinedEvents uint64
+	// WatchdogFires counts generations force-closed by the stall watchdog.
+	WatchdogFires uint64
 }
 
 // Run executes the program.
@@ -252,6 +316,9 @@ func (p *Program) Run(opts RunOptions) (*RunResult, error) {
 		StepLimit:     opts.StepLimit,
 		Trace:         opts.Trace,
 		MonitorGroups: opts.MonitorGroups,
+		QueueCap:      opts.QueueCap,
+		Overflow:      opts.Overflow.toMonitor(),
+		StallDeadline: opts.StallDeadline,
 	}
 	if opts.Protect {
 		rep := opts.Analysis
@@ -275,6 +342,12 @@ func (p *Program) Run(opts RunOptions) (*RunResult, error) {
 		Detected: res.Detected,
 		Crashed:  res.Crashed(),
 		Hung:     res.Hung(),
+	}
+	if opts.Protect {
+		out.Health = res.MonitorHealth.String()
+		out.DroppedEvents = res.MonitorStats.Dropped
+		out.QuarantinedEvents = res.MonitorStats.Quarantined
+		out.WatchdogFires = res.MonitorStats.Watchdog
 	}
 	for _, v := range res.Violations {
 		out.Violations = append(out.Violations, v.String())
@@ -305,16 +378,21 @@ func (p *Program) Overhead(threads int) (float64, error) {
 	return float64(inst.SimTime) / float64(base.SimTime), nil
 }
 
-// FaultModel selects the paper's two injection fault types.
+// FaultModel selects the injection fault type.
 type FaultModel int
 
-// Fault models (paper Section IV).
+// Fault models (paper Section IV, plus the detector-under-fault model).
 const (
 	// BranchFlip flips the targeted branch outcome (flag-register fault).
 	BranchFlip FaultModel = iota + 1
 	// ConditionBit flips one bit of the branch condition data, with
 	// persistence.
 	ConditionBit
+	// EventPath flips one bit of a queued monitor event's payload — a
+	// fault in the detector itself rather than the program. Implies
+	// Protect (the monitor must be active to have an event path) and the
+	// flat monitor. The campaign result carries a Detector classification.
+	EventPath
 )
 
 // CampaignOptions configures a fault-injection campaign.
@@ -382,14 +460,38 @@ type CampaignResult struct {
 	// Latency aggregates per-outcome run durations, keyed by outcome name
 	// ("benign", "detected", "crash", "hang", "sdc", "not-activated").
 	Latency map[string]LatencyStats
+	// Detector classifies detector-under-fault behavior; non-nil only for
+	// EventPath campaigns.
+	Detector *DetectorReport
+}
+
+// DetectorReport classifies how the detector behaved in an EventPath
+// campaign, where the injected fault corrupts the monitor's own data and
+// never touches program state.
+type DetectorReport struct {
+	// ProgramDetections counts detections accompanied by corrupted program
+	// output (genuine program faults — structurally zero for EventPath).
+	ProgramDetections int
+	// DetectorDetections counts detections with clean program output:
+	// false alarms induced by the corrupted event path.
+	DetectorDetections int
+	// QuarantinedRuns counts runs in which the monitor recognized and
+	// absorbed the corruption (≥1 quarantined event).
+	QuarantinedRuns int
+	// DegradedRuns counts runs ending with monitor health ≠ healthy.
+	DegradedRuns int
 }
 
 // Campaign runs the paper's Section IV fault-injection methodology on the
 // program.
 func (p *Program) Campaign(opts CampaignOptions) (*CampaignResult, error) {
 	model := inject.BranchFlip
-	if opts.Model == ConditionBit {
+	switch opts.Model {
+	case ConditionBit:
 		model = inject.CondBit
+	case EventPath:
+		model = inject.EventBit
+		opts.Protect = true // there is no unprotected event path
 	}
 	c := inject.Campaign{
 		Module:  p.mod,
@@ -446,6 +548,14 @@ func (p *Program) Campaign(opts CampaignOptions) (*CampaignResult, error) {
 	for outcome, ls := range res.Latency {
 		out.Latency[outcome.String()] = LatencyStats{
 			Count: ls.Count, Total: ls.Total, Min: ls.Min, Max: ls.Max,
+		}
+	}
+	if res.Detector != nil {
+		out.Detector = &DetectorReport{
+			ProgramDetections:  res.Detector.ProgramDetections,
+			DetectorDetections: res.Detector.DetectorDetections,
+			QuarantinedRuns:    res.Detector.Quarantined,
+			DegradedRuns:       res.Detector.Degraded,
 		}
 	}
 	return out, nil

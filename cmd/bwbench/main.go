@@ -9,7 +9,7 @@
 //	bwbench -exp fig8 -faults 300
 //
 // Experiments: tables (I and II), table3, table4, table5, fig6, fig7,
-// fig8, fig9, falsepos, duplication, ablation, all.
+// fig8, fig9, falsepos, duplication, ablation, detectorfault, all.
 package main
 
 import (
@@ -35,7 +35,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("bwbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		exp     = fs.String("exp", "all", "experiment id (tables|table3|table4|table5|fig6|fig7|fig8|fig9|falsepos|duplication|ablation|nestsweep|all)")
+		exp     = fs.String("exp", "all", "experiment id (tables|table3|table4|table5|fig6|fig7|fig8|fig9|falsepos|duplication|ablation|nestsweep|detectorfault|all)")
 		faults  = fs.Int("faults", 1000, "faults per campaign cell")
 		fpruns  = fs.Int("fpruns", 100, "error-free runs per program for the false-positive experiment")
 		seed    = fs.Int64("seed", 1, "campaign seed")
@@ -63,8 +63,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	ran := 0
 
 	if want("tables") {
-		fmt.Fprintln(stdout,harness.Table1())
-		fmt.Fprintln(stdout,harness.RenderTable2())
+		fmt.Fprintln(stdout, harness.Table1())
+		fmt.Fprintln(stdout, harness.RenderTable2())
 		ran++
 	}
 	if want("table3") {
@@ -72,7 +72,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintln(stdout,out)
+		fmt.Fprintln(stdout, out)
 		ran++
 	}
 	if want("table4") {
@@ -80,7 +80,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintln(stdout,harness.RenderTable4(rows))
+		fmt.Fprintln(stdout, harness.RenderTable4(rows))
 		ran++
 	}
 	if want("table5") {
@@ -88,7 +88,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintln(stdout,harness.RenderTable5(rows))
+		fmt.Fprintln(stdout, harness.RenderTable5(rows))
 		ran++
 	}
 	if want("fig6") {
@@ -96,7 +96,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintln(stdout,harness.RenderFig6(res))
+		fmt.Fprintln(stdout, harness.RenderFig6(res))
 		ran++
 	}
 	if want("fig7") {
@@ -104,7 +104,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintln(stdout,harness.RenderFig7(points))
+		fmt.Fprintln(stdout, harness.RenderFig7(points))
 		ran++
 	}
 	if want("fig8") {
@@ -112,7 +112,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintln(stdout,harness.RenderCoverage(res, "Figure 8"))
+		fmt.Fprintln(stdout, harness.RenderCoverage(res, "Figure 8"))
 		ran++
 	}
 	if want("fig9") {
@@ -120,7 +120,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintln(stdout,harness.RenderCoverage(res, "Figure 9"))
+		fmt.Fprintln(stdout, harness.RenderCoverage(res, "Figure 9"))
 		ran++
 	}
 	if want("falsepos") {
@@ -128,7 +128,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintln(stdout,harness.RenderFalsePositives(res))
+		fmt.Fprintln(stdout, harness.RenderFalsePositives(res))
 		ran++
 	}
 	if want("duplication") {
@@ -136,7 +136,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintln(stdout,harness.RenderDuplication(res))
+		fmt.Fprintln(stdout, harness.RenderDuplication(res))
 		ran++
 	}
 	if want("ablation") {
@@ -144,7 +144,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintln(stdout,harness.RenderAblation(rows))
+		fmt.Fprintln(stdout, harness.RenderAblation(rows))
 		ran++
 	}
 	if want("nestsweep") {
@@ -152,14 +152,22 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintln(stdout,harness.RenderNestSweep(points))
+		fmt.Fprintln(stdout, harness.RenderNestSweep(points))
+		ran++
+	}
+	if want("detectorfault") {
+		rows, err := harness.DetectorFault(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, harness.RenderDetectorFault(rows))
 		ran++
 	}
 	if ran == 0 {
 		return fmt.Errorf("unknown experiment %q; try one of %s", *exp,
 			strings.Join([]string{"tables", "table3", "table4", "table5", "fig6",
 				"fig7", "fig8", "fig9", "falsepos", "duplication", "ablation",
-				"nestsweep", "all"}, ", "))
+				"nestsweep", "detectorfault", "all"}, ", "))
 	}
 	fmt.Fprintf(stderr, "bwbench: %d experiment(s) in %s\n", ran, time.Since(start).Round(time.Millisecond))
 	return nil

@@ -14,7 +14,9 @@
 //	-bench name   target a bundled benchmark
 //	-threads N    thread count (default 4)
 //	-faults N     injections per campaign (default 1000, as in the paper)
-//	-type T       branch-flip | branch-condition (default branch-flip)
+//	-type T       branch-flip | branch-condition | event-path
+//	              (default branch-flip; event-path corrupts the monitor's
+//	              own queued events and classifies detector behavior)
 //	-seed N       campaign seed
 //	-workers N    concurrent faulty runs (0 = all cores; results are
 //	              identical for any worker count)
@@ -46,7 +48,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		bench    = fs.String("bench", "", "bundled benchmark name")
 		threads  = fs.Int("threads", 4, "thread count")
 		faults   = fs.Int("faults", 1000, "faults per campaign")
-		ftype    = fs.String("type", "branch-flip", "branch-flip | branch-condition")
+		ftype    = fs.String("type", "branch-flip", "branch-flip | branch-condition | event-path")
 		seed     = fs.Int64("seed", 1, "campaign seed")
 		workers  = fs.Int("workers", 0, "concurrent faulty runs (0 = all cores)")
 		progress = fs.Bool("progress", false, "print live progress to stderr")
@@ -61,6 +63,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		model = blockwatch.BranchFlip
 	case "branch-condition":
 		model = blockwatch.ConditionBit
+	case "event-path":
+		model = blockwatch.EventPath
 	default:
 		return fmt.Errorf("unknown fault type %q", *ftype)
 	}
@@ -81,6 +85,24 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	fmt.Fprintf(stdout, "campaign: %s, %d threads, %d %s faults\n",
 		prog.Name(), *threads, *faults, *ftype)
+
+	if model == blockwatch.EventPath {
+		// Event-path faults live inside the detector: there is no
+		// unprotected baseline to compare against. Run the protected
+		// campaign and report how the detector itself held up.
+		res, err := prog.Campaign(opts)
+		if err != nil {
+			return err
+		}
+		printTally(stdout, "detector under fault", res)
+		d := res.Detector
+		fmt.Fprintf(stdout, "detector classification: program-fault detections=%d detector-fault detections=%d quarantined-runs=%d degraded-runs=%d\n",
+			d.ProgramDetections, d.DetectorDetections, d.QuarantinedRuns, d.DegradedRuns)
+		if *progress {
+			printLatency(stderr, "detector under fault", res)
+		}
+		return nil
+	}
 
 	base, err := prog.Campaign(opts)
 	if err != nil {

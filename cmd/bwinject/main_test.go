@@ -94,3 +94,21 @@ func TestRunRejectsMissingProgram(t *testing.T) {
 		t.Fatal("expected error with no file and no -bench")
 	}
 }
+
+func TestRunEventPathCampaign(t *testing.T) {
+	var out, errb bytes.Buffer
+	args := []string{"-threads", "2", "-faults", "20", "-type", "event-path",
+		writeSmokeProgram(t)}
+	if err := run(args, &out, &errb); err != nil {
+		t.Fatalf("run: %v\nstderr: %s", err, errb.String())
+	}
+	for _, want := range []string{"detector under fault", "detector classification:",
+		"program-fault detections=0"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+	if strings.Contains(out.String(), "without BLOCKWATCH") {
+		t.Errorf("event-path campaign printed an unprotected baseline:\n%s", out.String())
+	}
+}

@@ -14,6 +14,9 @@
 //	-protect      instrument and run the checking monitor
 //	-seed N       rnd() seed
 //	-overhead     also report the normalized instrumented execution time
+//	-queuecap N   per-thread monitor queue capacity (0 = default 16384)
+//	-overflow P   queue-overflow policy: block | drop-newest | block-timeout
+//	-watchdog D   stall-watchdog deadline (e.g. 500ms; 0 = disabled)
 package main
 
 import (
@@ -44,8 +47,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 		overhead = fs.Bool("overhead", false, "report instrumentation overhead")
 		trace    = fs.Bool("trace", false, "print every executed branch to stderr")
 		monitors = fs.Int("monitors", 1, "hierarchical sub-monitors (>1 enables the Section VI extension)")
+		queuecap = fs.Int("queuecap", 0, "per-thread monitor queue capacity (0 = default)")
+		overflow = fs.String("overflow", "block", "queue-overflow policy: block | drop-newest | block-timeout")
+		watchdog = fs.Duration("watchdog", 0, "monitor stall-watchdog deadline (0 = disabled)")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	policy, err := blockwatch.ParseOverflowPolicy(*overflow)
+	if err != nil {
 		return err
 	}
 
@@ -58,6 +68,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		Protect:       *protect,
 		Seed:          *seed,
 		MonitorGroups: *monitors,
+		QueueCap:      *queuecap,
+		Overflow:      policy,
+		StallDeadline: *watchdog,
 	}
 	if *trace {
 		runOpts.Trace = stderr
@@ -85,6 +98,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintln(stdout, "run HUNG")
 	default:
 		fmt.Fprintln(stdout, "run clean, no violations")
+	}
+	if *protect {
+		fmt.Fprintf(stdout, "monitor health: %s (dropped=%d quarantined=%d watchdog-fires=%d)\n",
+			res.Health, res.DroppedEvents, res.QuarantinedEvents, res.WatchdogFires)
 	}
 	if *overhead {
 		oh, err := prog.Overhead(*threads)

@@ -86,3 +86,28 @@ func TestRunErrors(t *testing.T) {
 		t.Error("expected error for unknown flag")
 	}
 }
+
+func TestRunOverflowPolicyAndWatchdogFlags(t *testing.T) {
+	var out, errb bytes.Buffer
+	args := []string{"-bench", "radix", "-threads", "4", "-protect",
+		"-queuecap", "16", "-overflow", "drop-newest", "-watchdog", "2s"}
+	if err := run(args, &out, &errb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "run clean, no violations") {
+		t.Errorf("overflowing queue produced a violation:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "monitor health: degraded") {
+		t.Errorf("missing degraded health line after forced drops:\n%s", out.String())
+	}
+	if strings.Contains(out.String(), "dropped=0 ") {
+		t.Errorf("tiny -queuecap with drop-newest dropped nothing:\n%s", out.String())
+	}
+}
+
+func TestRunRejectsBadOverflowPolicy(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-overflow", "bogus", "-bench", "fft"}, &out, &errb); err == nil {
+		t.Error("expected error for unknown overflow policy")
+	}
+}

@@ -1,7 +1,10 @@
 // Faultcampaign: run a small fault-injection sweep over all seven bundled
-// SPLASH-2 kernels under both fault models and print a Figure 8/9-style
-// coverage table. Campaigns fan out over all cores; the coverage numbers
-// are identical to a sequential (Workers: 1) run by construction.
+// SPLASH-2 kernels under both program fault models and print a Figure
+// 8/9-style coverage table, then turn the fault injector on the detector
+// itself with an event-path sweep (bit-flips in the monitor's queued
+// events) and report how the detector classifies its own faults. Campaigns
+// fan out over all cores; the numbers are identical to a sequential
+// (Workers: 1) run by construction.
 //
 //	go run ./examples/faultcampaign
 package main
@@ -59,5 +62,28 @@ func main() {
 		}
 		n := float64(len(blockwatch.Benchmarks()))
 		fmt.Printf("%-22s %9.1f%% %9.1f%%\n", "AVERAGE", 100*sumOrig/n, 100*sumProt/n)
+	}
+
+	// Detector-under-fault sweep: corrupt the monitor's own event path.
+	// The program is never touched, so every detection is a detector-
+	// induced false alarm and quarantines show the corruption being
+	// recognized and absorbed.
+	fmt.Printf("\nevent-path faults (detector under fault), 4 threads, %d injections per program:\n", faults)
+	fmt.Printf("%-22s %10s %10s %12s %10s\n", "program", "benign", "false-alarm", "quarantined", "degraded")
+	for _, bench := range blockwatch.Benchmarks() {
+		prog, err := blockwatch.LoadBenchmark(bench)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := prog.Campaign(blockwatch.CampaignOptions{
+			Threads: 4, Faults: faults, Model: blockwatch.EventPath, Seed: 11,
+			Workers: workers,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		d := res.Detector
+		fmt.Printf("%-22s %10d %10d %12d %10d\n",
+			bench, res.Benign, d.DetectorDetections, d.QuarantinedRuns, d.DegradedRuns)
 	}
 }

@@ -1,0 +1,74 @@
+package blockwatch
+
+import (
+	"testing"
+	"time"
+)
+
+// TestKernelsCleanUnderOverflowPolicies is the fail-open acceptance sweep:
+// every bundled SPLASH kernel, fault-free, under every overflow policy with
+// a queue small enough to actually overflow. Dropping events may cost
+// coverage (Health degrades) but must never manufacture a violation — every
+// check rule is subset-closed.
+func TestKernelsCleanUnderOverflowPolicies(t *testing.T) {
+	policies := []OverflowPolicy{OverflowBlock, OverflowDropNewest, OverflowBlockTimeout}
+	var dropsSeen uint64
+	for _, bench := range Benchmarks() {
+		prog, err := LoadBenchmark(bench)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, pol := range policies {
+			t.Run(bench+"/"+pol.String(), func(t *testing.T) {
+				res, err := prog.Run(RunOptions{
+					Threads: 4, Protect: true, QueueCap: 16, Overflow: pol,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Detected {
+					t.Fatalf("false positive under %s: %v", pol, res.Violations)
+				}
+				if res.Crashed || res.Hung {
+					t.Fatalf("fault-free run misbehaved under %s: %+v", pol, res)
+				}
+				if pol == OverflowBlock {
+					if res.DroppedEvents != 0 {
+						t.Fatalf("lossless policy dropped %d events", res.DroppedEvents)
+					}
+					if res.Health != "healthy" {
+						t.Fatalf("lossless run degraded: health=%s", res.Health)
+					}
+				} else if res.DroppedEvents > 0 && res.Health != "degraded" {
+					t.Fatalf("dropped %d events but health=%s", res.DroppedEvents, res.Health)
+				}
+				dropsSeen += res.DroppedEvents
+			})
+		}
+	}
+	if dropsSeen == 0 {
+		t.Error("tiny QueueCap never triggered a drop: the sweep exercised nothing")
+	}
+}
+
+// TestRunWithWatchdogStaysHealthy checks the facade wiring of the stall
+// watchdog: an ordinary run with a generous deadline must complete with the
+// watchdog never firing.
+func TestRunWithWatchdogStaysHealthy(t *testing.T) {
+	prog, err := Compile(demoSrc, "demo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := prog.Run(RunOptions{
+		Threads: 4, Protect: true, StallDeadline: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Detected {
+		t.Fatalf("false positive: %v", res.Violations)
+	}
+	if res.Health != "healthy" || res.WatchdogFires != 0 {
+		t.Fatalf("health=%s watchdog-fires=%d, want healthy and 0", res.Health, res.WatchdogFires)
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"blockwatch/internal/core"
 	"blockwatch/internal/interp"
 	"blockwatch/internal/ir"
+	"blockwatch/internal/monitor"
 )
 
 // FaultType selects the paper's two fault models.
@@ -34,6 +35,12 @@ const (
 	// persists in the value after the branch and may or may not change the
 	// branch outcome.
 	CondBit
+	// EventBit flips one bit of a queued monitor Event's payload — a fault
+	// in the *detector's* own data path rather than the program's. The
+	// paper assumes the monitor is fault-free; this model quantifies how
+	// the detector behaves when that assumption is dropped (outcomes are
+	// classified program-fault vs detector-fault in DetectorTally).
+	EventBit
 )
 
 // String names the fault type.
@@ -43,6 +50,8 @@ func (f FaultType) String() string {
 		return "branch-flip"
 	case CondBit:
 		return "branch-condition"
+	case EventBit:
+		return "event-path"
 	}
 	return fmt.Sprintf("FaultType(%d)", int(f))
 }
@@ -50,9 +59,10 @@ func (f FaultType) String() string {
 // Fault is one injection target.
 type Fault struct {
 	Type   FaultType
-	Thread int    // thread j
-	Seq    uint64 // dynamic branch index k (1-based) within thread j
-	Bit    uint   // bit to flip for CondBit faults
+	Thread int        // thread j
+	Seq    uint64     // dynamic branch (or branch-event) index k (1-based) within thread j
+	Bit    uint       // bit to flip for CondBit/EventBit faults
+	Field  EventField // event payload field for EventBit faults
 }
 
 // Single is an interp.FaultInjector that fires one fault and tracks its
@@ -242,10 +252,36 @@ func (l *LatencyStats) add(d time.Duration) {
 	l.Total += d
 }
 
+// DetectorTally classifies how the detector itself behaved across the
+// runs of an event-path (EventBit) campaign, where the injected fault
+// corrupts monitor data and never touches program state.
+type DetectorTally struct {
+	// ProgramDetections counts Detected runs whose program output also
+	// diverged from the golden run — a genuine program fault was flagged.
+	// Structurally zero for event-path faults (the program is untouched);
+	// a nonzero value would indicate the fault model leaked into program
+	// state.
+	ProgramDetections int
+	// DetectorDetections counts Detected runs whose program output matched
+	// the golden run: the violation was an artifact of the corrupted event
+	// path — a false alarm caused by a fault *in the detector*, the one
+	// way the zero-false-positive guarantee can be broken when the
+	// monitor's own data is corrupted.
+	DetectorDetections int
+	// Quarantined counts runs in which the monitor quarantined at least
+	// one event (the corruption was recognized as malformed and absorbed).
+	Quarantined int
+	// Degraded counts runs that ended with Health ≠ Healthy.
+	Degraded int
+}
+
 // CampaignResult is the aggregate of one campaign.
 type CampaignResult struct {
 	Tally      Tally
 	GoldenTime int64 // simulated cycles of the golden run
+	// Detector classifies detector-under-fault behavior; non-nil only for
+	// EventBit campaigns.
+	Detector *DetectorTally
 	// FirstDetected is the index (in fault-sampling order) of the first
 	// fault whose run was classified Detected; -1 when none was. It is
 	// independent of worker count and scheduling.
@@ -262,15 +298,19 @@ type CampaignResult struct {
 
 // Errors returned by Run.
 var (
-	ErrNoFaults   = errors.New("campaign needs a positive fault count")
-	ErrNoBranches = errors.New("program executed no branches to inject into")
+	ErrNoFaults        = errors.New("campaign needs a positive fault count")
+	ErrNoBranches      = errors.New("program executed no branches to inject into")
+	ErrNoEvents        = errors.New("program sent no monitor events to inject into")
+	ErrEventNeedsPlans = errors.New("event-path campaign requires check plans (Plans)")
+	ErrEventNeedsFlat  = errors.New("event-path campaign requires the flat monitor (MonitorGroups ≤ 1)")
 )
 
 // Run executes the three-step procedure of Section IV: profile, sample,
 // inject.
 func (c Campaign) Run() (*CampaignResult, error) {
-	return c.RunWith(func(f Fault, stepLimit uint64, golden []interp.Value) (Outcome, error) {
-		return c.runOne(f, golden, stepLimit), nil
+	return c.runAll(func(f Fault, stepLimit uint64, golden []interp.Value) (Outcome, runExtras, error) {
+		out, ex := c.runOneFull(f, golden, stepLimit)
+		return out, ex, nil
 	})
 }
 
@@ -279,6 +319,21 @@ func (c Campaign) Run() (*CampaignResult, error) {
 // is not 1, the Runner is invoked from multiple goroutines concurrently
 // and must not share mutable state across calls.
 type Runner func(f Fault, stepLimit uint64, golden []interp.Value) (Outcome, error)
+
+// runnerFull is the internal per-run signature: in addition to the
+// outcome it reports detector-side observations used to build
+// DetectorTally.
+type runnerFull func(f Fault, stepLimit uint64, golden []interp.Value) (Outcome, runExtras, error)
+
+// runExtras carries per-run detector observations out of the worker pool;
+// they are aggregated in fault-index order like the outcomes.
+type runExtras struct {
+	valid       bool // populated (internal runners only)
+	outputMatch bool // program output matched the golden run
+	quarantined uint64
+	dropped     uint64
+	degraded    bool // Health ≠ Healthy at run end
+}
 
 // RunWith executes the campaign's profiling and sampling steps but
 // delegates each faulty run to a custom Runner — used to evaluate other
@@ -291,6 +346,15 @@ type Runner func(f Fault, stepLimit uint64, golden []interp.Value) (Outcome, err
 // field of CampaignResult except the wall-clock Elapsed/Latency
 // observability data independent of worker count and scheduling.
 func (c Campaign) RunWith(run Runner) (*CampaignResult, error) {
+	return c.runAll(func(f Fault, stepLimit uint64, golden []interp.Value) (Outcome, runExtras, error) {
+		out, err := run(f, stepLimit, golden)
+		return out, runExtras{}, err
+	})
+}
+
+// runAll is the shared campaign engine: profile, sample, fan out, and
+// aggregate deterministically.
+func (c Campaign) runAll(run runnerFull) (*CampaignResult, error) {
 	if c.Faults < 1 {
 		return nil, ErrNoFaults
 	}
@@ -300,34 +364,52 @@ func (c Campaign) RunWith(run Runner) (*CampaignResult, error) {
 	}
 
 	// Step 1: golden (profiling) run — record per-thread branch counts and
-	// the reference output.
-	golden, err := interp.Run(c.Module, interp.Options{
-		Threads: c.Threads,
-		Seed:    c.Seed0,
-	})
+	// the reference output. Event-path campaigns profile with the monitor
+	// draining (but not checking) so the per-thread *event* counts — the
+	// sampling space of EventBit faults — are recorded; the monitor never
+	// feeds back into program values, so the reference output is the same.
+	goldenOpts := interp.Options{Threads: c.Threads, Seed: c.Seed0}
+	if c.Type == EventBit {
+		if c.Plans == nil {
+			return nil, ErrEventNeedsPlans
+		}
+		if c.MonitorGroups > 1 {
+			return nil, ErrEventNeedsFlat
+		}
+		goldenOpts.Mode = interp.MonitorDrainOnly
+		goldenOpts.Plans = c.Plans
+	}
+	golden, err := interp.Run(c.Module, goldenOpts)
 	if err != nil {
 		return nil, fmt.Errorf("golden run: %w", err)
 	}
 	if !golden.Clean() {
 		return nil, fmt.Errorf("golden run not clean: %v", golden.Traps)
 	}
+	space := golden.BranchCounts
+	spaceErr := ErrNoBranches
+	if c.Type == EventBit {
+		space = golden.EventCounts
+		spaceErr = ErrNoEvents
+	}
 	var total uint64
-	for _, n := range golden.BranchCounts {
+	for _, n := range space {
 		total += n
 	}
 	if total == 0 {
-		return nil, ErrNoBranches
+		return nil, spaceErr
 	}
 
 	// Step 2: sample every (thread, branch) target up front, in the exact
 	// RNG consumption order of the sequential implementation.
 	rng := rand.New(rand.NewSource(c.Seed))
-	faults := c.sampleFaults(rng, golden.BranchCounts)
+	faults := c.sampleFaults(rng, space)
 
 	stepLimit := sumSteps(golden) * stepFactor
 
 	// Step 3: inject one fault per run, fanned out over the worker pool.
 	outcomes := make([]Outcome, len(faults))
+	extras := make([]runExtras, len(faults))
 	latencies := make([]time.Duration, len(faults))
 	errs := make([]error, len(faults))
 
@@ -365,8 +447,9 @@ func (c Campaign) RunWith(run Runner) (*CampaignResult, error) {
 					continue
 				}
 				t0 := time.Now()
-				out, err := run(faults[i], stepLimit, golden.Output)
+				out, ex, err := run(faults[i], stepLimit, golden.Output)
 				latencies[i] = time.Since(t0)
+				extras[i] = ex
 				if err != nil {
 					errs[i] = err
 					for {
@@ -396,6 +479,9 @@ func (c Campaign) RunWith(run Runner) (*CampaignResult, error) {
 		Latency:       make(map[Outcome]LatencyStats),
 	}
 	res.Tally.Counts = make(map[Outcome]int)
+	if c.Type == EventBit {
+		res.Detector = &DetectorTally{}
+	}
 	for i, out := range outcomes {
 		res.Tally.Injected++
 		if out != NotActivated {
@@ -406,6 +492,21 @@ func (c Campaign) RunWith(run Runner) (*CampaignResult, error) {
 			res.FirstDetected = i
 			res.FirstDetectedFault = faults[i]
 		}
+		if res.Detector != nil && extras[i].valid {
+			if out == Detected {
+				if extras[i].outputMatch {
+					res.Detector.DetectorDetections++
+				} else {
+					res.Detector.ProgramDetections++
+				}
+			}
+			if extras[i].quarantined > 0 {
+				res.Detector.Quarantined++
+			}
+			if extras[i].degraded {
+				res.Detector.Degraded++
+			}
+		}
 		ls := res.Latency[out]
 		ls.add(latencies[i])
 		res.Latency[out] = ls
@@ -414,17 +515,22 @@ func (c Campaign) RunWith(run Runner) (*CampaignResult, error) {
 }
 
 // sampleFaults draws the campaign's full fault list. The per-fault RNG
-// consumption order (thread, bit, seq) must not change: it is what keeps
-// parallel campaigns byte-identical to the historical sequential ones.
+// consumption order for the program-fault models (thread, bit, seq) must
+// not change: it is what keeps parallel campaigns byte-identical to the
+// historical sequential ones. EventBit uses its own draw order (thread,
+// bit, seq, field) over the branch-event counts.
 func (c Campaign) sampleFaults(rng *rand.Rand, counts []uint64) []Fault {
 	faults := make([]Fault, c.Faults)
 	for i := range faults {
-		f := Fault{
-			Type:   c.Type,
-			Thread: c.pickThread(rng, counts),
-			Bit:    uint(rng.Intn(31)), // low 31 bits: plausible data faults
+		f := Fault{Type: c.Type, Thread: c.pickThread(rng, counts)}
+		if c.Type == EventBit {
+			f.Bit = uint(rng.Intn(64)) // any payload bit, incl. full 64-bit keys
+			f.Seq = 1 + uint64(rng.Int63n(int64(counts[f.Thread])))
+			f.Field = EventField(rng.Intn(int(numEventFields)))
+		} else {
+			f.Bit = uint(rng.Intn(31)) // low 31 bits: plausible data faults
+			f.Seq = 1 + uint64(rng.Int63n(int64(counts[f.Thread])))
 		}
-		f.Seq = 1 + uint64(rng.Int63n(int64(counts[f.Thread])))
 		faults[i] = f
 	}
 	return faults
@@ -523,8 +629,12 @@ func sumSteps(golden *interp.Result) uint64 {
 	return total * 64
 }
 
-// runOne performs a single faulty run and classifies it.
-func (c Campaign) runOne(f Fault, golden []interp.Value, stepLimit uint64) Outcome {
+// runOneFull performs a single faulty run and classifies it, reporting
+// detector-side observations alongside the outcome.
+func (c Campaign) runOneFull(f Fault, golden []interp.Value, stepLimit uint64) (Outcome, runExtras) {
+	if f.Type == EventBit {
+		return c.runOneEvent(f, golden, stepLimit)
+	}
 	ij := NewSingle(f)
 	mode := interp.MonitorOff
 	if c.Plans != nil {
@@ -540,11 +650,46 @@ func (c Campaign) runOne(f Fault, golden []interp.Value, stepLimit uint64) Outco
 		MonitorGroups: c.MonitorGroups,
 	})
 	if err != nil {
-		return Crash
+		return Crash, runExtras{}
 	}
+	ex := extrasFrom(res, golden)
 	if !ij.activated {
-		return NotActivated
+		return NotActivated, ex
 	}
+	return classify(res, golden, ex), ex
+}
+
+// runOne keeps the historical single-outcome shape (tests, docs).
+func (c Campaign) runOne(f Fault, golden []interp.Value, stepLimit uint64) Outcome {
+	out, _ := c.runOneFull(f, golden, stepLimit)
+	return out
+}
+
+// runOneEvent performs one event-path (EventBit) faulty run: the program
+// executes fault-free with the monitor active, and the Tap corrupts the
+// targeted queued event on the monitor side.
+func (c Campaign) runOneEvent(f Fault, golden []interp.Value, stepLimit uint64) (Outcome, runExtras) {
+	tap := NewTap(f)
+	res, err := interp.Run(c.Module, interp.Options{
+		Threads:   c.Threads,
+		Mode:      interp.MonitorActive,
+		Plans:     c.Plans,
+		Seed:      c.Seed0,
+		StepLimit: stepLimit,
+		EventTap:  tap.Corrupt,
+	})
+	if err != nil {
+		return Crash, runExtras{}
+	}
+	ex := extrasFrom(res, golden)
+	if !tap.Activated() {
+		return NotActivated, ex
+	}
+	return classify(res, golden, ex), ex
+}
+
+// classify applies the paper's outcome taxonomy to a completed run.
+func classify(res *interp.Result, golden []interp.Value, ex runExtras) Outcome {
 	if res.Detected {
 		return Detected
 	}
@@ -554,10 +699,20 @@ func (c Campaign) runOne(f Fault, golden []interp.Value, stepLimit uint64) Outco
 	case res.Hung():
 		return Hang
 	}
-	if !sameOutput(res.Output, golden) {
+	if !ex.outputMatch {
 		return SDC
 	}
 	return Benign
+}
+
+func extrasFrom(res *interp.Result, golden []interp.Value) runExtras {
+	return runExtras{
+		valid:       true,
+		outputMatch: sameOutput(res.Output, golden),
+		quarantined: res.MonitorStats.Quarantined,
+		dropped:     res.MonitorStats.Dropped,
+		degraded:    res.MonitorHealth != monitor.Healthy,
+	}
 }
 
 func sameOutput(a, b []interp.Value) bool {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"time"
 
 	"blockwatch/internal/core"
 	"blockwatch/internal/ir"
@@ -46,6 +47,20 @@ type Options struct {
 	Seed uint64
 	// QueueCap overrides the monitor queue capacity (0 = default).
 	QueueCap int
+	// Overflow selects the monitor's Send overflow policy for branch
+	// events (zero = OverflowBlock, the lossless default).
+	Overflow monitor.OverflowPolicy
+	// SendSpins bounds the OverflowBlockTimeout spin (0 = monitor default).
+	SendSpins int
+	// StallDeadline arms the monitor's stall watchdog (0 = disabled).
+	StallDeadline time.Duration
+	// Now overrides the watchdog clock (nil = time.Now; tests use a
+	// virtual clock).
+	Now func() time.Time
+	// EventTap is the monitor-side event corruption hook (fault
+	// injection's event-path model). Requires the flat monitor
+	// (MonitorGroups ≤ 1).
+	EventTap func(*monitor.Event)
 	// MonitorGroups selects the hierarchical monitor extension with that
 	// many sub-monitors (0 or 1 = the paper's single flat monitor).
 	MonitorGroups int
@@ -126,6 +141,13 @@ type Result struct {
 	Violations []monitor.Violation
 	// MonitorStats are the monitor-side counters (zero when MonitorOff).
 	MonitorStats monitor.Stats
+	// MonitorHealth is the monitor's fail-open degradation state at the
+	// end of the run (Healthy when MonitorOff).
+	MonitorHealth monitor.HealthState
+	// EventCounts is the number of branch events each thread sent to the
+	// monitor (the event-path fault injector's sampling space; nil when
+	// MonitorOff).
+	EventCounts []uint64
 }
 
 // Crashed reports whether any thread trapped with a crash-like failure.
@@ -165,8 +187,9 @@ type FaultInjector interface {
 
 // Config errors.
 var (
-	ErrBadThreads = errors.New("thread count must be at least 1")
-	ErrNeedPlans  = errors.New("monitor mode requires check plans")
+	ErrBadThreads   = errors.New("thread count must be at least 1")
+	ErrNeedPlans    = errors.New("monitor mode requires check plans")
+	ErrTapNeedsFlat = errors.New("EventTap requires the flat monitor (MonitorGroups ≤ 1)")
 )
 
 // machine is the shared run state.
@@ -236,8 +259,16 @@ func Run(mod *ir.Module, opts Options) (*Result, error) {
 			Plans:            opts.Plans,
 			QueueCap:         opts.QueueCap,
 			CheckingDisabled: opts.Mode == MonitorDrainOnly,
+			Overflow:         opts.Overflow,
+			SendSpins:        opts.SendSpins,
+			StallDeadline:    opts.StallDeadline,
+			Now:              opts.Now,
+			EventTap:         opts.EventTap,
 		}
 		if opts.MonitorGroups > 1 {
+			if opts.EventTap != nil {
+				return nil, ErrTapNeedsFlat
+			}
 			mon, err := monitor.NewHierarchical(mcfg, opts.MonitorGroups)
 			if err != nil {
 				return nil, fmt.Errorf("hierarchical monitor: %w", err)
@@ -258,6 +289,9 @@ func Run(mod *ir.Module, opts Options) (*Result, error) {
 		Traps:        make([]*Trap, opts.Threads),
 		SimTimes:     make([]int64, opts.Threads),
 		BranchCounts: make([]uint64, opts.Threads),
+	}
+	if m.mon != nil {
+		res.EventCounts = make([]uint64, opts.Threads)
 	}
 
 	// Phase 1: setup, single-threaded, not part of the parallel section.
@@ -290,6 +324,9 @@ func Run(mod *ir.Module, opts Options) (*Result, error) {
 			outs[tid] = t.output
 			res.SimTimes[tid] = t.sim
 			res.BranchCounts[tid] = t.branchSeq
+			if res.EventCounts != nil {
+				res.EventCounts[tid] = t.eventSeq
+			}
 			m.threadExited(tid, trap)
 			if m.mon != nil {
 				m.mon.Send(monitor.Event{Kind: monitor.EvDone, Thread: int32(tid)})
@@ -302,6 +339,7 @@ func Run(mod *ir.Module, opts Options) (*Result, error) {
 		m.mon.Close()
 		res.Detected = m.mon.Detected()
 		res.Violations = m.mon.Violations()
+		res.MonitorHealth = m.mon.Health()
 		if m.stats != nil {
 			res.MonitorStats = m.stats.Stats()
 		}

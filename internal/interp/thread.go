@@ -22,6 +22,7 @@ type Thread struct {
 	steps     uint64
 	stepLimit uint64
 	branchSeq uint64
+	eventSeq  uint64 // branch events sent to the monitor
 	output    []Value
 	rng       uint64
 	pathHash  uint64
@@ -239,6 +240,7 @@ func (t *Thread) execBranch(in *ir.Instr) (*ir.Block, *Trap) {
 				Key2:     key2,
 				Sig:      sig,
 			})
+			t.eventSeq++
 			t.sim += t.sendCost
 		}
 	}

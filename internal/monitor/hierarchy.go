@@ -20,13 +20,19 @@ import (
 // per-instance report sets to the root, which merges groups and applies
 // the full cross-thread checks.
 type Hierarchical struct {
-	cfg    Config
-	groups int
-	subs   []*subMonitor
+	cfg       Config
+	groups    int
+	subs      []*subMonitor
+	sendSpins int
 
 	mu         sync.Mutex
 	violations []Violation
 	detected   atomic.Bool
+
+	quarantined atomic.Uint64
+	panics      atomic.Uint64
+	drops       []atomic.Uint64 // per producing thread
+	health      atomic.Int32
 
 	rootMu      sync.Mutex
 	rootTbl     map[uint64]map[uint64]*level1 // generation → merged table
@@ -71,11 +77,17 @@ func NewHierarchical(cfg Config, groups int) (*Hierarchical, error) {
 	if capQ <= 0 {
 		capQ = DefaultQueueCap
 	}
+	spins := cfg.SendSpins
+	if spins <= 0 {
+		spins = DefaultSendSpins
+	}
 	h := &Hierarchical{
-		cfg:      cfg,
-		groups:   groups,
-		rootTbl:  make(map[uint64]map[uint64]*level1),
-		rootGens: make([]uint64, groups),
+		cfg:       cfg,
+		groups:    groups,
+		sendSpins: spins,
+		drops:     make([]atomic.Uint64, cfg.NumThreads),
+		rootTbl:   make(map[uint64]map[uint64]*level1),
+		rootGens:  make([]uint64, groups),
 	}
 	h.subs = make([]*subMonitor, groups)
 	for g := range h.subs {
@@ -95,20 +107,59 @@ func NewHierarchical(cfg Config, groups int) (*Hierarchical, error) {
 	return h, nil
 }
 
-// Send enqueues an event from thread ev.Thread.
+// Send enqueues an event from thread ev.Thread. The same fail-open rules
+// as Monitor.Send apply: out-of-range thread IDs are quarantined, branch
+// events obey the overflow policy, control events always block.
 func (h *Hierarchical) Send(ev Event) {
-	sub := h.subs[int(ev.Thread)%h.groups]
+	tid := int(ev.Thread)
+	if tid < 0 || tid >= h.cfg.NumThreads {
+		h.quarantine()
+		return
+	}
+	sub := h.subs[tid%h.groups]
 	var q *queue.SPSC[Event]
-	for i, tid := range sub.threads {
-		if tid == int(ev.Thread) {
+	for i, t := range sub.threads {
+		if t == tid {
 			q = sub.queues[i]
 			break
 		}
 	}
-	for !q.Push(ev) {
-		runtime.Gosched()
+	if ev.Kind != EvBranch {
+		for !q.Push(ev) {
+			runtime.Gosched()
+		}
+		return
+	}
+	if !pushPolicy(q, ev, h.cfg.Overflow, h.sendSpins) {
+		h.drops[tid].Add(1)
+		h.degrade()
 	}
 }
+
+func (h *Hierarchical) quarantine() {
+	h.quarantined.Add(1)
+	h.degrade()
+}
+
+func (h *Hierarchical) degrade() {
+	h.health.CompareAndSwap(int32(Healthy), int32(Degraded))
+}
+
+// Health reports the hierarchical monitor's degradation state.
+func (h *Hierarchical) Health() HealthState { return HealthState(h.health.Load()) }
+
+// Drops returns the per-thread counts of branch events dropped by the
+// overflow policy.
+func (h *Hierarchical) Drops() []uint64 {
+	out := make([]uint64, len(h.drops))
+	for i := range h.drops {
+		out[i] = h.drops[i].Load()
+	}
+	return out
+}
+
+// Quarantined returns the count of malformed or straggler events skipped.
+func (h *Hierarchical) Quarantined() uint64 { return h.quarantined.Load() }
 
 // Start launches one goroutine per sub-monitor.
 func (h *Hierarchical) Start() {
@@ -165,7 +216,17 @@ func (h *Hierarchical) record(v Violation) {
 }
 
 // loop drains the sub-monitor's queues until all of its threads are done.
+// A panic in event processing is recovered into the Failed state with a
+// failsafe drain, so this group's producers never wedge on a dead
+// sub-monitor (the other groups keep checking).
 func (s *subMonitor) loop() {
+	defer func() {
+		if r := recover(); r != nil {
+			s.h.panics.Add(1)
+			s.h.health.Store(int32(Failed))
+			s.failsafe()
+		}
+	}()
 	for {
 		idle := true
 		for i, q := range s.queues {
@@ -207,20 +268,67 @@ func (s *subMonitor) drainAll() {
 	}
 }
 
+// failsafe keeps discarding this group's queued events after a panic lost
+// the sub-monitor's table state, so its producers stay unblocked until
+// Close signals stop.
+func (s *subMonitor) failsafe() {
+	for {
+		s.discardAll()
+		if s.h.stopped.Load() {
+			s.discardAll()
+			return
+		}
+		runtime.Gosched()
+	}
+}
+
+func (s *subMonitor) discardAll() {
+	for _, q := range s.queues {
+		for {
+			if _, ok := q.Pop(); !ok {
+				break
+			}
+			s.h.quarantined.Add(1)
+		}
+	}
+}
+
+// process mirrors Monitor.process: generation/liveness bookkeeping trusts
+// the queue slot (which thread's queue the event came from), and events
+// whose payload disagrees with their slot, arrive after the slot's done,
+// or carry an unknown kind are quarantined.
 func (s *subMonitor) process(slot int, ev Event) {
 	switch ev.Kind {
 	case EvFlush:
+		if int(ev.Thread) != s.threads[slot] || s.doneSlots[slot] {
+			s.h.quarantine()
+			return
+		}
 		s.flushCount[slot]++
 		s.maybeClose()
 	case EvDone:
+		if int(ev.Thread) != s.threads[slot] || s.doneSlots[slot] {
+			s.h.quarantine()
+			return
+		}
 		s.doneCount++
 		s.doneSlots[slot] = true
 		s.maybeClose()
 	case EvBranch:
+		if s.doneSlots[slot] {
+			s.h.quarantine()
+			return
+		}
+		if tid := int(ev.Thread); tid < 0 || tid >= s.h.cfg.NumThreads {
+			s.h.quarantine()
+			return
+		}
 		if s.h.cfg.CheckingDisabled {
 			return
 		}
 		s.insert(ev)
+	default:
+		s.h.quarantine()
 	}
 }
 
@@ -251,7 +359,11 @@ func (s *subMonitor) insert(ev Event) {
 	l1, ok := s.table[ev.Key1]
 	if !ok {
 		plan := s.h.cfg.Plans[int(ev.BranchID)]
-		if plan == nil || !plan.Checked() {
+		if plan == nil {
+			s.h.quarantine() // unknown branch ID: impossible fault-free
+			return
+		}
+		if !plan.Checked() {
 			return
 		}
 		l1 = &level1{plan: plan, instances: make(map[uint64]*instance)}
@@ -264,8 +376,9 @@ func (s *subMonitor) insert(ev Event) {
 			maxInst = DefaultMaxInstances
 		}
 		if s.numInstances >= maxInst/len(s.h.subs) {
+			plan := l1.plan     // keep the known-good plan, not a BranchID re-lookup
 			s.closeGeneration() // bounded memory under runaway faults
-			l1 = &level1{plan: s.h.cfg.Plans[int(ev.BranchID)], instances: make(map[uint64]*instance)}
+			l1 = &level1{plan: plan, instances: make(map[uint64]*instance)}
 			s.table[ev.Key1] = l1
 		}
 		inst = &instance{reports: make([]Report, 0, len(s.threads))}

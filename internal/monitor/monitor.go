@@ -7,6 +7,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"blockwatch/internal/core"
 	"blockwatch/internal/queue"
@@ -36,16 +37,43 @@ type Config struct {
 	// The paper similarly fixes its queue lengths; an unbounded table
 	// would let a faulty thread exhaust memory before hang detection.
 	MaxInstances int
+	// Overflow selects the Send overflow policy for branch events
+	// (zero value = OverflowBlock, the paper's lossless behavior).
+	Overflow OverflowPolicy
+	// SendSpins bounds the OverflowBlockTimeout spin loop
+	// (0 = DefaultSendSpins).
+	SendSpins int
+	// StallDeadline, when positive, arms the stall watchdog: if the
+	// monitor makes no progress for this long while work is pending
+	// (gated queue backlog or open instances), it force-closes the
+	// current barrier generation — checking what can be checked, clearing
+	// the table, and ungating queues — so a thread that hangs without
+	// sending EvDone bounds memory and never livelocks producers.
+	StallDeadline time.Duration
+	// Now overrides the watchdog clock (nil = time.Now). Tests drive the
+	// watchdog deterministically with a virtual clock.
+	Now func() time.Time
+	// EventTap, when non-nil, is invoked by the monitor goroutine on
+	// every dequeued event before processing. Fault injection uses it to
+	// corrupt the event path (bit-flips in queued Event payloads); it
+	// must not block. Flat monitor only.
+	EventTap func(*Event)
 }
 
 // DefaultMaxInstances bounds the monitor's back-end table.
 const DefaultMaxInstances = 1 << 20
 
-// Stats are monitor-side counters.
+// Stats are monitor-side counters. All counters are maintained atomically,
+// so Stats may be called at any time, concurrently with Send — not just
+// after Close (mid-run values are monotonic snapshots).
 type Stats struct {
-	Events    uint64 // branch events received
-	Instances uint64 // branch instances checked
-	Flushes   uint64 // barrier-generation flushes performed
+	Events      uint64 // branch events accepted for processing
+	Instances   uint64 // branch instances checked
+	Flushes     uint64 // barrier-generation flushes performed (incl. forced)
+	Dropped     uint64 // branch events dropped by the overflow policy
+	Quarantined uint64 // malformed, stale, or straggler events skipped
+	Watchdog    uint64 // generations force-closed by the stall watchdog
+	Panics      uint64 // monitor-goroutine panics recovered into Failed
 }
 
 // ViolationSummary aggregates violations per static branch.
@@ -59,10 +87,18 @@ type ViolationSummary struct {
 // asynchronous checking goroutine with Start, send events from program
 // threads with Send, and stop with Close (which drains outstanding events,
 // performs the final pending check, and waits for the goroutine to exit).
+//
+// The monitor fails open: queue overflow, malformed events, stalled
+// producers, and even a panic in its own goroutine degrade coverage
+// (reported via Health and Stats) but never block the program or
+// introduce a false positive.
 type Monitor struct {
-	cfg    Config
-	queues []*queue.SPSC[Event]
+	cfg       Config
+	queues    []*queue.SPSC[Event]
+	sendSpins int
+	now       func() time.Time
 
+	// Monitor-goroutine-private state.
 	table        map[uint64]*level1
 	numInstances int
 	maxInstances int
@@ -74,9 +110,20 @@ type Monitor struct {
 	mu         sync.Mutex
 	violations []Violation
 	detected   atomic.Bool
-	stats      Stats
+
+	// Counters (atomic: written by the monitor goroutine and producers,
+	// readable from any goroutine).
+	events      atomic.Uint64
+	instances   atomic.Uint64
+	flushes     atomic.Uint64
+	quarantined atomic.Uint64
+	watchdog    atomic.Uint64
+	panics      atomic.Uint64
+	drops       []atomic.Uint64 // per producing thread
+	health      atomic.Int32
 
 	started atomic.Bool
+	closed  atomic.Bool
 	stop    chan struct{}
 	done    chan struct{}
 }
@@ -113,12 +160,23 @@ func New(cfg Config) (*Monitor, error) {
 	if maxInst <= 0 {
 		maxInst = DefaultMaxInstances
 	}
+	spins := cfg.SendSpins
+	if spins <= 0 {
+		spins = DefaultSendSpins
+	}
+	now := cfg.Now
+	if now == nil {
+		now = time.Now
+	}
 	m := &Monitor{
 		cfg:          cfg,
+		sendSpins:    spins,
+		now:          now,
 		table:        make(map[uint64]*level1),
 		maxInstances: maxInst,
 		flushCount:   make([]uint64, cfg.NumThreads),
 		doneThreads:  make([]bool, cfg.NumThreads),
+		drops:        make([]atomic.Uint64, cfg.NumThreads),
 		stop:         make(chan struct{}),
 		done:         make(chan struct{}),
 	}
@@ -133,14 +191,48 @@ func New(cfg Config) (*Monitor, error) {
 	return m, nil
 }
 
-// Send enqueues an event from thread ev.Thread, spinning if the thread's
-// queue is momentarily full (the producer never blocks on a lock).
+// Send enqueues an event from thread ev.Thread. Events with an
+// out-of-range thread ID are quarantined (counted and skipped), never
+// indexed. Branch events obey the configured overflow policy when the
+// queue is full; control events (flush/done) always block — dropping them
+// would be unsound (generation mixing) or wedge shutdown, and the monitor
+// guarantees the queues drain (watchdog, failsafe) so the spin is bounded.
 func (m *Monitor) Send(ev Event) {
-	q := m.queues[ev.Thread]
-	for !q.Push(ev) {
-		runtime.Gosched()
+	tid := int(ev.Thread)
+	if tid < 0 || tid >= len(m.queues) {
+		m.quarantine()
+		return
+	}
+	q := m.queues[tid]
+	if ev.Kind != EvBranch {
+		for !q.Push(ev) {
+			runtime.Gosched()
+		}
+		return
+	}
+	if !pushPolicy(q, ev, m.cfg.Overflow, m.sendSpins) {
+		m.drop(tid)
 	}
 }
+
+func (m *Monitor) drop(tid int) {
+	m.drops[tid].Add(1)
+	m.degrade()
+}
+
+func (m *Monitor) quarantine() {
+	m.quarantined.Add(1)
+	m.degrade()
+}
+
+// degrade lowers Healthy to Degraded (never overwrites Failed).
+func (m *Monitor) degrade() {
+	m.health.CompareAndSwap(int32(Healthy), int32(Degraded))
+}
+
+// Health reports the monitor's degradation state. Safe to call from any
+// goroutine.
+func (m *Monitor) Health() HealthState { return HealthState(m.health.Load()) }
 
 // Start launches the asynchronous monitor goroutine (paper design goal 1).
 func (m *Monitor) Start() {
@@ -152,10 +244,25 @@ func (m *Monitor) Start() {
 
 // Close asks the monitor to finish draining and waits for it. It is safe
 // to call after all program threads have sent their EvDone events; any
-// still-pending instances are checked before the goroutine exits.
+// still-pending instances are checked before the goroutine exits. Close is
+// idempotent.
 func (m *Monitor) Close() {
+	if m.closed.Swap(true) {
+		if m.started.Load() {
+			<-m.done
+		}
+		return
+	}
 	if !m.started.Load() {
 		// Never started: drain synchronously so callers still get checks.
+		// A panic (corrupt event state) fails open instead of propagating.
+		defer func() {
+			if r := recover(); r != nil {
+				m.panics.Add(1)
+				m.health.Store(int32(Failed))
+				m.discardAll()
+			}
+		}()
 		m.drainAll()
 		m.checkPending()
 		return
@@ -166,8 +273,23 @@ func (m *Monitor) Close() {
 
 // loop drains the per-thread queues round-robin without taking locks on
 // the hot path (paper design goal 3), checking instances as they complete.
+// A panic anywhere in event processing is recovered into the Failed state:
+// the table is abandoned, and a failsafe drain keeps discarding events so
+// producers never block on a dead monitor.
 func (m *Monitor) loop() {
 	defer close(m.done)
+	defer func() {
+		if r := recover(); r != nil {
+			m.panics.Add(1)
+			m.health.Store(int32(Failed))
+			m.failsafe()
+		}
+	}()
+	armed := m.cfg.StallDeadline > 0
+	var lastProgress time.Time
+	if armed {
+		lastProgress = m.now()
+	}
 	for {
 		idle := true
 		for tid, q := range m.queues {
@@ -181,31 +303,82 @@ func (m *Monitor) loop() {
 					break
 				}
 				idle = false
-				m.process(ev)
+				m.tap(&ev)
+				m.process(tid, ev)
 			}
 		}
 		if m.doneCount >= m.cfg.NumThreads {
 			m.checkPending()
 			return
 		}
-		if idle {
-			select {
-			case <-m.stop:
-				// Final drain after the program stopped producing.
-				m.drainAll()
-				m.checkPending()
-				return
-			default:
-				runtime.Gosched()
+		if !idle {
+			if armed {
+				lastProgress = m.now()
 			}
+			continue
+		}
+		select {
+		case <-m.stop:
+			// Final drain after the program stopped producing.
+			m.drainAll()
+			m.checkPending()
+			return
+		default:
+		}
+		if armed && m.stalled() && m.now().Sub(lastProgress) >= m.cfg.StallDeadline {
+			// A thread hung without EvDone: force the generation closed so
+			// gated producers unwedge and the table stays bounded.
+			m.forceCloseGeneration()
+			m.watchdog.Add(1)
+			m.degrade()
+			lastProgress = m.now()
+		}
+		runtime.Gosched()
+	}
+}
+
+// tap runs the event-corruption hook (fault injection) on a dequeued event.
+func (m *Monitor) tap(ev *Event) {
+	if m.cfg.EventTap != nil {
+		m.cfg.EventTap(ev)
+	}
+}
+
+// stalled reports whether the monitor is idle with work it cannot finish
+// by itself: undrained (gated) queue backlog or instances awaiting
+// reports. Without pending work the watchdog has nothing to force.
+func (m *Monitor) stalled() bool {
+	if m.numInstances > 0 {
+		return true
+	}
+	for _, q := range m.queues {
+		if !q.Empty() {
+			return true
 		}
 	}
+	return false
 }
 
 // gated reports whether thread tid's queue must pause until the current
 // barrier generation is flushed.
 func (m *Monitor) gated(tid int) bool {
 	return m.flushCount[tid] > m.flushedGens
+}
+
+// forceCloseGeneration closes the current barrier generation without
+// waiting for the missing flushes: pending instances with ≥2 reports are
+// checked (every rule is subset-closed, so this stays sound), the table is
+// cleared, and the generation counter advances — which ungates the queues
+// of threads that already flushed. Branch events of threads left behind
+// (flushCount < flushedGens) are quarantined until their own flush catches
+// up, so stale pre-barrier reports are never mixed into the new
+// generation's table.
+func (m *Monitor) forceCloseGeneration() {
+	m.checkPending()
+	m.table = make(map[uint64]*level1)
+	m.numInstances = 0
+	m.flushedGens++
+	m.flushes.Add(1)
 }
 
 // drainAll empties every queue, forcing generations closed when some
@@ -221,7 +394,8 @@ func (m *Monitor) drainAll() {
 					break
 				}
 				progress = true
-				m.process(ev)
+				m.tap(&ev)
+				m.process(tid, ev)
 			}
 			if !q.Empty() {
 				backlog = true
@@ -233,32 +407,87 @@ func (m *Monitor) drainAll() {
 		if !progress {
 			// Every non-empty queue is gated: a thread is missing its
 			// flush. Close the generation with what we have.
-			m.checkPending()
-			m.table = make(map[uint64]*level1)
-			m.numInstances = 0
-			m.flushedGens++
-			m.stats.Flushes++
+			m.forceCloseGeneration()
 		}
 	}
 }
 
-func (m *Monitor) process(ev Event) {
+// failsafe keeps draining and discarding events after the monitor
+// goroutine's state was lost to a panic, so producers blocked on full
+// queues are released and the program runs to completion (without
+// coverage). It exits when Close signals stop.
+func (m *Monitor) failsafe() {
+	for {
+		m.discardAll()
+		select {
+		case <-m.stop:
+			m.discardAll()
+			return
+		default:
+			runtime.Gosched()
+		}
+	}
+}
+
+// discardAll pops and quarantines every queued event without touching the
+// (possibly corrupt) table state.
+func (m *Monitor) discardAll() {
+	for _, q := range m.queues {
+		for {
+			if _, ok := q.Pop(); !ok {
+				break
+			}
+			m.quarantined.Add(1)
+		}
+	}
+}
+
+// process handles one dequeued event. slot is the queue the event was
+// popped from: Send routes by ev.Thread, so slot == ev.Thread unless the
+// payload was corrupted inside the queue (the EventTap fault model).
+// Generation and liveness bookkeeping therefore trusts slot — which is
+// deterministic per-queue FIFO state — never the payload. Malformed events
+// (unknown kind, mismatched or out-of-range thread, post-done stragglers,
+// stale force-closed-generation leftovers) are quarantined: counted,
+// reported through Health, and skipped.
+func (m *Monitor) process(slot int, ev Event) {
 	switch ev.Kind {
 	case EvFlush:
-		m.flushCount[ev.Thread]++
+		if int(ev.Thread) != slot || m.doneThreads[slot] {
+			m.quarantine()
+			return
+		}
+		m.flushCount[slot]++
 		m.maybeFlushGeneration()
 	case EvDone:
+		if int(ev.Thread) != slot || m.doneThreads[slot] {
+			m.quarantine()
+			return
+		}
 		m.doneCount++
-		m.doneThreads[ev.Thread] = true
+		m.doneThreads[slot] = true
 		// A finished thread's queue is fully drained (EvDone is its last
 		// event), so it can no longer hold a generation open; recompute.
 		m.maybeFlushGeneration()
 	case EvBranch:
-		m.stats.Events++
+		if m.doneThreads[slot] || m.flushCount[slot] < m.flushedGens {
+			// Post-done straggler, or a pre-barrier leftover of a
+			// generation the watchdog force-closed: processing it could
+			// mix generations, so it is quarantined instead.
+			m.quarantine()
+			return
+		}
+		if tid := int(ev.Thread); tid < 0 || tid >= m.cfg.NumThreads {
+			m.quarantine() // corrupted-in-queue thread ID
+			return
+		}
+		m.events.Add(1)
 		if m.cfg.CheckingDisabled {
 			return
 		}
 		m.insert(ev)
+	default:
+		m.quarantine()
 	}
 }
 
@@ -288,7 +517,7 @@ func (m *Monitor) maybeFlushGeneration() {
 		m.table = make(map[uint64]*level1)
 		m.numInstances = 0
 		m.flushedGens++
-		m.stats.Flushes++
+		m.flushes.Add(1)
 	}
 }
 
@@ -299,7 +528,13 @@ func (m *Monitor) insert(ev Event) {
 	l1, ok := m.table[ev.Key1]
 	if !ok {
 		plan := m.cfg.Plans[int(ev.BranchID)]
-		if plan == nil || !plan.Checked() {
+		if plan == nil {
+			// Unknown branch ID: impossible in a fault-free run (the
+			// interpreter only sends planned branches), so count it.
+			m.quarantine()
+			return
+		}
+		if !plan.Checked() {
 			return
 		}
 		l1 = &level1{plan: plan, instances: make(map[uint64]*instance)}
@@ -309,12 +544,15 @@ func (m *Monitor) insert(ev Event) {
 	if !ok {
 		if m.numInstances >= m.maxInstances {
 			// Table flooded (runaway faulty loop): behave like a forced
-			// generation flush so memory stays bounded.
+			// generation flush so memory stays bounded. Keep l1's own plan
+			// — re-looking it up by ev.BranchID would trust a corruptible
+			// field.
+			plan := l1.plan
 			m.checkPending()
 			m.table = make(map[uint64]*level1)
 			m.numInstances = 0
-			m.stats.Flushes++
-			l1 = &level1{plan: m.cfg.Plans[int(ev.BranchID)], instances: make(map[uint64]*instance)}
+			m.flushes.Add(1)
+			l1 = &level1{plan: plan, instances: make(map[uint64]*instance)}
 			m.table[ev.Key1] = l1
 		}
 		inst = &instance{reports: make([]Report, 0, m.cfg.NumThreads)}
@@ -337,7 +575,7 @@ func (m *Monitor) checkInstance(plan *core.CheckPlan, k1, k2 uint64, inst *insta
 		return
 	}
 	inst.checked = true
-	m.stats.Instances++
+	m.instances.Add(1)
 	if reason := CheckReports(plan, inst.reports); reason != "" {
 		m.recordViolation(Violation{
 			BranchID: plan.BranchID,
@@ -381,8 +619,37 @@ func (m *Monitor) Violations() []Violation {
 	return out
 }
 
-// Stats returns the monitor's counters. Call after Close.
-func (m *Monitor) Stats() Stats { return m.stats }
+// Stats returns a snapshot of the monitor's counters. Safe to call from
+// any goroutine at any time; after Close the values are final.
+func (m *Monitor) Stats() Stats {
+	return Stats{
+		Events:      m.events.Load(),
+		Instances:   m.instances.Load(),
+		Flushes:     m.flushes.Load(),
+		Dropped:     sumDrops(m.drops),
+		Quarantined: m.quarantined.Load(),
+		Watchdog:    m.watchdog.Load(),
+		Panics:      m.panics.Load(),
+	}
+}
+
+// Drops returns the per-thread counts of branch events dropped by the
+// overflow policy. Safe to call from any goroutine.
+func (m *Monitor) Drops() []uint64 {
+	out := make([]uint64, len(m.drops))
+	for i := range m.drops {
+		out[i] = m.drops[i].Load()
+	}
+	return out
+}
+
+func sumDrops(drops []atomic.Uint64) uint64 {
+	var n uint64
+	for i := range drops {
+		n += drops[i].Load()
+	}
+	return n
+}
 
 // Summarize groups the recorded violations by static branch, ordered by
 // descending count (diagnostics for localizing the corrupted branch).

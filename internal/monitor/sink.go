@@ -13,6 +13,8 @@ type Sink interface {
 	Detected() bool
 	// Violations returns a copy of the recorded violations.
 	Violations() []Violation
+	// Health reports the monitor's fail-open degradation state.
+	Health() HealthState
 }
 
 var (
