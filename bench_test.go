@@ -7,6 +7,7 @@ package blockwatch
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 
 	"blockwatch/internal/core"
@@ -175,31 +176,68 @@ func BenchmarkCampaignWorkers(b *testing.B) {
 	}
 }
 
-// BenchmarkMonitorThroughput measures the runtime monitor's event path
-// (queue push → drain → table insert → check), the cost underlying the
-// paper's overhead numbers.
+// BenchmarkMonitorThroughput measures the full monitor pipeline — queue
+// publish → batched drain → table insert → check — with four concurrent
+// producers sending a barrier-paced stream (a generation every 64 events
+// per thread), the shape the interpreter produces. The grid compares the
+// scalar Send path against the batched Sender path at 1, 2, and 4
+// checker-shard workers; allocs/op covers all goroutines, so it reports
+// the steady-state allocation cost of the whole pipeline per event.
 func BenchmarkMonitorThroughput(b *testing.B) {
-	m, err := monitor.New(monitor.Config{
-		NumThreads: 2,
-		Plans:      benchPlans(),
-	})
-	if err != nil {
-		b.Fatal(err)
+	const producers = 4
+	const genEvery = 64
+	plans := benchPlans()
+	modes := []struct {
+		name  string
+		batch int // 0 = scalar Send, >0 = Sender batch size
+	}{
+		{"scalar", 0},
+		{"batched", monitor.DefaultSenderBatch},
 	}
-	m.Start()
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		key := uint64(i)
-		m.Send(monitor.Event{Kind: monitor.EvBranch, Thread: 0, BranchID: 1, Key1: 1, Key2: key, Sig: 5, Taken: true})
-		m.Send(monitor.Event{Kind: monitor.EvBranch, Thread: 1, BranchID: 1, Key1: 1, Key2: key, Sig: 5, Taken: true})
-	}
-	b.StopTimer()
-	m.Send(monitor.Event{Kind: monitor.EvDone, Thread: 0})
-	m.Send(monitor.Event{Kind: monitor.EvDone, Thread: 1})
-	m.Close()
-	if m.Detected() {
-		b.Fatal("unexpected violation")
+	for _, mode := range modes {
+		for _, workers := range []int{1, 2, 4} {
+			b.Run(fmt.Sprintf("%s/checkers=%d", mode.name, workers), func(b *testing.B) {
+				m, err := monitor.New(monitor.Config{
+					NumThreads:   producers,
+					Plans:        plans,
+					SenderBatch:  mode.batch,
+					CheckWorkers: workers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				m.Start()
+				b.ReportAllocs()
+				b.ResetTimer()
+				var wg sync.WaitGroup
+				for tid := int32(0); tid < producers; tid++ {
+					wg.Add(1)
+					go func(tid int32) {
+						defer wg.Done()
+						send := m.Send
+						if mode.batch > 0 {
+							send = m.Sender(int(tid)).Send
+						}
+						for i := 0; i < b.N; i++ {
+							send(monitor.Event{
+								Kind: monitor.EvBranch, Thread: tid, BranchID: 1,
+								Key1: 1000, Key2: uint64(i % genEvery), Sig: 5, Taken: i%3 == 0,
+							})
+							if i%genEvery == genEvery-1 {
+								send(monitor.Event{Kind: monitor.EvFlush, Thread: tid})
+							}
+						}
+						send(monitor.Event{Kind: monitor.EvDone, Thread: tid})
+					}(tid)
+				}
+				wg.Wait()
+				m.Close()
+				b.StopTimer()
+				if m.Detected() {
+					b.Fatal("unexpected violation")
+				}
+			})
+		}
 	}
 }
 

@@ -20,6 +20,8 @@
 //	-seed N       campaign seed
 //	-workers N    concurrent faulty runs (0 = all cores; results are
 //	              identical for any worker count)
+//	-checkers N   monitor checker goroutines per protected run (0/1 =
+//	              inline; results are identical for any checker count)
 //	-progress     print live campaign progress and per-outcome latency
 //	              aggregates to stderr
 package main
@@ -51,6 +53,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		ftype    = fs.String("type", "branch-flip", "branch-flip | branch-condition | event-path")
 		seed     = fs.Int64("seed", 1, "campaign seed")
 		workers  = fs.Int("workers", 0, "concurrent faulty runs (0 = all cores)")
+		checkers = fs.Int("checkers", 0, "monitor checker goroutines per protected run (0/1 = inline)")
 		progress = fs.Bool("progress", false, "print live progress to stderr")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -75,7 +78,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	opts := blockwatch.CampaignOptions{
 		Threads: *threads, Faults: *faults, Model: model, Seed: *seed,
-		Workers: *workers,
+		Workers: *workers, CheckWorkers: *checkers,
 	}
 	if *progress {
 		opts.Progress = func(p blockwatch.CampaignProgress) {

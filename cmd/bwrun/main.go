@@ -16,6 +16,8 @@
 //	-overhead     also report the normalized instrumented execution time
 //	-queuecap N   per-thread monitor queue capacity (0 = default 16384)
 //	-overflow P   queue-overflow policy: block | drop-newest | block-timeout
+//	-batch N      per-thread event batch size (0 = default 64, 1 = unbatched)
+//	-checkers N   monitor checker goroutines sharded by branch key (0/1 = inline)
 //	-watchdog D   stall-watchdog deadline (e.g. 500ms; 0 = disabled)
 package main
 
@@ -49,6 +51,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		monitors = fs.Int("monitors", 1, "hierarchical sub-monitors (>1 enables the Section VI extension)")
 		queuecap = fs.Int("queuecap", 0, "per-thread monitor queue capacity (0 = default)")
 		overflow = fs.String("overflow", "block", "queue-overflow policy: block | drop-newest | block-timeout")
+		batch    = fs.Int("batch", 0, "per-thread event batch size (0 = default, 1 = unbatched)")
+		checkers = fs.Int("checkers", 0, "monitor checker goroutines (0/1 = inline checking)")
 		watchdog = fs.Duration("watchdog", 0, "monitor stall-watchdog deadline (0 = disabled)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -70,6 +74,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		MonitorGroups: *monitors,
 		QueueCap:      *queuecap,
 		Overflow:      policy,
+		SenderBatch:   *batch,
+		CheckWorkers:  *checkers,
 		StallDeadline: *watchdog,
 	}
 	if *trace {

@@ -1,0 +1,184 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"blockwatch/internal/core"
+	"blockwatch/internal/monitor"
+	"blockwatch/internal/splash"
+)
+
+// Monitor-pipeline throughput experiment (not a paper artifact): drives
+// the runtime monitor with a synthetic multi-producer, barrier-paced
+// event stream — the same shape the interpreter produces — across the
+// producer-batching × checker-sharding grid, and reports sustained
+// events/second. This is the harness-level companion of the repo's
+// BenchmarkMonitorThroughput; `bwbench -exp throughput` prints it as a
+// text artifact.
+
+// throughputProducers is the number of concurrent producer goroutines.
+const throughputProducers = 4
+
+// throughputEvents is the number of branch events each producer sends
+// per grid cell.
+const throughputEvents = 100_000
+
+// throughputGen is the number of branch events a producer sends between
+// barrier flushes (the generation length).
+const throughputGen = 64
+
+// ThroughputPoint is one cell of the throughput grid.
+type ThroughputPoint struct {
+	// Producers is the number of concurrent sending goroutines.
+	Producers int
+	// SenderBatch is the producer-side batch size; 0 means the scalar
+	// Send path (no Sender).
+	SenderBatch int
+	// CheckWorkers is the monitor's checker-shard count (1 = inline).
+	CheckWorkers int
+	// Events is the total number of branch events sent.
+	Events int
+	// Elapsed is the wall-clock time from first send to monitor close.
+	Elapsed time.Duration
+}
+
+// EventsPerSec returns the cell's sustained event throughput.
+func (p ThroughputPoint) EventsPerSec() float64 {
+	if p.Elapsed <= 0 {
+		return 0
+	}
+	return float64(p.Events) / p.Elapsed.Seconds()
+}
+
+// Throughput measures monitor-pipeline throughput over the batching ×
+// sharding grid: the scalar Send path and the batched Sender path, each
+// at 1, 2, and 4 checker workers. Wall-clock numbers are
+// machine-dependent observability data; the checking results themselves
+// (zero violations on this consistent stream) are asserted.
+func Throughput(cfg Config) ([]ThroughputPoint, error) {
+	cfg = cfg.WithDefaults()
+	plans, branchID, err := throughputPlans()
+	if err != nil {
+		return nil, err
+	}
+	var out []ThroughputPoint
+	for _, batch := range []int{0, monitor.DefaultSenderBatch} {
+		for _, workers := range []int{1, 2, 4} {
+			mode := "scalar"
+			if batch > 0 {
+				mode = fmt.Sprintf("batch=%d", batch)
+			}
+			cfg.progress("throughput: %s checkers=%d", mode, workers)
+			p, err := throughputCell(batch, workers, plans, branchID)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, p)
+		}
+	}
+	return out, nil
+}
+
+// throughputPlans compiles the fft kernel and returns its plan table plus
+// the ID of a shared-category checked branch, whose check passes for any
+// identical (signature, outcome) stream.
+func throughputPlans() (map[int]*core.CheckPlan, int, error) {
+	prog, err := splash.Get("fft")
+	if err != nil {
+		return nil, 0, err
+	}
+	mod, err := prog.Compile()
+	if err != nil {
+		return nil, 0, err
+	}
+	a, err := core.Analyze(mod, core.Options{})
+	if err != nil {
+		return nil, 0, err
+	}
+	for _, id := range sortedKeys(a.Plans) {
+		plan := a.Plans[id]
+		if plan.Checked() && plan.Kind == core.CheckShared {
+			return a.Plans, id, nil
+		}
+	}
+	return nil, 0, fmt.Errorf("fft: no shared checked branch for the throughput driver")
+}
+
+// throughputCell runs one grid cell: producers push a barrier-paced
+// stream of consistent branch events; the cell's elapsed time spans the
+// first send through the final pending check.
+func throughputCell(batch, workers int, plans map[int]*core.CheckPlan, branchID int) (ThroughputPoint, error) {
+	m, err := monitor.New(monitor.Config{
+		NumThreads:   throughputProducers,
+		Plans:        plans,
+		SenderBatch:  batch,
+		CheckWorkers: workers,
+	})
+	if err != nil {
+		return ThroughputPoint{}, err
+	}
+	m.Start()
+	start := time.Now()
+	var wg sync.WaitGroup
+	for tid := 0; tid < throughputProducers; tid++ {
+		wg.Add(1)
+		go func(tid int32) {
+			defer wg.Done()
+			send := m.Send
+			if batch > 0 {
+				send = m.Sender(int(tid)).Send
+			}
+			for i := 0; i < throughputEvents; i++ {
+				send(monitor.Event{
+					Kind:     monitor.EvBranch,
+					Thread:   tid,
+					BranchID: int32(branchID),
+					Key1:     1,
+					Key2:     uint64(i % throughputGen),
+					Sig:      5,
+					Taken:    i%3 == 0,
+				})
+				if i%throughputGen == throughputGen-1 {
+					send(monitor.Event{Kind: monitor.EvFlush, Thread: tid})
+				}
+			}
+			send(monitor.Event{Kind: monitor.EvDone, Thread: tid})
+		}(int32(tid))
+	}
+	wg.Wait()
+	m.Close()
+	elapsed := time.Since(start)
+	if m.Detected() {
+		return ThroughputPoint{}, fmt.Errorf("throughput driver: unexpected violation %v", m.Violations())
+	}
+	if h := m.Health(); h != monitor.Healthy {
+		return ThroughputPoint{}, fmt.Errorf("throughput driver: monitor health %s", h)
+	}
+	return ThroughputPoint{
+		Producers:    throughputProducers,
+		SenderBatch:  batch,
+		CheckWorkers: workers,
+		Events:       throughputProducers * throughputEvents,
+		Elapsed:      elapsed,
+	}, nil
+}
+
+// RenderThroughput formats the throughput grid as a text table.
+func RenderThroughput(points []ThroughputPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Monitor pipeline throughput (%d producers, %d events each, barrier every %d)\n",
+		throughputProducers, throughputEvents, throughputGen)
+	fmt.Fprintf(&b, "%-12s %-10s %14s %12s\n", "producer", "checkers", "events/sec", "elapsed")
+	for _, p := range points {
+		mode := "scalar"
+		if p.SenderBatch > 0 {
+			mode = fmt.Sprintf("batch=%d", p.SenderBatch)
+		}
+		fmt.Fprintf(&b, "%-12s %-10d %14.0f %12s\n",
+			mode, p.CheckWorkers, p.EventsPerSec(), p.Elapsed.Round(time.Millisecond))
+	}
+	return b.String()
+}

@@ -52,6 +52,14 @@ type Options struct {
 	Overflow monitor.OverflowPolicy
 	// SendSpins bounds the OverflowBlockTimeout spin (0 = monitor default).
 	SendSpins int
+	// SenderBatch sets the per-thread Sender buffer size: branch events
+	// are batched locally and published with one queue operation
+	// (0 = monitor default, 1 = effectively unbatched).
+	SenderBatch int
+	// CheckWorkers fans the monitor's instance checking out to that many
+	// goroutines sharded by branch key (0 or 1 = inline checking).
+	// Results are deterministic for every value. Flat monitor only.
+	CheckWorkers int
 	// StallDeadline arms the monitor's stall watchdog (0 = disabled).
 	StallDeadline time.Duration
 	// Now overrides the watchdog clock (nil = time.Now; tests use a
@@ -261,6 +269,8 @@ func Run(mod *ir.Module, opts Options) (*Result, error) {
 			CheckingDisabled: opts.Mode == MonitorDrainOnly,
 			Overflow:         opts.Overflow,
 			SendSpins:        opts.SendSpins,
+			SenderBatch:      opts.SenderBatch,
+			CheckWorkers:     opts.CheckWorkers,
 			StallDeadline:    opts.StallDeadline,
 			Now:              opts.Now,
 			EventTap:         opts.EventTap,
@@ -328,8 +338,10 @@ func Run(mod *ir.Module, opts Options) (*Result, error) {
 				res.EventCounts[tid] = t.eventSeq
 			}
 			m.threadExited(tid, trap)
-			if m.mon != nil {
-				m.mon.Send(monitor.Event{Kind: monitor.EvDone, Thread: int32(tid)})
+			if t.sender != nil {
+				// Routed through the thread's Sender so buffered branch
+				// events are published before the done marker.
+				t.sender.Send(monitor.Event{Kind: monitor.EvDone, Thread: int32(tid)})
 			}
 		}()
 	}

@@ -15,8 +15,9 @@ const maxCallDepth = 10000
 // thread in its BeforeBranch hook and may inspect and corrupt its state
 // through the exported methods.
 type Thread struct {
-	m   *machine
-	tid int
+	m      *machine
+	tid    int
+	sender *monitor.Sender // batching queue endpoint; nil when MonitorOff or setup context
 
 	sim       int64
 	steps     uint64
@@ -53,6 +54,9 @@ func newThread(m *machine, tid int) *Thread {
 	}
 	if t.stepLimit == 0 {
 		t.stepLimit = DefaultStepLimit
+	}
+	if m.mon != nil && tid >= 0 {
+		t.sender = m.mon.Sender(tid)
 	}
 	n := m.opts.Threads
 	if tid < 0 {
@@ -213,7 +217,7 @@ func (t *Thread) execBranch(in *ir.Instr) (*ir.Block, *Trap) {
 	if flip {
 		taken = !taken
 	}
-	if t.m.mon != nil && t.tid >= 0 {
+	if t.sender != nil {
 		if plan := t.m.plans[in.BranchID]; plan != nil && plan.Checked() {
 			// Single-operand signatures are sent raw so the monitor can
 			// evaluate thread-ID relations exactly; multi-operand
@@ -231,7 +235,7 @@ func (t *Thread) execBranch(in *ir.Instr) (*ir.Block, *Trap) {
 			for _, it := range t.loopStack {
 				key2 = hashCombine(key2, it)
 			}
-			t.m.mon.Send(monitor.Event{
+			t.sender.Send(monitor.Event{
 				Kind:     monitor.EvBranch,
 				Taken:    taken,
 				Thread:   int32(t.tid),
@@ -341,8 +345,10 @@ func (t *Thread) execInstr(in *ir.Instr) *Trap {
 		if t.tid < 0 {
 			return t.trap(TrapInternal, "barrier in setup()")
 		}
-		if t.m.mon != nil {
-			t.m.mon.Send(monitor.Event{Kind: monitor.EvFlush, Thread: int32(t.tid)})
+		if t.sender != nil {
+			// Control events flush the Sender's buffer first, so the batch
+			// never crosses the barrier.
+			t.sender.Send(monitor.Event{Kind: monitor.EvFlush, Thread: int32(t.tid)})
 		}
 		return t.m.barrier.wait(t)
 	case ir.OpOutput:

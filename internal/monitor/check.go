@@ -47,12 +47,25 @@ func checkUniform(reports []Report) string {
 }
 
 func duplicateThread(reports []Report) int32 {
-	seen := make(map[int32]bool, len(reports))
-	for _, r := range reports {
-		if seen[r.Thread] {
-			return r.Thread
+	// Thread IDs are validated against NumThreads before insertion, so in
+	// practice they index a 64-bit set; anything outside (defensive — the
+	// Thread field of a *report* is trusted, but keep the function total)
+	// falls back to scanning the earlier reports.
+	var seen uint64
+	for i, r := range reports {
+		if uint32(r.Thread) < 64 {
+			bit := uint64(1) << uint(r.Thread)
+			if seen&bit != 0 {
+				return r.Thread
+			}
+			seen |= bit
+			continue
 		}
-		seen[r.Thread] = true
+		for _, p := range reports[:i] {
+			if p.Thread == r.Thread {
+				return r.Thread
+			}
+		}
 	}
 	return -1
 }
@@ -147,18 +160,22 @@ func mirrorRelation(op ir.Op) ir.Op {
 // the same decision (paper Table I, row "partial"; also used for branches
 // promoted from "none" by the paper's first optimization).
 func checkPartial(reports []Report) string {
-	outcome := make(map[uint64]bool, len(reports))
-	owner := make(map[uint64]int32, len(reports))
-	for _, r := range reports {
-		if prev, ok := outcome[r.Sig]; ok {
-			if prev != r.Taken {
-				return fmt.Sprintf("threads %d and %d hold identical condition data but diverge",
-					owner[r.Sig], r.Thread)
+	// Each report is compared against the first earlier report with the
+	// same signature (the group's "owner"), so the diagnostic names the
+	// same thread pair a map-based grouping would. The quadratic scan is
+	// bounded by the thread count and allocates nothing — this runs once
+	// per branch instance on the monitor's hot path.
+	for i, r := range reports {
+		for _, p := range reports[:i] {
+			if p.Sig != r.Sig {
+				continue
 			}
-			continue
+			if p.Taken != r.Taken {
+				return fmt.Sprintf("threads %d and %d hold identical condition data but diverge",
+					p.Thread, r.Thread)
+			}
+			break // consistent with the group owner; later members match it too
 		}
-		outcome[r.Sig] = r.Taken
-		owner[r.Sig] = r.Thread
 	}
 	return ""
 }

@@ -1,0 +1,208 @@
+package monitor
+
+import (
+	"blockwatch/internal/core"
+)
+
+// Sharded checking back-end: when Config.CheckWorkers > 1, completed
+// instances are fanned out to N checker goroutines, sharded by Key1 so
+// every instance of one static branch lands on the same shard. Workers
+// accumulate violations privately; at every generation close the monitor
+// runs a flush barrier — one flush marker per shard, answered on a
+// buffered ack channel — collects the shards' violations, and merges them
+// in canonical (Key1, Key2) order, so the recorded violation log is
+// byte-identical for every worker count.
+//
+// Jobs carry pooled *copies* of the report set (copy-on-dispatch): the
+// instance itself never leaves the monitor goroutine, so a straggler
+// report can still reopen it, exactly as in the inline path. Spent report
+// buffers ride back on the flush ack and restock the monitor's pool.
+
+// checkJobBuf is the per-shard job channel depth; it only bounds
+// memory — a full channel briefly blocks the monitor, never producers.
+const checkJobBuf = 256
+
+// checkMsg is one unit of work for a checker shard. flush marks a
+// generation barrier: the worker answers on ack with everything it
+// accumulated since the previous barrier.
+type checkMsg struct {
+	plan    *core.CheckPlan
+	k1, k2  uint64
+	reports []Report
+	flush   bool
+}
+
+// shardBatch is a shard's answer to a flush barrier.
+type shardBatch struct {
+	violations []Violation
+	spent      [][]Report // report buffers to restock the monitor's pool
+}
+
+type checker struct {
+	jobs chan checkMsg
+	// ack has capacity 1 so a worker never blocks publishing its flush
+	// answer — even if the monitor goroutine panicked between sending the
+	// barrier and reading the ack, the worker still drains its job channel
+	// and exits when stopCheckers closes it.
+	ack chan shardBatch
+	// ret hands the emptied batch containers back for reuse; exchanged
+	// non-blocking on both sides (worst case the worker reallocates).
+	ret chan shardBatch
+}
+
+// startCheckers launches the shard goroutines. Inline checking (nil
+// checkers) is kept for CheckWorkers <= 1 and for checking-disabled runs.
+func (m *Monitor) startCheckers() {
+	n := m.cfg.CheckWorkers
+	if n <= 1 || m.cfg.CheckingDisabled {
+		return
+	}
+	m.checkers = make([]*checker, n)
+	for i := range m.checkers {
+		w := &checker{
+			jobs: make(chan checkMsg, checkJobBuf),
+			ack:  make(chan shardBatch, 1),
+			ret:  make(chan shardBatch, 1),
+		}
+		m.checkers[i] = w
+		m.checkWG.Add(1)
+		go func() {
+			defer m.checkWG.Done()
+			w.run(m)
+		}()
+	}
+}
+
+// stopCheckers closes every shard's job channel and waits for the workers
+// to drain and exit. Runs on the monitor goroutine's way out — including
+// the panic path, so campaign runs never leak checker goroutines.
+func (m *Monitor) stopCheckers() {
+	if m.checkers == nil {
+		return
+	}
+	for _, w := range m.checkers {
+		close(w.jobs)
+	}
+	m.checkWG.Wait()
+}
+
+// run is a checker shard's loop: check jobs as they arrive, publish the
+// accumulated batch at each flush barrier. A panic inside a check (only
+// reachable with corrupted plan state) is contained per message and fails
+// open into the Failed health state.
+func (w *checker) run(m *Monitor) {
+	var batch shardBatch
+	for msg := range w.jobs {
+		if msg.flush {
+			w.ack <- batch
+			select {
+			case recycled := <-w.ret:
+				batch = shardBatch{
+					violations: recycled.violations[:0],
+					spent:      recycled.spent[:0],
+				}
+			default:
+				batch = shardBatch{}
+			}
+			continue
+		}
+		if reason := m.safeCheck(msg.plan, msg.reports); reason != "" {
+			batch.violations = append(batch.violations, Violation{
+				BranchID: msg.plan.BranchID,
+				Key1:     msg.k1,
+				Key2:     msg.k2,
+				Reason:   reason,
+			})
+		}
+		batch.spent = append(batch.spent, msg.reports)
+	}
+}
+
+// safeCheck wraps CheckReports with a per-message recover so one poisoned
+// job cannot kill a shard (coverage for that instance is lost, liveness is
+// not).
+func (m *Monitor) safeCheck(plan *core.CheckPlan, reports []Report) (reason string) {
+	defer func() {
+		if r := recover(); r != nil {
+			m.panics.Add(1)
+			m.health.Store(int32(Failed))
+			reason = ""
+		}
+	}()
+	return CheckReports(plan, reports)
+}
+
+// collectViolations closes the generation's checking: it runs the shard
+// flush barrier (when sharded), merges shard violations with any found
+// inline, sorts the union into canonical order, and publishes it. Called
+// from closeGeneration on the monitor goroutine.
+func (m *Monitor) collectViolations() {
+	if m.checkers != nil {
+		for _, w := range m.checkers {
+			w.jobs <- checkMsg{flush: true}
+		}
+		for _, w := range m.checkers {
+			batch := <-w.ack
+			m.genViolations = append(m.genViolations, batch.violations...)
+			for _, buf := range batch.spent {
+				m.reportPool = append(m.reportPool, buf[:0])
+			}
+			select {
+			case w.ret <- shardBatch{violations: batch.violations[:0], spent: batch.spent[:0]}:
+			default:
+			}
+		}
+	}
+	if len(m.genViolations) == 0 {
+		return
+	}
+	vs := m.genViolations
+	sortViolations(vs)
+	m.mu.Lock()
+	m.violations = append(m.violations, vs...)
+	m.mu.Unlock()
+	m.detected.Store(true)
+	m.genViolations = vs[:0]
+}
+
+// sortViolations puts one generation's violations into the canonical
+// order: (Key1, Key2, BranchID, Reason). Every field of the tuple is part
+// of the key so the order is total — independent of shard scheduling, map
+// iteration, and worker count.
+func sortViolations(vs []Violation) {
+	if len(vs) < 2 {
+		return
+	}
+	// Insertion sort: generations have zero violations in fault-free runs
+	// and a handful under fault, so this beats sort.Slice's closure
+	// allocation on the hot path.
+	for i := 1; i < len(vs); i++ {
+		for j := i; j > 0 && violationLess(vs[j], vs[j-1]); j-- {
+			vs[j], vs[j-1] = vs[j-1], vs[j]
+		}
+	}
+}
+
+func violationLess(a, b Violation) bool {
+	if a.Key1 != b.Key1 {
+		return a.Key1 < b.Key1
+	}
+	if a.Key2 != b.Key2 {
+		return a.Key2 < b.Key2
+	}
+	if a.BranchID != b.BranchID {
+		return a.BranchID < b.BranchID
+	}
+	return a.Reason < b.Reason
+}
+
+// getReportBuf takes a report buffer from the pool (restocked by flush
+// acks) or allocates one with the steady-state capacity.
+func (m *Monitor) getReportBuf() []Report {
+	if n := len(m.reportPool); n > 0 {
+		buf := m.reportPool[n-1]
+		m.reportPool = m.reportPool[:n-1]
+		return buf
+	}
+	return make([]Report, 0, m.cfg.NumThreads)
+}

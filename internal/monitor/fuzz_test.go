@@ -19,6 +19,10 @@ import (
 //     sequence with the same signatures, outcomes, and barrier positions.
 //     This is an error-free SPMD execution, so any reported violation is a
 //     false positive and fails the fuzz target.
+//  3. The same lockstep stream through the batched pipeline — per-thread
+//     Senders with a batch size and checker-shard count derived from the
+//     input. The zero-violation guarantee must hold identically: batching
+//     and sharding are pure performance features.
 func FuzzMonitorEvents(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{1, 0, 1, 0, 5, 1, 2, 1})
@@ -27,6 +31,7 @@ func FuzzMonitorEvents(f *testing.F) {
 	f.Fuzz(func(t *testing.T, data []byte) {
 		fuzzArbitraryStream(t, data)
 		fuzzLockstepStream(t, data)
+		fuzzLockstepBatched(t, data)
 	})
 }
 
@@ -153,5 +158,75 @@ func fuzzLockstepStream(t *testing.T, data []byte) {
 	}
 	if st := m.Stats(); st.Quarantined != 0 || st.Dropped != 0 || st.Panics != 0 {
 		t.Fatalf("clean run degraded: %+v", st)
+	}
+}
+
+// fuzzLockstepBatched replays the lockstep stream through per-thread
+// Senders with a fuzz-chosen batch size and checker-shard count. Awkward
+// batch sizes (1, sizes straddling barrier positions) and worker counts
+// that don't divide the key space are exactly where a batch could leak
+// across a barrier or a shard merge could reorder — zero violations and a
+// clean degradation ledger remain mandatory.
+func fuzzLockstepBatched(t *testing.T, data []byte) {
+	batch, workers := 1, 1
+	if len(data) > 1 {
+		batch = int(data[0]%100) + 1
+		workers = int(data[1]%5) + 1
+	}
+	m, err := New(Config{
+		NumThreads:   fuzzThreads,
+		Plans:        testPlans(),
+		QueueCap:     16,
+		SenderBatch:  batch,
+		CheckWorkers: workers,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Start()
+	type op struct {
+		branch  int32
+		sig     uint64
+		taken   bool
+		barrier bool
+	}
+	n := len(data) / 4
+	if n > 100 {
+		n = 100
+	}
+	ops := make([]op, 0, n)
+	for i := 0; i < n; i++ {
+		b := data[i*4 : i*4+4]
+		ops = append(ops, op{
+			branch:  int32(b[0]%3) + 1,
+			sig:     uint64(b[2] % 3),
+			taken:   b[2]&0x80 != 0,
+			barrier: b[3]%5 == 0,
+		})
+	}
+	var wg sync.WaitGroup
+	for tid := int32(0); tid < fuzzThreads; tid++ {
+		wg.Add(1)
+		go func(tid int32) {
+			defer wg.Done()
+			s := m.Sender(int(tid))
+			for i, o := range ops {
+				s.Send(Event{Kind: EvBranch, Thread: tid, BranchID: o.branch,
+					Key1: uint64(o.branch) * 1000, Key2: uint64(i), Sig: o.sig, Taken: o.taken})
+				if o.barrier {
+					s.Send(Event{Kind: EvFlush, Thread: tid})
+				}
+			}
+			s.Send(Event{Kind: EvDone, Thread: tid})
+		}(tid)
+	}
+	wg.Wait()
+	m.Close()
+	if m.Detected() {
+		t.Fatalf("false positive on a batched lockstep stream (batch=%d workers=%d): %v",
+			batch, workers, m.Violations())
+	}
+	if st := m.Stats(); st.Quarantined != 0 || st.Dropped != 0 || st.Panics != 0 {
+		t.Fatalf("clean batched run degraded (batch=%d workers=%d): %+v", batch, workers, st)
 	}
 }

@@ -136,6 +136,30 @@ func (h *Hierarchical) Send(ev Event) {
 	}
 }
 
+// Sender returns the batching producer handle for thread tid, bound to
+// the thread's group queue. Same contract as Monitor.Sender: one owning
+// goroutine, no mixing with scalar Send, out-of-range tid quarantines.
+func (h *Hierarchical) Sender(tid int) *Sender {
+	if tid < 0 || tid >= h.cfg.NumThreads {
+		return &Sender{quarantined: &h.quarantined, health: &h.health}
+	}
+	sub := h.subs[tid%h.groups]
+	for i, t := range sub.threads {
+		if t == tid {
+			return &Sender{
+				q:           sub.queues[i],
+				buf:         make([]Event, 0, senderBatch(h.cfg.SenderBatch)),
+				policy:      h.cfg.Overflow,
+				spins:       h.sendSpins,
+				drops:       &h.drops[tid],
+				quarantined: &h.quarantined,
+				health:      &h.health,
+			}
+		}
+	}
+	return &Sender{quarantined: &h.quarantined, health: &h.health}
+}
+
 func (h *Hierarchical) quarantine() {
 	h.quarantined.Add(1)
 	h.degrade()

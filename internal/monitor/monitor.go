@@ -17,6 +17,10 @@ import (
 // sets "a sufficiently large value to prevent it from being a bottleneck".
 const DefaultQueueCap = 1 << 14
 
+// drainBatch bounds both the consumer-side PopBatch size and the number of
+// events one queue may contribute per scheduling round (fairness).
+const drainBatch = 256
+
 // Config configures a Monitor.
 type Config struct {
 	// NumThreads is the number of program threads that will send events.
@@ -43,6 +47,17 @@ type Config struct {
 	// SendSpins bounds the OverflowBlockTimeout spin loop
 	// (0 = DefaultSendSpins).
 	SendSpins int
+	// SenderBatch is the per-thread Sender buffer size: branch events are
+	// batched locally and pushed with one queue publish (0 = default,
+	// 1 = effectively unbatched). See Sender.
+	SenderBatch int
+	// CheckWorkers fans completed instances out to that many checker
+	// goroutines, sharded by Key1 so every instance of a static branch
+	// lands on the same shard (0 or 1 = checking inline on the monitor
+	// goroutine). Violations are merged in a canonical order at every
+	// generation flush, so the recorded violations — and all campaign
+	// statistics — are byte-identical for every worker count.
+	CheckWorkers int
 	// StallDeadline, when positive, arms the stall watchdog: if the
 	// monitor makes no progress for this long while work is pending
 	// (gated queue backlog or open instances), it force-closes the
@@ -80,18 +95,25 @@ type Stats struct {
 type ViolationSummary struct {
 	BranchID int
 	Count    int
-	First    string // first reason observed
+	First    string // reason of the lowest-keyed violation (deterministic)
 }
 
 // Monitor is the BLOCKWATCH runtime monitor. Create with New, start the
 // asynchronous checking goroutine with Start, send events from program
-// threads with Send, and stop with Close (which drains outstanding events,
-// performs the final pending check, and waits for the goroutine to exit).
+// threads with Send (or, batched, through a per-thread Sender), and stop
+// with Close (which drains outstanding events, performs the final pending
+// check, and waits for the goroutine — and any checker shards — to exit).
 //
 // The monitor fails open: queue overflow, malformed events, stalled
 // producers, and even a panic in its own goroutine degrade coverage
 // (reported via Health and Stats) but never block the program or
 // introduce a false positive.
+//
+// The steady-state ingest path is allocation-free: the two-level table and
+// its level-1 entries persist across barrier generations (instances are
+// cleared in place), instance structs and their report slices are recycled
+// on free lists, and the consumer drains each queue in batches into
+// reusable per-thread buffers.
 type Monitor struct {
 	cfg       Config
 	queues    []*queue.SPSC[Event]
@@ -106,6 +128,27 @@ type Monitor struct {
 	doneThreads  []bool   // per-thread EvDone processed
 	flushedGens  uint64
 	doneCount    int
+
+	// Consumer-side batching (monitor-goroutine-private): per-thread
+	// buffers of dequeued-but-unprocessed events. A PopBatch may land
+	// events beyond a gating flush; the remainder waits here until the
+	// generation closes, preserving the per-queue gate semantics.
+	pending    [][]Event
+	pendingPos []int
+
+	// Allocation recycling (monitor-goroutine-private).
+	instPool   []*instance // cleared instances, reports capacity NumThreads
+	reportPool [][]Report  // spent checker-job buffers, restocked at flush
+
+	// genViolations buffers the current generation's violations; they are
+	// sorted into canonical (Key1, Key2) order and published at every
+	// generation close, so the violation log does not depend on map
+	// iteration or checker-shard scheduling.
+	genViolations []Violation
+
+	// Sharded checking (nil when CheckWorkers <= 1 or never started).
+	checkers []*checker
+	checkWG  sync.WaitGroup
 
 	mu         sync.Mutex
 	violations []Violation
@@ -176,6 +219,8 @@ func New(cfg Config) (*Monitor, error) {
 		maxInstances: maxInst,
 		flushCount:   make([]uint64, cfg.NumThreads),
 		doneThreads:  make([]bool, cfg.NumThreads),
+		pending:      make([][]Event, cfg.NumThreads),
+		pendingPos:   make([]int, cfg.NumThreads),
 		drops:        make([]atomic.Uint64, cfg.NumThreads),
 		stop:         make(chan struct{}),
 		done:         make(chan struct{}),
@@ -187,6 +232,7 @@ func New(cfg Config) (*Monitor, error) {
 			return nil, fmt.Errorf("front-end queue: %w", err)
 		}
 		m.queues[i] = q
+		m.pending[i] = make([]Event, 0, drainBatch)
 	}
 	return m, nil
 }
@@ -197,6 +243,10 @@ func New(cfg Config) (*Monitor, error) {
 // queue is full; control events (flush/done) always block — dropping them
 // would be unsound (generation mixing) or wedge shutdown, and the monitor
 // guarantees the queues drain (watchdog, failsafe) so the spin is bounded.
+//
+// Send is the scalar path; hot producers should prefer a per-thread
+// Sender, which batches branch events and amortizes the queue's atomic
+// operations. The two paths may not be mixed for the same thread.
 func (m *Monitor) Send(ev Event) {
 	tid := int(ev.Thread)
 	if tid < 0 || tid >= len(m.queues) {
@@ -212,6 +262,26 @@ func (m *Monitor) Send(ev Event) {
 	}
 	if !pushPolicy(q, ev, m.cfg.Overflow, m.sendSpins) {
 		m.drop(tid)
+	}
+}
+
+// Sender returns the batching producer handle for thread tid. At most one
+// goroutine may use the Sender (it owns the thread's queue endpoint), and
+// it must not be mixed with scalar Send calls for the same thread. An
+// out-of-range tid yields a quarantining Sender that counts and discards
+// every event, mirroring Send's fail-open contract.
+func (m *Monitor) Sender(tid int) *Sender {
+	if tid < 0 || tid >= len(m.queues) {
+		return &Sender{quarantined: &m.quarantined, health: &m.health}
+	}
+	return &Sender{
+		q:           m.queues[tid],
+		buf:         make([]Event, 0, senderBatch(m.cfg.SenderBatch)),
+		policy:      m.cfg.Overflow,
+		spins:       m.sendSpins,
+		drops:       &m.drops[tid],
+		quarantined: &m.quarantined,
+		health:      &m.health,
 	}
 }
 
@@ -234,11 +304,13 @@ func (m *Monitor) degrade() {
 // goroutine.
 func (m *Monitor) Health() HealthState { return HealthState(m.health.Load()) }
 
-// Start launches the asynchronous monitor goroutine (paper design goal 1).
+// Start launches the asynchronous monitor goroutine (paper design goal 1)
+// and, when Config.CheckWorkers > 1, the checker shards.
 func (m *Monitor) Start() {
 	if m.started.Swap(true) {
 		return
 	}
+	m.startCheckers()
 	go m.loop()
 }
 
@@ -254,7 +326,8 @@ func (m *Monitor) Close() {
 		return
 	}
 	if !m.started.Load() {
-		// Never started: drain synchronously so callers still get checks.
+		// Never started: drain synchronously so callers still get checks
+		// (checker shards were never launched, so checking runs inline).
 		// A panic (corrupt event state) fails open instead of propagating.
 		defer func() {
 			if r := recover(); r != nil {
@@ -264,7 +337,7 @@ func (m *Monitor) Close() {
 			}
 		}()
 		m.drainAll()
-		m.checkPending()
+		m.closeGeneration(closeFinal)
 		return
 	}
 	close(m.stop)
@@ -278,6 +351,7 @@ func (m *Monitor) Close() {
 // producers never block on a dead monitor.
 func (m *Monitor) loop() {
 	defer close(m.done)
+	defer m.stopCheckers()
 	defer func() {
 		if r := recover(); r != nil {
 			m.panics.Add(1)
@@ -293,22 +367,12 @@ func (m *Monitor) loop() {
 	for {
 		idle := true
 		for tid, q := range m.queues {
-			// A thread that has flushed past the current generation is
-			// gated: its post-barrier events must not be mixed with other
-			// threads' pre-barrier events (per-queue FIFO plus this gate
-			// give generation-consistent processing).
-			for i := 0; i < 64 && !m.gated(tid); i++ {
-				ev, ok := q.Pop()
-				if !ok {
-					break
-				}
+			if m.drainSlot(tid, q) {
 				idle = false
-				m.tap(&ev)
-				m.process(tid, ev)
 			}
 		}
 		if m.doneCount >= m.cfg.NumThreads {
-			m.checkPending()
+			m.closeGeneration(closeFinal)
 			return
 		}
 		if !idle {
@@ -321,14 +385,14 @@ func (m *Monitor) loop() {
 		case <-m.stop:
 			// Final drain after the program stopped producing.
 			m.drainAll()
-			m.checkPending()
+			m.closeGeneration(closeFinal)
 			return
 		default:
 		}
 		if armed && m.stalled() && m.now().Sub(lastProgress) >= m.cfg.StallDeadline {
 			// A thread hung without EvDone: force the generation closed so
 			// gated producers unwedge and the table stays bounded.
-			m.forceCloseGeneration()
+			m.closeGeneration(closeForced)
 			m.watchdog.Add(1)
 			m.degrade()
 			lastProgress = m.now()
@@ -337,22 +401,53 @@ func (m *Monitor) loop() {
 	}
 }
 
-// tap runs the event-corruption hook (fault injection) on a dequeued event.
-func (m *Monitor) tap(ev *Event) {
-	if m.cfg.EventTap != nil {
-		m.cfg.EventTap(ev)
+// drainSlot processes thread tid's buffered remainder and batch-refills
+// from its queue, until the thread gates, the queue runs dry, or the
+// per-round fairness cap is hit. Reports whether any event was processed.
+// A thread that has flushed past the current generation is gated: its
+// post-barrier events must not be mixed with other threads' pre-barrier
+// events (per-queue FIFO plus this gate give generation-consistent
+// processing).
+func (m *Monitor) drainSlot(tid int, q *queue.SPSC[Event]) bool {
+	progress := false
+	for n := 0; n < drainBatch && !m.gated(tid); n++ {
+		if m.pendingPos[tid] == len(m.pending[tid]) {
+			buf := m.pending[tid][:drainBatch]
+			popped := q.PopBatch(buf)
+			if popped == 0 {
+				break
+			}
+			m.pending[tid] = buf[:popped]
+			m.pendingPos[tid] = 0
+		}
+		idx := m.pendingPos[tid]
+		m.pendingPos[tid]++
+		progress = true
+		if m.cfg.EventTap != nil {
+			// Tap in place inside the pending buffer: taking the address of
+			// a local copy here would heap-allocate every event.
+			m.cfg.EventTap(&m.pending[tid][idx])
+		}
+		m.process(tid, m.pending[tid][idx])
 	}
+	return progress
+}
+
+// buffered returns the number of dequeued-but-unprocessed events parked in
+// thread tid's pending buffer.
+func (m *Monitor) buffered(tid int) int {
+	return len(m.pending[tid]) - m.pendingPos[tid]
 }
 
 // stalled reports whether the monitor is idle with work it cannot finish
-// by itself: undrained (gated) queue backlog or instances awaiting
-// reports. Without pending work the watchdog has nothing to force.
+// by itself: undrained (gated) queue or buffer backlog, or instances
+// awaiting reports. Without pending work the watchdog has nothing to force.
 func (m *Monitor) stalled() bool {
 	if m.numInstances > 0 {
 		return true
 	}
-	for _, q := range m.queues {
-		if !q.Empty() {
+	for tid, q := range m.queues {
+		if !q.Empty() || m.buffered(tid) > 0 {
 			return true
 		}
 	}
@@ -365,20 +460,57 @@ func (m *Monitor) gated(tid int) bool {
 	return m.flushCount[tid] > m.flushedGens
 }
 
-// forceCloseGeneration closes the current barrier generation without
-// waiting for the missing flushes: pending instances with ≥2 reports are
-// checked (every rule is subset-closed, so this stays sound), the table is
-// cleared, and the generation counter advances — which ungates the queues
-// of threads that already flushed. Branch events of threads left behind
-// (flushCount < flushedGens) are quarantined until their own flush catches
-// up, so stale pre-barrier reports are never mixed into the new
-// generation's table.
-func (m *Monitor) forceCloseGeneration() {
+// closeReason says why a barrier generation is being closed; it determines
+// whether the generation counter advances and how the close is counted.
+type closeReason int
+
+const (
+	// closeBarrier: every live thread flushed past the generation.
+	closeBarrier closeReason = iota
+	// closeForced: the watchdog fired or a drain found a thread that will
+	// never flush; the generation closes with the reports it has (every
+	// rule is subset-closed, so this stays sound) and advances, ungating
+	// the threads that already flushed. Branch events of threads left
+	// behind are quarantined until their own flush catches up, so stale
+	// pre-barrier reports are never mixed into the new generation.
+	closeForced
+	// closeOverflow: the table hit MaxInstances inside one generation
+	// (runaway faulty loop); the table is checked and cleared for bounded
+	// memory, but the generation counter does NOT advance — producers'
+	// barrier positions are unaffected.
+	closeOverflow
+	// closeFinal: end of the run; the final pending check, not counted as
+	// a flush.
+	closeFinal
+)
+
+// closeGeneration is the single flush-and-reset sequence behind barrier
+// flushes, watchdog force-closes, overflow evictions, and the final check:
+// pending instances with ≥2 reports are checked, checker shards are
+// drained and their violations merged in canonical order, every instance
+// is recycled onto the free list, and the two-level table is cleared in
+// place (level-1 entries and their maps persist across generations, so the
+// steady state allocates nothing).
+func (m *Monitor) closeGeneration(reason closeReason) {
 	m.checkPending()
-	m.table = make(map[uint64]*level1)
+	m.collectViolations()
+	for _, l1 := range m.table {
+		for k2, inst := range l1.instances {
+			m.putInstance(inst)
+			delete(l1.instances, k2)
+		}
+	}
 	m.numInstances = 0
-	m.flushedGens++
-	m.flushes.Add(1)
+	switch reason {
+	case closeBarrier, closeForced:
+		m.flushedGens++
+		m.flushes.Add(1)
+	case closeOverflow:
+		m.flushes.Add(1)
+	case closeFinal:
+		// Run end: nothing advances; matches the pre-batching monitor,
+		// whose final pending check was not counted as a flush.
+	}
 }
 
 // drainAll empties every queue, forcing generations closed when some
@@ -388,16 +520,10 @@ func (m *Monitor) drainAll() {
 		progress := false
 		backlog := false
 		for tid, q := range m.queues {
-			for !m.gated(tid) {
-				ev, ok := q.Pop()
-				if !ok {
-					break
-				}
+			if m.drainSlot(tid, q) {
 				progress = true
-				m.tap(&ev)
-				m.process(tid, ev)
 			}
-			if !q.Empty() {
+			if !q.Empty() || m.buffered(tid) > 0 {
 				backlog = true
 			}
 		}
@@ -407,7 +533,7 @@ func (m *Monitor) drainAll() {
 		if !progress {
 			// Every non-empty queue is gated: a thread is missing its
 			// flush. Close the generation with what we have.
-			m.forceCloseGeneration()
+			m.closeGeneration(closeForced)
 		}
 	}
 }
@@ -429,16 +555,25 @@ func (m *Monitor) failsafe() {
 	}
 }
 
-// discardAll pops and quarantines every queued event without touching the
-// (possibly corrupt) table state.
+// discardAll pops and quarantines every queued or buffered event without
+// touching the (possibly corrupt) table state.
 func (m *Monitor) discardAll() {
-	for _, q := range m.queues {
+	for tid, q := range m.queues {
+		if n := m.buffered(tid); n > 0 {
+			m.quarantined.Add(uint64(n))
+			m.pending[tid] = m.pending[tid][:0]
+			m.pendingPos[tid] = 0
+		}
 		for {
-			if _, ok := q.Pop(); !ok {
+			buf := m.pending[tid][:drainBatch]
+			n := q.PopBatch(buf)
+			if n == 0 {
 				break
 			}
-			m.quarantined.Add(1)
+			m.quarantined.Add(uint64(n))
 		}
+		m.pending[tid] = m.pending[tid][:0]
+		m.pendingPos[tid] = 0
 	}
 }
 
@@ -491,12 +626,12 @@ func (m *Monitor) process(slot int, ev Event) {
 	}
 }
 
-// maybeFlushGeneration checks pending instances once every live thread's
-// events up to the same barrier have been processed. Per-thread queues are
-// FIFO, so flushCount[i] == g implies every pre-barrier-g event of thread
-// i has been seen; finished threads (EvDone processed) are excluded so a
-// thread that crashed before a barrier cannot wedge the generation — and
-// thereby deadlock producers spinning on their gated, full queues.
+// maybeFlushGeneration closes generations once every live thread's events
+// up to the same barrier have been processed. Per-thread queues are FIFO,
+// so flushCount[i] == g implies every pre-barrier-g event of thread i has
+// been seen; finished threads (EvDone processed) are excluded so a thread
+// that crashed before a barrier cannot wedge the generation — and thereby
+// deadlock producers spinning on their gated, full queues.
 func (m *Monitor) maybeFlushGeneration() {
 	min := ^uint64(0)
 	live := 0
@@ -513,17 +648,37 @@ func (m *Monitor) maybeFlushGeneration() {
 		return // final pending check happens on loop exit
 	}
 	for m.flushedGens < min {
-		m.checkPending()
-		m.table = make(map[uint64]*level1)
-		m.numInstances = 0
-		m.flushedGens++
-		m.flushes.Add(1)
+		m.closeGeneration(closeBarrier)
 	}
+}
+
+// getInstance takes a cleared instance from the free list (or allocates
+// one with report capacity NumThreads, the steady-state report count).
+func (m *Monitor) getInstance() *instance {
+	if n := len(m.instPool); n > 0 {
+		inst := m.instPool[n-1]
+		m.instPool = m.instPool[:n-1]
+		return inst
+	}
+	return &instance{reports: make([]Report, 0, m.cfg.NumThreads)}
+}
+
+// putInstance clears an instance and returns it to the free list. The
+// list's high-water mark is the peak live-instance count of any single
+// generation (bounded by MaxInstances), the same memory the pre-pooling
+// monitor handed to the garbage collector each generation.
+func (m *Monitor) putInstance(inst *instance) {
+	inst.reports = inst.reports[:0]
+	inst.checked = false
+	m.instPool = append(m.instPool, inst)
 }
 
 // insert stores a branch report in the two-level hash table (paper: first
 // level call-site/static-branch key, second level loop-iteration key) and
-// eagerly checks the instance once every thread has reported.
+// eagerly checks the instance once every thread has reported. Level-1
+// entries persist across generations: Key1 identifies the static branch,
+// so its check plan never changes, and keeping the entry (with its cleared
+// second-level map) makes the steady-state path allocation-free.
 func (m *Monitor) insert(ev Event) {
 	l1, ok := m.table[ev.Key1]
 	if !ok {
@@ -544,18 +699,12 @@ func (m *Monitor) insert(ev Event) {
 	if !ok {
 		if m.numInstances >= m.maxInstances {
 			// Table flooded (runaway faulty loop): behave like a forced
-			// generation flush so memory stays bounded. Keep l1's own plan
-			// — re-looking it up by ev.BranchID would trust a corruptible
-			// field.
-			plan := l1.plan
-			m.checkPending()
-			m.table = make(map[uint64]*level1)
-			m.numInstances = 0
-			m.flushes.Add(1)
-			l1 = &level1{plan: plan, instances: make(map[uint64]*instance)}
-			m.table[ev.Key1] = l1
+			// generation flush so memory stays bounded. l1 survives the
+			// in-place clear with its plan — trusting the established
+			// Key1→plan binding, never the corruptible BranchID field.
+			m.closeGeneration(closeOverflow)
 		}
-		inst = &instance{reports: make([]Report, 0, m.cfg.NumThreads)}
+		inst = m.getInstance()
 		l1.instances[ev.Key2] = inst
 		m.numInstances++
 	}
@@ -570,20 +719,31 @@ func (m *Monitor) insert(ev Event) {
 	}
 }
 
+// checkInstance validates one completed instance: inline when unsharded,
+// otherwise dispatched to the Key1 shard with a pooled copy of the report
+// set (the instance itself stays owned by the monitor goroutine, so a
+// straggler can still reopen it).
 func (m *Monitor) checkInstance(plan *core.CheckPlan, k1, k2 uint64, inst *instance) {
 	if inst.checked {
 		return
 	}
 	inst.checked = true
 	m.instances.Add(1)
-	if reason := CheckReports(plan, inst.reports); reason != "" {
-		m.recordViolation(Violation{
-			BranchID: plan.BranchID,
-			Key1:     k1,
-			Key2:     k2,
-			Reason:   reason,
-		})
+	if m.checkers == nil {
+		if reason := CheckReports(plan, inst.reports); reason != "" {
+			m.genViolations = append(m.genViolations, Violation{
+				BranchID: plan.BranchID,
+				Key1:     k1,
+				Key2:     k2,
+				Reason:   reason,
+			})
+		}
+		return
 	}
+	w := m.checkers[int(k1%uint64(len(m.checkers)))]
+	buf := m.getReportBuf()
+	buf = append(buf, inst.reports...)
+	w.jobs <- checkMsg{plan: plan, k1: k1, k2: k2, reports: buf}
 }
 
 // checkPending validates instances that never received all threads'
@@ -597,13 +757,6 @@ func (m *Monitor) checkPending() {
 			}
 		}
 	}
-}
-
-func (m *Monitor) recordViolation(v Violation) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.violations = append(m.violations, v)
-	m.detected.Store(true)
 }
 
 // Detected reports whether any violation has been recorded. Safe to call
@@ -658,21 +811,34 @@ func (m *Monitor) Summarize() []ViolationSummary {
 }
 
 // SummarizeViolations groups violations by branch ID, most frequent first.
+// First is the reason of the branch's lowest-keyed (Key1, Key2) violation
+// — a canonical choice that does not depend on arrival order, so summaries
+// agree for every CheckWorkers value.
 func SummarizeViolations(vs []Violation) []ViolationSummary {
-	byBranch := make(map[int]*ViolationSummary)
+	type entry struct {
+		sum        ViolationSummary
+		key1, key2 uint64
+	}
+	byBranch := make(map[int]*entry)
 	var order []int
 	for _, v := range vs {
-		s, ok := byBranch[v.BranchID]
+		e, ok := byBranch[v.BranchID]
 		if !ok {
-			s = &ViolationSummary{BranchID: v.BranchID, First: v.Reason}
-			byBranch[v.BranchID] = s
+			e = &entry{
+				sum:  ViolationSummary{BranchID: v.BranchID, First: v.Reason},
+				key1: v.Key1,
+				key2: v.Key2,
+			}
+			byBranch[v.BranchID] = e
 			order = append(order, v.BranchID)
+		} else if v.Key1 < e.key1 || (v.Key1 == e.key1 && v.Key2 < e.key2) {
+			e.key1, e.key2, e.sum.First = v.Key1, v.Key2, v.Reason
 		}
-		s.Count++
+		e.sum.Count++
 	}
 	out := make([]ViolationSummary, 0, len(order))
 	for _, id := range order {
-		out = append(out, *byBranch[id])
+		out = append(out, byBranch[id].sum)
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Count != out[j].Count {
@@ -684,7 +850,7 @@ func SummarizeViolations(vs []Violation) []ViolationSummary {
 }
 
 // QueueBacklog returns the current total number of undrained events
-// (diagnostic).
+// (diagnostic; queue occupancy only, safe from any goroutine).
 func (m *Monitor) QueueBacklog() int {
 	n := 0
 	for _, q := range m.queues {

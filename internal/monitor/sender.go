@@ -1,0 +1,113 @@
+package monitor
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"blockwatch/internal/queue"
+)
+
+// DefaultSenderBatch is the Sender's branch-event buffer size. 64 events
+// amortize the queue's atomic publish well past the point of diminishing
+// returns while keeping the monitor's view of a thread at most 64 branch
+// events stale — and never stale across a barrier, because control events
+// flush the buffer first.
+const DefaultSenderBatch = 64
+
+func senderBatch(n int) int {
+	if n <= 0 {
+		return DefaultSenderBatch
+	}
+	return n
+}
+
+// Sender is a per-thread batching front end to the monitor's queue
+// (obtained from Monitor.Sender or Hierarchical.Sender). Branch events
+// accumulate in a thread-local buffer and are published with a single
+// PushBatch when the buffer fills, when a control event (flush/done) must
+// go out, or on an explicit Flush. Control events therefore can never
+// overtake buffered branch events, and a batch never spans a barrier —
+// the monitor's generation gating is oblivious to whether a thread used
+// Send or a Sender.
+//
+// A Sender is owned by exactly one goroutine (it is the thread's queue
+// producer endpoint) and must not be mixed with scalar Send calls for the
+// same thread. The overflow policy applies per buffered event, same as
+// Send: block spins, drop-newest counts the unsent remainder as dropped,
+// block-timeout spins a bounded budget before dropping.
+type Sender struct {
+	q           *queue.SPSC[Event]
+	buf         []Event
+	policy      OverflowPolicy
+	spins       int
+	drops       *atomic.Uint64
+	quarantined *atomic.Uint64
+	health      *atomic.Int32
+}
+
+// Send buffers a branch event (publishing the buffer when full) or
+// flushes and forwards a control event. A Sender built for an
+// out-of-range thread has no queue and quarantines everything, mirroring
+// the fail-open contract of Monitor.Send.
+func (s *Sender) Send(ev Event) {
+	if s.q == nil {
+		s.quarantined.Add(1)
+		s.health.CompareAndSwap(int32(Healthy), int32(Degraded))
+		return
+	}
+	if ev.Kind != EvBranch {
+		s.Flush()
+		for !s.q.Push(ev) {
+			runtime.Gosched()
+		}
+		return
+	}
+	s.buf = append(s.buf, ev)
+	if len(s.buf) == cap(s.buf) {
+		s.Flush()
+	}
+}
+
+// Flush publishes the buffered branch events under the configured
+// overflow policy. Callers only need it to bound staleness during long
+// computation gaps — control events and Close-side drains flush
+// implicitly.
+func (s *Sender) Flush() {
+	if s == nil || len(s.buf) == 0 {
+		return
+	}
+	rest := s.buf
+	switch s.policy {
+	case OverflowDropNewest:
+		n := s.q.PushBatch(rest)
+		if n < len(rest) {
+			s.drops.Add(uint64(len(rest) - n))
+			s.health.CompareAndSwap(int32(Healthy), int32(Degraded))
+		}
+	case OverflowBlockTimeout:
+		spins := s.spins
+		for len(rest) > 0 {
+			n := s.q.PushBatch(rest)
+			rest = rest[n:]
+			if len(rest) == 0 {
+				break
+			}
+			if spins <= 0 {
+				s.drops.Add(uint64(len(rest)))
+				s.health.CompareAndSwap(int32(Healthy), int32(Degraded))
+				break
+			}
+			spins--
+			runtime.Gosched()
+		}
+	default: // OverflowBlock
+		for len(rest) > 0 {
+			n := s.q.PushBatch(rest)
+			rest = rest[n:]
+			if len(rest) > 0 {
+				runtime.Gosched()
+			}
+		}
+	}
+	s.buf = s.buf[:0]
+}

@@ -1,0 +1,233 @@
+package monitor
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestSenderBarrierBoundary proves a Sender batch never crosses a
+// barrier: the pre-barrier events use one signature and the post-barrier
+// events reuse the same keys with a different signature, so if the
+// buffered pre-barrier events were published after the flush they would
+// land in the next generation and collide with the post-barrier events
+// of the other thread — a false positive. Correct flush-before-control
+// ordering keeps both generations internally consistent.
+func TestSenderBarrierBoundary(t *testing.T) {
+	m, err := New(Config{NumThreads: 2, Plans: testPlans(), SenderBatch: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Start()
+	for tid := int32(0); tid < 2; tid++ {
+		s := m.Sender(int(tid))
+		for k := uint64(0); k < 3; k++ { // stays below the batch size: still buffered
+			s.Send(branchEv(tid, 1, k, 5, true))
+		}
+		s.Send(Event{Kind: EvFlush, Thread: tid})
+		for k := uint64(0); k < 3; k++ { // same keys, different signature
+			s.Send(branchEv(tid, 1, k, 6, false))
+		}
+		s.Send(Event{Kind: EvDone, Thread: tid})
+	}
+	m.Close()
+	if m.Detected() {
+		t.Fatalf("batch leaked across the barrier: %v", m.Violations())
+	}
+	st := m.Stats()
+	if st.Flushes != 1 {
+		t.Errorf("Flushes = %d, want 1", st.Flushes)
+	}
+	if st.Events != 12 {
+		t.Errorf("Events = %d, want 12", st.Events)
+	}
+}
+
+// TestSenderExplicitFlush: buffered branch events are invisible to the
+// monitor until the batch fills, a control event goes out, or Flush is
+// called explicitly.
+func TestSenderExplicitFlush(t *testing.T) {
+	m, err := New(Config{NumThreads: 1, Plans: testPlans(), SenderBatch: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := m.Sender(0)
+	for k := uint64(0); k < 3; k++ {
+		s.Send(branchEv(0, 1, k, 5, true))
+	}
+	if got := m.QueueBacklog(); got != 0 {
+		t.Fatalf("backlog = %d before Flush, want 0 (events still buffered)", got)
+	}
+	s.Flush()
+	if got := m.QueueBacklog(); got != 3 {
+		t.Fatalf("backlog = %d after Flush, want 3", got)
+	}
+	s.Send(Event{Kind: EvDone, Thread: 0})
+	m.Close()
+	if m.Detected() {
+		t.Fatalf("unexpected violation: %v", m.Violations())
+	}
+}
+
+// TestSenderBatchFillPublishes: the batch publishes itself when full,
+// without any control event.
+func TestSenderBatchFillPublishes(t *testing.T) {
+	m, err := New(Config{NumThreads: 1, Plans: testPlans(), SenderBatch: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := m.Sender(0)
+	for k := uint64(0); k < 4; k++ {
+		s.Send(branchEv(0, 1, k, 5, true))
+	}
+	if got := m.QueueBacklog(); got != 4 {
+		t.Fatalf("backlog = %d after filling the batch, want 4", got)
+	}
+	s.Send(Event{Kind: EvDone, Thread: 0})
+	m.Close()
+}
+
+// TestSenderOutOfRangeQuarantines mirrors Send's fail-open contract for
+// the batched path: a Sender for a bogus thread ID counts and discards.
+func TestSenderOutOfRangeQuarantines(t *testing.T) {
+	m, err := New(Config{NumThreads: 2, Plans: testPlans()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tid := range []int{-1, 2, 99} {
+		s := m.Sender(tid)
+		s.Send(branchEv(0, 1, 1, 5, true))
+		s.Send(Event{Kind: EvFlush, Thread: int32(tid)})
+		s.Flush()
+	}
+	if got := m.Stats().Quarantined; got != 6 {
+		t.Errorf("Quarantined = %d, want 6", got)
+	}
+	if m.Health() != Degraded {
+		t.Errorf("Health = %s, want degraded", m.Health())
+	}
+	m.Send(Event{Kind: EvDone, Thread: 0})
+	m.Send(Event{Kind: EvDone, Thread: 1})
+	m.Close()
+}
+
+// TestSenderDropNewestCountsDrops: under the drop-newest policy a Flush
+// into a full queue counts the unsent remainder as dropped and never
+// blocks.
+func TestSenderDropNewestCountsDrops(t *testing.T) {
+	m, err := New(Config{
+		NumThreads: 1, Plans: testPlans(), QueueCap: 4,
+		Overflow: OverflowDropNewest, SenderBatch: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := m.Sender(0)
+	for k := uint64(0); k < 8; k++ {
+		s.Send(branchEv(0, 1, k, 5, true))
+	}
+	s.Flush() // queue holds 4; the rest must be counted, not spun on
+	if got := m.Drops()[0]; got != 4 {
+		t.Errorf("drops = %d, want 4", got)
+	}
+	if m.Health() != Degraded {
+		t.Errorf("Health = %s, want degraded", m.Health())
+	}
+	m.Close() // inline drain; the full queue empties here
+	if m.Detected() {
+		t.Fatalf("unexpected violation: %v", m.Violations())
+	}
+}
+
+// TestHierarchicalSenderBarrierBoundary runs the barrier-boundary
+// scenario through the hierarchical monitor's Sender path.
+func TestHierarchicalSenderBarrierBoundary(t *testing.T) {
+	h, err := NewHierarchical(Config{NumThreads: 4, Plans: testPlans(), SenderBatch: 8}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Start()
+	for tid := int32(0); tid < 4; tid++ {
+		s := h.Sender(int(tid))
+		for k := uint64(0); k < 3; k++ {
+			s.Send(branchEv(tid, 1, k, 5, true))
+		}
+		s.Send(Event{Kind: EvFlush, Thread: tid})
+		for k := uint64(0); k < 3; k++ {
+			s.Send(branchEv(tid, 1, k, 6, false))
+		}
+		s.Send(Event{Kind: EvDone, Thread: tid})
+	}
+	h.Close()
+	if h.Detected() {
+		t.Fatalf("batch leaked across the barrier: %v", h.Violations())
+	}
+}
+
+// TestCheckWorkersIdenticalViolations drives a violation-rich stream
+// through every worker count and requires the recorded violation logs to
+// be exactly equal — the canonical-merge guarantee sharding rests on.
+func TestCheckWorkersIdenticalViolations(t *testing.T) {
+	run := func(workers int) []Violation {
+		m, err := New(Config{NumThreads: 4, Plans: testPlans(), CheckWorkers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Start()
+		for tid := int32(0); tid < 4; tid++ {
+			for key1 := uint64(0); key1 < 7; key1++ {
+				for k2 := uint64(0); k2 < 5; k2++ {
+					// Thread 3 diverges on odd keys: a spread of genuine
+					// violations across several shards.
+					taken := k2%2 == 0 || tid != 3
+					m.Send(Event{Kind: EvBranch, Thread: tid, BranchID: 1,
+						Key1: 1000 + key1, Key2: k2, Sig: 5, Taken: taken})
+				}
+				m.Send(Event{Kind: EvFlush, Thread: tid})
+			}
+			m.Send(Event{Kind: EvDone, Thread: tid})
+		}
+		m.Close()
+		return m.Violations()
+	}
+	base := run(1)
+	if len(base) == 0 {
+		t.Fatal("driver produced no violations; the comparison is vacuous")
+	}
+	for _, workers := range []int{2, 3, 4} {
+		if got := run(workers); !reflect.DeepEqual(got, base) {
+			t.Errorf("CheckWorkers=%d violations differ from inline:\n got %v\nwant %v",
+				workers, got, base)
+		}
+	}
+}
+
+// TestSummarizeDeterministicFirst: the First field is the reason of the
+// lowest-keyed violation per branch, independent of slice order.
+func TestSummarizeDeterministicFirst(t *testing.T) {
+	vs := []Violation{
+		{BranchID: 7, Key1: 2000, Key2: 3, Reason: "later"},
+		{BranchID: 7, Key1: 1000, Key2: 9, Reason: "lowest"},
+		{BranchID: 7, Key1: 1000, Key2: 11, Reason: "same-key1-higher-key2"},
+		{BranchID: 9, Key1: 500, Key2: 0, Reason: "other-branch"},
+	}
+	perms := [][]int{{0, 1, 2, 3}, {3, 2, 1, 0}, {1, 3, 0, 2}, {2, 0, 3, 1}}
+	for _, p := range perms {
+		shuffled := make([]Violation, len(vs))
+		for i, j := range p {
+			shuffled[i] = vs[j]
+		}
+		sums := SummarizeViolations(shuffled)
+		if len(sums) != 2 {
+			t.Fatalf("summaries = %v", sums)
+		}
+		for _, s := range sums {
+			want := "lowest"
+			if s.BranchID == 9 {
+				want = "other-branch"
+			}
+			if s.First != want {
+				t.Errorf("perm %v: branch %d First = %q, want %q", p, s.BranchID, s.First, want)
+			}
+		}
+	}
+}

@@ -5,6 +5,9 @@ package monitor
 type Sink interface {
 	// Send enqueues one event from its thread's queue (lock-free).
 	Send(ev Event)
+	// Sender returns the batching producer handle for one thread; it
+	// replaces scalar Send for that thread (they must not be mixed).
+	Sender(tid int) *Sender
 	// Start launches the asynchronous checking goroutine(s).
 	Start()
 	// Close drains outstanding events, performs final checks, and waits.

@@ -53,6 +53,84 @@ func TestSPSCStressUnderRace(t *testing.T) {
 	wg.Wait()
 }
 
+// TestSPSCBatchScalarMixedUnderRace drives one producer mixing Push and
+// PushBatch against one consumer mixing Pop and PopBatch, on a small queue
+// so the cached-index refresh paths (apparent-full and apparent-empty) fire
+// constantly. The race detector checks the single-publish batch protocol;
+// the FIFO assertion checks that a batch is never observed out of order
+// relative to interleaved scalar operations.
+func TestSPSCBatchScalarMixedUnderRace(t *testing.T) {
+	const msgs = 30_000
+	q, err := NewSPSC[int](64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		batch := make([]int, 0, 7)
+		for i := 0; i < msgs; {
+			switch i % 3 {
+			case 0: // scalar
+				for !q.Push(i) {
+					runtime.Gosched()
+				}
+				i++
+			default: // batch of up to 7, retrying the unsent remainder
+				batch = batch[:0]
+				for k := 0; k < 7 && i+k < msgs; k++ {
+					batch = append(batch, i+k)
+				}
+				rest := batch
+				for len(rest) > 0 {
+					n := q.PushBatch(rest)
+					rest = rest[n:]
+					if n == 0 {
+						runtime.Gosched()
+					}
+				}
+				i += len(batch)
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		buf := make([]int, 5)
+		for want := 0; want < msgs; {
+			if want%2 == 0 {
+				v, ok := q.Pop()
+				if !ok {
+					runtime.Gosched()
+					continue
+				}
+				if v != want {
+					t.Errorf("FIFO violated: got %d, want %d", v, want)
+					return
+				}
+				want++
+				continue
+			}
+			n := q.PopBatch(buf)
+			if n == 0 {
+				runtime.Gosched()
+				continue
+			}
+			for i := 0; i < n; i++ {
+				if buf[i] != want {
+					t.Errorf("FIFO violated in batch: got %d, want %d", buf[i], want)
+					return
+				}
+				want++
+			}
+		}
+		if !q.Empty() {
+			t.Error("queue not empty after consuming all messages")
+		}
+	}()
+	wg.Wait()
+}
+
 // TestSPSCLenObservers adds racy Len/Empty readers on top of an active
 // producer/consumer pair: for a third-party observer Len carries no
 // numeric guarantee (the two index loads are not a snapshot), but the

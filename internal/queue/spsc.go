@@ -3,6 +3,15 @@
 // as in the paper (Section III-B) — from Lamport's wait-free construction:
 // the producer only writes the tail index and the consumer only writes the
 // head index, so no locks or read-modify-write operations are needed.
+//
+// On top of the scalar Push/Pop pair the queue offers PushBatch/PopBatch,
+// which move a slice of elements under a single publish. Each endpoint
+// additionally caches its last observed copy of the other endpoint's
+// index (the producer caches the consumer's head, the consumer caches the
+// producer's tail) and refreshes the cache only when the queue appears
+// full or empty, so a batch of n elements costs one atomic load (own
+// index), at most one refresh of the cached remote index, and one atomic
+// store — instead of n load/store pairs.
 package queue
 
 import (
@@ -14,14 +23,18 @@ import (
 var ErrBadCapacity = errors.New("queue capacity must be at least 1")
 
 // SPSC is a bounded lock-free single-producer/single-consumer FIFO.
-// Exactly one goroutine may call Push and exactly one may call Pop.
+// Exactly one goroutine may call Push/PushBatch and exactly one may call
+// Pop/PopBatch; each endpoint may freely mix its scalar and batch forms.
 type SPSC[T any] struct {
 	buf  []T
 	mask uint64
-	_    [64]byte // keep head and tail on separate cache lines
-	head atomic.Uint64
-	_    [64]byte
-	tail atomic.Uint64
+	_    [64]byte // keep the endpoints' state on separate cache lines
+	head       atomic.Uint64 // consumer-owned
+	cachedTail uint64        // consumer-private cache of tail
+	_          [64]byte
+	tail       atomic.Uint64 // producer-owned
+	cachedHead uint64        // producer-private cache of head
+	_          [64]byte
 }
 
 // NewSPSC returns a queue holding at least capacity elements (rounded up to
@@ -41,12 +54,41 @@ func NewSPSC[T any](capacity int) (*SPSC[T], error) {
 // read head, write slot, then publish by storing tail).
 func (q *SPSC[T]) Push(v T) bool {
 	tail := q.tail.Load()
-	if tail-q.head.Load() > q.mask {
-		return false // full
+	if tail-q.cachedHead > q.mask {
+		q.cachedHead = q.head.Load()
+		if tail-q.cachedHead > q.mask {
+			return false // full
+		}
 	}
 	q.buf[tail&q.mask] = v
 	q.tail.Store(tail + 1)
 	return true
+}
+
+// PushBatch appends as many elements of vs as fit and returns how many
+// were enqueued, publishing them with a single tail store. A short count
+// (including 0) means the queue filled up.
+func (q *SPSC[T]) PushBatch(vs []T) int {
+	if len(vs) == 0 {
+		return 0
+	}
+	tail := q.tail.Load()
+	free := q.mask + 1 - (tail - q.cachedHead)
+	if free < uint64(len(vs)) {
+		q.cachedHead = q.head.Load()
+		free = q.mask + 1 - (tail - q.cachedHead)
+	}
+	n := uint64(len(vs))
+	if n > free {
+		n = free
+	}
+	for i := uint64(0); i < n; i++ {
+		q.buf[(tail+i)&q.mask] = vs[i]
+	}
+	if n > 0 {
+		q.tail.Store(tail + n)
+	}
+	return int(n)
 }
 
 // Pop removes and returns the oldest element (Lamport's consumer: read
@@ -54,13 +96,45 @@ func (q *SPSC[T]) Push(v T) bool {
 func (q *SPSC[T]) Pop() (T, bool) {
 	var zero T
 	head := q.head.Load()
-	if head == q.tail.Load() {
-		return zero, false // empty
+	if head == q.cachedTail {
+		q.cachedTail = q.tail.Load()
+		if head == q.cachedTail {
+			return zero, false // empty
+		}
 	}
 	v := q.buf[head&q.mask]
 	q.buf[head&q.mask] = zero // release references for GC
 	q.head.Store(head + 1)
 	return v, true
+}
+
+// PopBatch moves up to len(dst) oldest elements into dst and returns how
+// many were dequeued, publishing the consumption with a single head store.
+// A short count (including 0) means the queue ran dry.
+func (q *SPSC[T]) PopBatch(dst []T) int {
+	if len(dst) == 0 {
+		return 0
+	}
+	var zero T
+	head := q.head.Load()
+	avail := q.cachedTail - head
+	if avail < uint64(len(dst)) {
+		q.cachedTail = q.tail.Load()
+		avail = q.cachedTail - head
+	}
+	n := uint64(len(dst))
+	if n > avail {
+		n = avail
+	}
+	for i := uint64(0); i < n; i++ {
+		slot := (head + i) & q.mask
+		dst[i] = q.buf[slot]
+		q.buf[slot] = zero // release references for GC
+	}
+	if n > 0 {
+		q.head.Store(head + n)
+	}
+	return int(n)
 }
 
 // Len returns the number of buffered elements (racy but monotonic-safe for

@@ -159,12 +159,155 @@ func TestLenTracksOccupancy(t *testing.T) {
 	}
 }
 
+func TestPushBatchPopBatch(t *testing.T) {
+	q, _ := NewSPSC[int](8)
+	// Batch larger than the free space: short count, nothing lost.
+	in := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	if n := q.PushBatch(in); n != 8 {
+		t.Fatalf("PushBatch = %d, want 8 (capacity)", n)
+	}
+	if n := q.PushBatch(in[8:]); n != 0 {
+		t.Fatalf("PushBatch on full queue = %d, want 0", n)
+	}
+	dst := make([]int, 3)
+	if n := q.PopBatch(dst); n != 3 || dst[0] != 0 || dst[2] != 2 {
+		t.Fatalf("PopBatch = %d %v, want 3 [0 1 2]", n, dst)
+	}
+	// Freed space admits the remainder; wraparound exercised.
+	if n := q.PushBatch(in[8:]); n != 2 {
+		t.Fatalf("PushBatch after drain = %d, want 2", n)
+	}
+	want := []int{3, 4, 5, 6, 7, 8, 9}
+	got := make([]int, 16)
+	if n := q.PopBatch(got); n != len(want) {
+		t.Fatalf("PopBatch = %d, want %d", n, len(want))
+	}
+	for i, w := range want {
+		if got[i] != w {
+			t.Fatalf("PopBatch[%d] = %d, want %d", i, got[i], w)
+		}
+	}
+	if n := q.PopBatch(got); n != 0 || !q.Empty() {
+		t.Fatalf("drained queue: PopBatch = %d, Empty = %t", n, q.Empty())
+	}
+}
+
+func TestBatchEmptyArgs(t *testing.T) {
+	q, _ := NewSPSC[int](4)
+	if n := q.PushBatch(nil); n != 0 {
+		t.Errorf("PushBatch(nil) = %d", n)
+	}
+	if n := q.PopBatch(nil); n != 0 {
+		t.Errorf("PopBatch(nil) = %d", n)
+	}
+}
+
+// TestScalarBatchMixed interleaves scalar and batch operations on both
+// endpoints (drained between rounds) — the cached remote indices must stay
+// coherent no matter which form refreshed them last.
+func TestScalarBatchMixed(t *testing.T) {
+	q, _ := NewSPSC[int](16)
+	next, want := 0, 0
+	scratch := make([]int, 5)
+	for round := 0; round < 200; round++ {
+		// Produce 4 values, alternating forms.
+		if round%2 == 0 {
+			for i := 0; i < 4; i++ {
+				if !q.Push(next) {
+					t.Fatal("unexpected full")
+				}
+				next++
+			}
+		} else {
+			batch := []int{next, next + 1, next + 2, next + 3}
+			if n := q.PushBatch(batch); n != 4 {
+				t.Fatalf("PushBatch = %d, want 4", n)
+			}
+			next += 4
+		}
+		// Consume them, alternating the other way.
+		if round%3 == 0 {
+			for i := 0; i < 4; i++ {
+				v, ok := q.Pop()
+				if !ok || v != want {
+					t.Fatalf("Pop = %d,%t want %d", v, ok, want)
+				}
+				want++
+			}
+		} else {
+			rem := 4
+			for rem > 0 {
+				n := q.PopBatch(scratch[:rem])
+				if n == 0 {
+					t.Fatal("unexpected empty")
+				}
+				for i := 0; i < n; i++ {
+					if scratch[i] != want {
+						t.Fatalf("PopBatch got %d, want %d", scratch[i], want)
+					}
+					want++
+				}
+				rem -= n
+			}
+		}
+	}
+	if !q.Empty() {
+		t.Fatal("queue should be empty")
+	}
+}
+
+// TestPropertyBatchSequencePreserved mirrors TestPropertySequencePreserved
+// through the batch endpoints.
+func TestPropertyBatchSequencePreserved(t *testing.T) {
+	f := func(batches [][]byte) bool {
+		q, _ := NewSPSC[byte](256)
+		out := make([]byte, 256)
+		for _, batch := range batches {
+			if len(batch) > 256 {
+				batch = batch[:256]
+			}
+			if n := q.PushBatch(batch); n != len(batch) {
+				return false
+			}
+			pos := 0
+			for pos < len(batch) {
+				n := q.PopBatch(out[:len(batch)-pos])
+				if n == 0 {
+					return false
+				}
+				for i := 0; i < n; i++ {
+					if out[i] != batch[pos+i] {
+						return false
+					}
+				}
+				pos += n
+			}
+		}
+		return q.Empty()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func BenchmarkPushPop(b *testing.B) {
 	q, _ := NewSPSC[uint64](1024)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		q.Push(uint64(i))
 		q.Pop()
+	}
+}
+
+func BenchmarkPushPopBatch(b *testing.B) {
+	q, _ := NewSPSC[uint64](1024)
+	const batch = 64
+	in := make([]uint64, batch)
+	out := make([]uint64, batch)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i += batch {
+		q.PushBatch(in)
+		q.PopBatch(out)
 	}
 }
 
