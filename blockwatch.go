@@ -36,7 +36,9 @@ import (
 	"blockwatch/internal/lower"
 	"blockwatch/internal/monitor"
 	"blockwatch/internal/opt"
+	"blockwatch/internal/remote"
 	"blockwatch/internal/splash"
+	"blockwatch/internal/trace"
 )
 
 // Program is a compiled MiniC SPMD program.
@@ -289,6 +291,19 @@ type RunOptions struct {
 	// generation that makes no progress for this long is force-closed
 	// (0 = watchdog disabled).
 	StallDeadline time.Duration
+	// Remote, when non-empty, moves the checking monitor out of process:
+	// events stream to a bwmonitord daemon at this address (host:port for
+	// TCP, unix:/path or any path containing "/" for a unix socket) and
+	// the verdict comes back in the result exchange. Implies Protect. The
+	// client fails open: a dead or slow daemon degrades Health, never the
+	// program. Mutually exclusive with Record and MonitorGroups > 1.
+	Remote string
+	// Record, when non-nil, tees the monitor event stream to this writer
+	// in the wire trace format while an in-process monitor keeps checking
+	// it live (implies Protect). The sealed trace replays to
+	// byte-identical violations (bwtrace replay). Mutually exclusive with
+	// Remote and MonitorGroups > 1.
+	Record io.Writer
 }
 
 // RunResult is the outcome of one execution.
@@ -320,6 +335,12 @@ type RunResult struct {
 
 // Run executes the program.
 func (p *Program) Run(opts RunOptions) (*RunResult, error) {
+	if opts.Remote != "" && opts.Record != nil {
+		return nil, fmt.Errorf("Remote and Record are mutually exclusive (record locally or stream to a daemon, not both)")
+	}
+	if opts.Remote != "" || opts.Record != nil {
+		opts.Protect = true
+	}
 	iopts := interp.Options{
 		Threads:       opts.Threads,
 		Seed:          opts.Seed,
@@ -343,9 +364,45 @@ func (p *Program) Run(opts RunOptions) (*RunResult, error) {
 		}
 		iopts.Mode = interp.MonitorActive
 		iopts.Plans = rep.analysis.Plans
+		switch {
+		case opts.Remote != "":
+			client, err := remote.Dial(opts.Remote, remote.ClientConfig{
+				Program:     p.name,
+				NumThreads:  opts.Threads,
+				Plans:       iopts.Plans,
+				QueueCap:    opts.QueueCap,
+				Overflow:    opts.Overflow.toMonitor(),
+				SenderBatch: opts.SenderBatch,
+			})
+			if err != nil {
+				return nil, err
+			}
+			iopts.Sink = client
+		case opts.Record != nil:
+			rec, err := trace.NewRecorder(opts.Record, trace.RecorderConfig{
+				Program:       p.name,
+				NumThreads:    opts.Threads,
+				Plans:         iopts.Plans,
+				QueueCap:      opts.QueueCap,
+				Overflow:      opts.Overflow.toMonitor(),
+				SenderBatch:   opts.SenderBatch,
+				CheckWorkers:  opts.CheckWorkers,
+				StallDeadline: opts.StallDeadline,
+			})
+			if err != nil {
+				return nil, err
+			}
+			iopts.Sink = rec
+		}
 	}
 	res, err := interp.Run(p.mod, iopts)
 	if err != nil {
+		// The interpreter only closes a sink it started; on a config
+		// error the sink (and a remote client's connection) must still be
+		// torn down here.
+		if c, ok := iopts.Sink.(interface{ Close() }); ok {
+			c.Close()
+		}
 		return nil, err
 	}
 	out := &RunResult{

@@ -235,3 +235,42 @@ func TestStandaloneExamplePrograms(t *testing.T) {
 		})
 	}
 }
+
+func TestOverflowPolicyRoundTrip(t *testing.T) {
+	for _, p := range []OverflowPolicy{OverflowBlock, OverflowDropNewest, OverflowBlockTimeout} {
+		name := p.String()
+		got, err := ParseOverflowPolicy(name)
+		if err != nil {
+			t.Errorf("ParseOverflowPolicy(%v.String() = %q): %v", p, name, err)
+			continue
+		}
+		if got != p {
+			t.Errorf("round trip %v -> %q -> %v", p, name, got)
+		}
+	}
+	// The empty string is the zero-flag case and must mean the default.
+	if p, err := ParseOverflowPolicy(""); err != nil || p != OverflowBlock {
+		t.Errorf("ParseOverflowPolicy(%q) = %v, %v; want OverflowBlock, nil", "", p, err)
+	}
+}
+
+func TestParseOverflowPolicyRejectsUnknown(t *testing.T) {
+	for _, bad := range []string{"bogus", "BLOCK", "drop_newest", "drop-oldest", "block "} {
+		if _, err := ParseOverflowPolicy(bad); err == nil {
+			t.Errorf("ParseOverflowPolicy(%q) accepted an unknown policy", bad)
+		} else if !strings.Contains(err.Error(), bad) {
+			t.Errorf("ParseOverflowPolicy(%q) error does not name the input: %v", bad, err)
+		}
+	}
+}
+
+func TestRunRejectsRemoteWithRecord(t *testing.T) {
+	prog, err := LoadBenchmark("fft")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = prog.Run(RunOptions{Threads: 2, Remote: "127.0.0.1:1", Record: os.NewFile(0, "dummy")})
+	if err == nil {
+		t.Fatal("Run accepted Remote together with Record")
+	}
+}

@@ -1,0 +1,97 @@
+// Command bwmonitord is the out-of-process BLOCKWATCH monitoring daemon:
+// it accepts wire-protocol connections from monitored programs (bwrun
+// -remote, or any remote.Client), runs one checking monitor per session,
+// and returns each session's verdict in the result frame. Many programs
+// can stream concurrently; a session that misbehaves only loses its own
+// coverage.
+//
+// Usage:
+//
+//	bwmonitord serve [flags]
+//
+// Flags:
+//
+//	-addr A       listen address: host:port for TCP, unix:/path or any
+//	              path containing "/" for a unix socket (default 127.0.0.1:4777)
+//	-queuecap N   per-thread monitor queue capacity per session (0 = default)
+//	-checkers N   checker goroutines per session monitor (0/1 = inline)
+//	-watchdog D   per-session stall-watchdog deadline (0 = disabled)
+//	-maxthreads N largest thread count a session may claim (default 1024)
+//	-quiet        log only errors, not per-session lines
+//
+// The daemon runs until interrupted (SIGINT/SIGTERM), then closes live
+// sessions and exits.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"blockwatch/internal/remote"
+)
+
+func main() {
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	if err := run(os.Args[1:], os.Stdout, os.Stderr, stop); err != nil {
+		fmt.Fprintln(os.Stderr, "bwmonitord:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer, stop <-chan os.Signal) error {
+	if len(args) < 1 || args[0] != "serve" {
+		return fmt.Errorf("usage: bwmonitord serve [flags]")
+	}
+	args = args[1:]
+	fs := flag.NewFlagSet("bwmonitord serve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr       = fs.String("addr", "127.0.0.1:4777", "listen address (host:port, unix:/path, or a socket path)")
+		queuecap   = fs.Int("queuecap", 0, "per-thread monitor queue capacity per session (0 = default)")
+		checkers   = fs.Int("checkers", 0, "checker goroutines per session monitor (0/1 = inline)")
+		watchdog   = fs.Duration("watchdog", 0, "per-session stall-watchdog deadline (0 = disabled)")
+		maxthreads = fs.Int("maxthreads", 0, "largest thread count a session may claim (0 = default 1024)")
+		quiet      = fs.Bool("quiet", false, "log only errors, not per-session lines")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("unexpected argument %q", fs.Arg(0))
+	}
+
+	cfg := remote.ServerConfig{
+		QueueCap:      *queuecap,
+		CheckWorkers:  *checkers,
+		StallDeadline: *watchdog,
+		MaxThreads:    *maxthreads,
+	}
+	if !*quiet {
+		cfg.Logf = func(format string, a ...any) {
+			fmt.Fprintf(stderr, "bwmonitord: "+format+"\n", a...)
+		}
+	}
+	srv := remote.NewServer(cfg)
+	ln, err := remote.Listen(*addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "bwmonitord: serving on %s\n", ln.Addr())
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-stop:
+		fmt.Fprintf(stdout, "bwmonitord: %v, shutting down (%d sessions served)\n", sig, srv.Sessions())
+		srv.Close()
+		<-errc
+		return nil
+	}
+}

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"blockwatch"
+)
+
+// TestServeAndShutdown boots the daemon on a unix socket, runs one
+// protected benchmark through it via the facade, then delivers the stop
+// signal and checks the shutdown line.
+func TestServeAndShutdown(t *testing.T) {
+	sock := filepath.Join(t.TempDir(), "bw.sock")
+	var stdout, stderr bytes.Buffer
+	stop := make(chan os.Signal, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"serve", "-addr", "unix:" + sock}, &stdout, &stderr, stop)
+	}()
+
+	// Wait for the socket to appear.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := os.Stat(sock); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never listened; stderr: %s", stderr.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	prog, err := blockwatch.LoadBenchmark("fft")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := prog.Run(blockwatch.RunOptions{Threads: 4, Protect: true, Remote: sock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Detected {
+		t.Error("clean remote run detected a violation")
+	}
+	if res.Health != "healthy" {
+		t.Errorf("health = %q, want healthy", res.Health)
+	}
+
+	stop <- syscall.SIGTERM
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon exited with error: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not shut down on SIGTERM")
+	}
+	if !strings.Contains(stdout.String(), "shutting down (1 sessions served)") {
+		t.Errorf("shutdown line missing or wrong session count:\n%s", stdout.String())
+	}
+	if !strings.Contains(stderr.String(), "session start") {
+		t.Errorf("per-session log line missing:\n%s", stderr.String())
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	var out bytes.Buffer
+	stop := make(chan os.Signal)
+	if err := run(nil, &out, &out, stop); err == nil {
+		t.Error("missing serve subcommand not rejected")
+	}
+	if err := run([]string{"stats"}, &out, &out, stop); err == nil {
+		t.Error("unknown subcommand not rejected")
+	}
+	if err := run([]string{"serve", "extra"}, &out, &out, stop); err == nil {
+		t.Error("trailing argument not rejected")
+	}
+}

@@ -7,18 +7,27 @@
 //	bwrun [flags] <file.mc>
 //	bwrun [flags] -bench radix
 //
+// Exit status: 0 for a clean run, 2 when the monitor detected violations
+// (so scripts and CI can gate on detections), 1 for any other error.
+//
 // Flags:
 //
 //	-bench name   run a bundled benchmark instead of a file
 //	-threads N    SPMD thread count (default 4)
 //	-protect      instrument and run the checking monitor
 //	-seed N       rnd() seed
+//	-q            quiet: suppress the program output listing
 //	-overhead     also report the normalized instrumented execution time
 //	-queuecap N   per-thread monitor queue capacity (0 = default 16384)
 //	-overflow P   queue-overflow policy: block | drop-newest | block-timeout
 //	-batch N      per-thread event batch size (0 = default 64, 1 = unbatched)
 //	-checkers N   monitor checker goroutines sharded by branch key (0/1 = inline)
 //	-watchdog D   stall-watchdog deadline (e.g. 500ms; 0 = disabled)
+//	-remote A     stream events to a bwmonitord daemon at A instead of
+//	              checking in-process (implies -protect; fails open if the
+//	              daemon dies)
+//	-record F     record the event stream to trace file F while checking
+//	              in-process (implies -protect; replay with bwtrace)
 package main
 
 import (
@@ -32,13 +41,17 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+	res, err := run(os.Args[1:], os.Stdout, os.Stderr)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "bwrun:", err)
 		os.Exit(1)
 	}
+	if res != nil && res.Detected {
+		os.Exit(2)
+	}
 }
 
-func run(args []string, stdout, stderr io.Writer) error {
+func run(args []string, stdout, stderr io.Writer) (*blockwatch.RunResult, error) {
 	fs := flag.NewFlagSet("bwrun", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -46,6 +59,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		threads  = fs.Int("threads", 4, "SPMD thread count")
 		protect  = fs.Bool("protect", false, "enable BLOCKWATCH checking")
 		seed     = fs.Uint64("seed", 0, "rnd() seed")
+		quiet    = fs.Bool("q", false, "suppress the program output listing")
 		overhead = fs.Bool("overhead", false, "report instrumentation overhead")
 		trace    = fs.Bool("trace", false, "print every executed branch to stderr")
 		monitors = fs.Int("monitors", 1, "hierarchical sub-monitors (>1 enables the Section VI extension)")
@@ -54,18 +68,20 @@ func run(args []string, stdout, stderr io.Writer) error {
 		batch    = fs.Int("batch", 0, "per-thread event batch size (0 = default, 1 = unbatched)")
 		checkers = fs.Int("checkers", 0, "monitor checker goroutines (0/1 = inline checking)")
 		watchdog = fs.Duration("watchdog", 0, "monitor stall-watchdog deadline (0 = disabled)")
+		remote   = fs.String("remote", "", "bwmonitord address (host:port or unix:/path); implies -protect")
+		record   = fs.String("record", "", "trace file to record the event stream to; implies -protect")
 	)
 	if err := fs.Parse(args); err != nil {
-		return err
+		return nil, err
 	}
 	policy, err := blockwatch.ParseOverflowPolicy(*overflow)
 	if err != nil {
-		return err
+		return nil, err
 	}
 
 	prog, err := loadProgram(*bench, fs.Args())
 	if err != nil {
-		return err
+		return nil, err
 	}
 	runOpts := blockwatch.RunOptions{
 		Threads:       *threads,
@@ -77,19 +93,38 @@ func run(args []string, stdout, stderr io.Writer) error {
 		SenderBatch:   *batch,
 		CheckWorkers:  *checkers,
 		StallDeadline: *watchdog,
+		Remote:        *remote,
 	}
 	if *trace {
 		runOpts.Trace = stderr
 	}
-	res, err := prog.Run(runOpts)
-	if err != nil {
-		return err
+	var traceFile *os.File
+	if *record != "" {
+		traceFile, err = os.Create(*record)
+		if err != nil {
+			return nil, fmt.Errorf("-record: %w", err)
+		}
+		runOpts.Record = traceFile
 	}
-	fmt.Fprintf(stdout, "program %s, %d threads, protected=%t\n", prog.Name(), *threads, *protect)
-	fmt.Fprintf(stdout, "output (%d values):\n", len(res.Output))
-	for i, v := range res.Output {
-		// Print both interpretations; MiniC programs know which they used.
-		fmt.Fprintf(stdout, "  [%3d] int=%-12d float=%g\n", i, int64(v), math.Float64frombits(v))
+	protected := *protect || *remote != "" || *record != ""
+	res, err := prog.Run(runOpts)
+	if traceFile != nil {
+		if cerr := traceFile.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("-record: %w", cerr)
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(stdout, "program %s, %d threads, protected=%t\n", prog.Name(), *threads, protected)
+	if *quiet {
+		fmt.Fprintf(stdout, "output (%d values) suppressed by -q\n", len(res.Output))
+	} else {
+		fmt.Fprintf(stdout, "output (%d values):\n", len(res.Output))
+		for i, v := range res.Output {
+			// Print both interpretations; MiniC programs know which they used.
+			fmt.Fprintf(stdout, "  [%3d] int=%-12d float=%g\n", i, int64(v), math.Float64frombits(v))
+		}
 	}
 	fmt.Fprintf(stdout, "parallel-section span: %d simulated cycles\n", res.SimTime)
 	switch {
@@ -105,18 +140,18 @@ func run(args []string, stdout, stderr io.Writer) error {
 	default:
 		fmt.Fprintln(stdout, "run clean, no violations")
 	}
-	if *protect {
+	if protected {
 		fmt.Fprintf(stdout, "monitor health: %s (dropped=%d quarantined=%d watchdog-fires=%d)\n",
 			res.Health, res.DroppedEvents, res.QuarantinedEvents, res.WatchdogFires)
 	}
 	if *overhead {
 		oh, err := prog.Overhead(*threads)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		fmt.Fprintf(stdout, "instrumentation overhead at %d threads: %.2fx\n", *threads, oh)
 	}
-	return nil
+	return res, nil
 }
 
 func loadProgram(bench string, args []string) (*blockwatch.Program, error) {

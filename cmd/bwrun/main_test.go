@@ -2,10 +2,14 @@ package main
 
 import (
 	"bytes"
+	"net"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"blockwatch/internal/remote"
+	"blockwatch/internal/trace"
 )
 
 const smokeProgram = `
@@ -36,8 +40,12 @@ func writeSmokeProgram(t *testing.T) string {
 
 func TestRunFileClean(t *testing.T) {
 	var out, errb bytes.Buffer
-	if err := run([]string{"-threads", "2", writeSmokeProgram(t)}, &out, &errb); err != nil {
+	res, err := run([]string{"-threads", "2", writeSmokeProgram(t)}, &out, &errb)
+	if err != nil {
 		t.Fatalf("run: %v", err)
+	}
+	if res.Detected {
+		t.Error("clean run reported detections (would exit 2)")
 	}
 	if !strings.Contains(out.String(), "run clean, no violations") {
 		t.Errorf("expected clean run, got:\n%s", out.String())
@@ -47,9 +55,22 @@ func TestRunFileClean(t *testing.T) {
 	}
 }
 
+func TestRunQuietSuppressesOutput(t *testing.T) {
+	var out, errb bytes.Buffer
+	if _, err := run([]string{"-threads", "2", "-q", writeSmokeProgram(t)}, &out, &errb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if strings.Contains(out.String(), "int=") {
+		t.Errorf("-q still printed output values:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "output (3 values) suppressed by -q") {
+		t.Errorf("-q summary line missing:\n%s", out.String())
+	}
+}
+
 func TestRunProtectedBenchWithOverhead(t *testing.T) {
 	var out, errb bytes.Buffer
-	err := run([]string{"-bench", "fft", "-threads", "2", "-protect", "-overhead"}, &out, &errb)
+	_, err := run([]string{"-bench", "fft", "-threads", "2", "-protect", "-overhead"}, &out, &errb)
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -64,9 +85,57 @@ func TestRunProtectedBenchWithOverhead(t *testing.T) {
 	}
 }
 
+func TestRunRemoteAgainstDaemon(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := remote.NewServer(remote.ServerConfig{})
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	var out, errb bytes.Buffer
+	res, err := run([]string{"-bench", "fft", "-threads", "2", "-remote", ln.Addr().String()}, &out, &errb)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if res.Detected {
+		t.Error("clean remote run reported detections")
+	}
+	if !strings.Contains(out.String(), "protected=true") {
+		t.Errorf("-remote did not imply protection:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "monitor health: healthy") {
+		t.Errorf("remote run not healthy:\n%s", out.String())
+	}
+}
+
+func TestRunRecordWritesReplayableTrace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.bwtrace")
+	var out, errb bytes.Buffer
+	if _, err := run([]string{"-bench", "fft", "-threads", "2", "-record", path}, &out, &errb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	outcome, err := trace.Replay(f, trace.ReplayConfig{})
+	if err != nil {
+		t.Fatalf("recorded trace does not replay: %v", err)
+	}
+	if !outcome.Clean || outcome.Detected {
+		t.Errorf("replayed trace: clean=%t detected=%t, want sealed and clean", outcome.Clean, outcome.Detected)
+	}
+	if outcome.Program != "fft" || outcome.Threads != 2 {
+		t.Errorf("trace header %q/%d, want fft/2", outcome.Program, outcome.Threads)
+	}
+}
+
 func TestRunTraceGoesToStderr(t *testing.T) {
 	var out, errb bytes.Buffer
-	if err := run([]string{"-threads", "2", "-trace", writeSmokeProgram(t)}, &out, &errb); err != nil {
+	if _, err := run([]string{"-threads", "2", "-trace", writeSmokeProgram(t)}, &out, &errb); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	if !strings.Contains(errb.String(), "branch#") {
@@ -76,14 +145,21 @@ func TestRunTraceGoesToStderr(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	var out, errb bytes.Buffer
-	if err := run(nil, &out, &errb); err == nil {
+	if _, err := run(nil, &out, &errb); err == nil {
 		t.Error("expected error with no file and no -bench")
 	}
-	if err := run([]string{"-bench", "no-such-kernel"}, &out, &errb); err == nil {
+	if _, err := run([]string{"-bench", "no-such-kernel"}, &out, &errb); err == nil {
 		t.Error("expected error for unknown benchmark")
 	}
-	if err := run([]string{"-badflag"}, &out, &errb); err == nil {
+	if _, err := run([]string{"-badflag"}, &out, &errb); err == nil {
 		t.Error("expected error for unknown flag")
+	}
+	if _, err := run([]string{"-bench", "fft", "-remote", "127.0.0.1:1",
+		"-record", filepath.Join(t.TempDir(), "x.bwtrace")}, &out, &errb); err == nil {
+		t.Error("expected error for -remote together with -record")
+	}
+	if _, err := run([]string{"-bench", "fft", "-remote", "127.0.0.1:1"}, &out, &errb); err == nil {
+		t.Error("expected connection error for -remote with no daemon")
 	}
 }
 
@@ -91,7 +167,7 @@ func TestRunOverflowPolicyAndWatchdogFlags(t *testing.T) {
 	var out, errb bytes.Buffer
 	args := []string{"-bench", "radix", "-threads", "4", "-protect",
 		"-queuecap", "16", "-overflow", "drop-newest", "-watchdog", "2s"}
-	if err := run(args, &out, &errb); err != nil {
+	if _, err := run(args, &out, &errb); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	if !strings.Contains(out.String(), "run clean, no violations") {
@@ -107,7 +183,7 @@ func TestRunOverflowPolicyAndWatchdogFlags(t *testing.T) {
 
 func TestRunRejectsBadOverflowPolicy(t *testing.T) {
 	var out, errb bytes.Buffer
-	if err := run([]string{"-overflow", "bogus", "-bench", "fft"}, &out, &errb); err == nil {
+	if _, err := run([]string{"-overflow", "bogus", "-bench", "fft"}, &out, &errb); err == nil {
 		t.Error("expected error for unknown overflow policy")
 	}
 }

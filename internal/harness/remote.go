@@ -1,0 +1,237 @@
+package harness
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"blockwatch/internal/core"
+	"blockwatch/internal/interp"
+	"blockwatch/internal/monitor"
+	"blockwatch/internal/remote"
+	"blockwatch/internal/splash"
+	"blockwatch/internal/trace"
+)
+
+// Out-of-process monitoring experiment (not a paper artifact): runs a
+// subset of the SPLASH kernels under each monitor deployment —
+// in-process, remote over loopback TCP, remote over a unix socket, and
+// trace record+replay — and reports per-transport wall-clock time. The
+// verdicts are asserted identical across deployments (the contract
+// `internal/remote` and `internal/trace` enforce); the table is the
+// transport-cost view. `bwbench -exp remote` prints it.
+
+// remoteKernels keeps the grid fast; the full-equality sweep over all
+// seven kernels lives in the package tests.
+var remoteKernels = []string{"fft", "radix", "water-nsquared"}
+
+// remoteThreads is the SPMD thread count for every cell.
+const remoteThreads = 4
+
+// RemotePoint is one (kernel, transport) cell.
+type RemotePoint struct {
+	Program   string
+	Transport string // in-process | tcp | unix | record+replay
+	// Events is the number of branch events the monitor consumed.
+	Events uint64
+	// Elapsed is the wall-clock time of the monitored run (for
+	// record+replay: the recording run plus the offline replay).
+	Elapsed time.Duration
+	Health  monitor.HealthState
+}
+
+// Remote measures the out-of-process deployments against the in-process
+// baseline on clean runs and asserts every transport reaches the same
+// verdict over the same event stream.
+func Remote(cfg Config) ([]RemotePoint, error) {
+	cfg = cfg.WithDefaults()
+
+	srv := remote.NewServer(remote.ServerConfig{})
+	tcpLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	go srv.Serve(tcpLn)
+	sockDir, err := os.MkdirTemp("", "bwremote")
+	if err != nil {
+		srv.Close()
+		return nil, err
+	}
+	defer os.RemoveAll(sockDir)
+	sock := filepath.Join(sockDir, "bwmonitord.sock")
+	unixLn, err := net.Listen("unix", sock)
+	if err != nil {
+		srv.Close()
+		return nil, err
+	}
+	go srv.Serve(unixLn)
+	defer srv.Close()
+
+	var out []RemotePoint
+	for _, name := range remoteKernels {
+		prog, err := splash.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		mod, err := prog.Compile()
+		if err != nil {
+			return nil, err
+		}
+		a, err := core.Analyze(mod, cfg.AnalysisOptions)
+		if err != nil {
+			return nil, err
+		}
+		b := &Bench{Prog: prog, Mod: mod, Analysis: a}
+
+		cfg.progress("remote: %s in-process", name)
+		ref, refPoint, err := remoteCell(b, "in-process", nil)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, refPoint)
+
+		for _, tr := range []struct{ transport, addr string }{
+			{"tcp", tcpLn.Addr().String()},
+			{"unix", "unix:" + sock},
+		} {
+			cfg.progress("remote: %s %s", name, tr.transport)
+			client, err := remote.Dial(tr.addr, remote.ClientConfig{
+				Program:    name,
+				NumThreads: remoteThreads,
+				Plans:      b.Analysis.Plans,
+			})
+			if err != nil {
+				return nil, err
+			}
+			res, p, err := remoteCell(b, tr.transport, client)
+			if err != nil {
+				return nil, err
+			}
+			if err := remoteSameVerdict(name, tr.transport, ref, res); err != nil {
+				return nil, err
+			}
+			out = append(out, p)
+		}
+
+		cfg.progress("remote: %s record+replay", name)
+		p, err := recordReplayCell(b, ref)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// remoteCell runs one monitored execution; sink == nil means the
+// in-process monitor.
+func remoteCell(b *Bench, transport string, sink monitor.Sink) (*interp.Result, RemotePoint, error) {
+	opts := interp.Options{
+		Threads: remoteThreads,
+		Mode:    interp.MonitorActive,
+		Plans:   b.Analysis.Plans,
+		Sink:    sink,
+	}
+	start := time.Now()
+	res, err := interp.Run(b.Mod, opts)
+	elapsed := time.Since(start)
+	if err != nil {
+		return nil, RemotePoint{}, fmt.Errorf("%s/%s: %w", b.Prog.Name, transport, err)
+	}
+	if res.Detected {
+		return nil, RemotePoint{}, fmt.Errorf("%s/%s: violation on a clean run: %v",
+			b.Prog.Name, transport, res.Violations)
+	}
+	if res.MonitorHealth != monitor.Healthy {
+		return nil, RemotePoint{}, fmt.Errorf("%s/%s: monitor health %s on a clean loopback run",
+			b.Prog.Name, transport, res.MonitorHealth)
+	}
+	return res, RemotePoint{
+		Program:   b.Prog.Name,
+		Transport: transport,
+		Events:    res.MonitorStats.Events,
+		Elapsed:   elapsed,
+		Health:    res.MonitorHealth,
+	}, nil
+}
+
+// recordReplayCell records a run to an in-memory trace, replays it, and
+// checks the replay verdict against the in-process reference.
+func recordReplayCell(b *Bench, ref *interp.Result) (RemotePoint, error) {
+	var buf bytes.Buffer
+	rec, err := trace.NewRecorder(&buf, trace.RecorderConfig{
+		Program:    b.Prog.Name,
+		NumThreads: remoteThreads,
+		Plans:      b.Analysis.Plans,
+	})
+	if err != nil {
+		return RemotePoint{}, err
+	}
+	start := time.Now()
+	res, err := interp.Run(b.Mod, interp.Options{
+		Threads: remoteThreads,
+		Mode:    interp.MonitorActive,
+		Plans:   b.Analysis.Plans,
+		Sink:    rec,
+	})
+	if err != nil {
+		return RemotePoint{}, fmt.Errorf("%s/record: %w", b.Prog.Name, err)
+	}
+	if err := remoteSameVerdict(b.Prog.Name, "record", ref, res); err != nil {
+		return RemotePoint{}, err
+	}
+	o, err := trace.Replay(&buf, trace.ReplayConfig{})
+	elapsed := time.Since(start)
+	if err != nil {
+		return RemotePoint{}, fmt.Errorf("%s/replay: %w", b.Prog.Name, err)
+	}
+	if o.Detected != ref.Detected || len(o.Violations) != len(ref.Violations) {
+		return RemotePoint{}, fmt.Errorf("%s/replay: verdict diverged from in-process (detected %t vs %t)",
+			b.Prog.Name, o.Detected, ref.Detected)
+	}
+	if o.Stats.Events != ref.MonitorStats.Events {
+		return RemotePoint{}, fmt.Errorf("%s/replay: %d events, in-process saw %d",
+			b.Prog.Name, o.Stats.Events, ref.MonitorStats.Events)
+	}
+	return RemotePoint{
+		Program:   b.Prog.Name,
+		Transport: "record+replay",
+		Events:    o.Stats.Events,
+		Elapsed:   elapsed,
+		Health:    o.Health,
+	}, nil
+}
+
+// remoteSameVerdict asserts a remote run matched the in-process
+// reference on verdict and stream shape (clean deterministic runs).
+func remoteSameVerdict(name, transport string, ref, got *interp.Result) error {
+	if got.Detected != ref.Detected {
+		return fmt.Errorf("%s/%s: detected %t, in-process %t", name, transport, got.Detected, ref.Detected)
+	}
+	if got.MonitorStats.Events != ref.MonitorStats.Events {
+		return fmt.Errorf("%s/%s: %d events, in-process %d",
+			name, transport, got.MonitorStats.Events, ref.MonitorStats.Events)
+	}
+	if got.MonitorStats.Instances != ref.MonitorStats.Instances {
+		return fmt.Errorf("%s/%s: %d checked instances, in-process %d",
+			name, transport, got.MonitorStats.Instances, ref.MonitorStats.Instances)
+	}
+	return nil
+}
+
+// RenderRemote formats the transport grid as a text table.
+func RenderRemote(points []RemotePoint) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Out-of-process monitoring: transport cost on clean runs (%d threads; identical verdicts asserted)\n",
+		remoteThreads)
+	fmt.Fprintf(&sb, "%-22s %-15s %10s %12s %10s\n", "Program", "transport", "events", "elapsed", "health")
+	for _, p := range points {
+		fmt.Fprintf(&sb, "%-22s %-15s %10d %12s %10s\n",
+			p.Program, p.Transport, p.Events, p.Elapsed.Round(time.Millisecond), p.Health)
+	}
+	return sb.String()
+}

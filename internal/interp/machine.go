@@ -72,6 +72,15 @@ type Options struct {
 	// MonitorGroups selects the hierarchical monitor extension with that
 	// many sub-monitors (0 or 1 = the paper's single flat monitor).
 	MonitorGroups int
+	// Sink, when non-nil, replaces the run-owned monitor with an
+	// externally built event sink (a remote client, a trace recorder, or
+	// any other monitor.Sink). The run Starts it, feeds it, Closes it, and
+	// harvests Detected/Violations/Health (and Stats when the sink
+	// provides them) exactly as it would from its own monitor. Plans are
+	// still required — they select which branches are instrumented.
+	// Incompatible with MonitorGroups > 1 and EventTap, and requires a
+	// monitoring Mode.
+	Sink monitor.Sink
 	// Trace, when non-nil, receives one line per executed conditional
 	// branch: "t<tid> branch#<id> seq=<k> taken=<bool>". Writes are
 	// serialized; tracing is for debugging and slows execution.
@@ -198,6 +207,7 @@ var (
 	ErrBadThreads   = errors.New("thread count must be at least 1")
 	ErrNeedPlans    = errors.New("monitor mode requires check plans")
 	ErrTapNeedsFlat = errors.New("EventTap requires the flat monitor (MonitorGroups ≤ 1)")
+	ErrSinkOpts     = errors.New("Sink is incompatible with MonitorGroups > 1, EventTap, and MonitorOff")
 )
 
 // machine is the shared run state.
@@ -212,7 +222,6 @@ type machine struct {
 	base    []int   // global slot offsets by Global.Index
 	locks   []lockState
 	barrier *simBarrier
-	stats   *monitor.Monitor // non-nil when the flat monitor is in use
 
 	traceMu  sync.Mutex
 	mu       sync.Mutex
@@ -238,6 +247,9 @@ func Run(mod *ir.Module, opts Options) (*Result, error) {
 	if opts.Mode == 0 {
 		opts.Mode = MonitorOff
 	}
+	if opts.Sink != nil && (opts.MonitorGroups > 1 || opts.EventTap != nil || opts.Mode == MonitorOff) {
+		return nil, ErrSinkOpts
+	}
 	if opts.Mode != MonitorOff && opts.Plans == nil {
 		return nil, ErrNeedPlans
 	}
@@ -261,7 +273,10 @@ func Run(mod *ir.Module, opts Options) (*Result, error) {
 	m.layoutGlobals()
 	m.barrier = newSimBarrier(m, opts.Threads, cost.barrierCost(opts.Threads))
 
-	if opts.Mode != MonitorOff {
+	if opts.Sink != nil {
+		m.mon = opts.Sink
+		m.mon.Start()
+	} else if opts.Mode != MonitorOff {
 		mcfg := monitor.Config{
 			NumThreads:       opts.Threads,
 			Plans:            opts.Plans,
@@ -290,7 +305,6 @@ func Run(mod *ir.Module, opts Options) (*Result, error) {
 				return nil, fmt.Errorf("monitor: %w", err)
 			}
 			m.mon = mon
-			m.stats = mon
 		}
 		m.mon.Start()
 	}
@@ -352,8 +366,8 @@ func Run(mod *ir.Module, opts Options) (*Result, error) {
 		res.Detected = m.mon.Detected()
 		res.Violations = m.mon.Violations()
 		res.MonitorHealth = m.mon.Health()
-		if m.stats != nil {
-			res.MonitorStats = m.stats.Stats()
+		if sp, ok := m.mon.(interface{ Stats() monitor.Stats }); ok {
+			res.MonitorStats = sp.Stats()
 		}
 	}
 	res.Output = append(res.Output, setupOut...)

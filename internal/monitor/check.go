@@ -12,9 +12,23 @@ import (
 // "" when the reports are consistent with the statically inferred
 // similarity. Soundness rule: with fewer than two reports nothing can be
 // cross-checked (the paper notes BLOCKWATCH needs at least two threads).
+//
+// Reports are canonicalized into thread order first (in place), so the
+// diagnostic text is a pure function of the report set: the same
+// violation produces byte-identical reasons regardless of the order the
+// drain loop happened to collect the reports in — which is what lets an
+// out-of-process or replayed run be compared byte-for-byte against an
+// in-process one.
 func CheckReports(plan *core.CheckPlan, reports []Report) string {
 	if len(reports) < 2 {
 		return ""
+	}
+	// Insertion sort: report counts are bounded by the thread count and
+	// this must not allocate on the monitor's hot path.
+	for i := 1; i < len(reports); i++ {
+		for j := i; j > 0 && reports[j-1].Thread > reports[j].Thread; j-- {
+			reports[j-1], reports[j] = reports[j], reports[j-1]
+		}
 	}
 	if dup := duplicateThread(reports); dup >= 0 {
 		return fmt.Sprintf("thread %d reported the same branch instance twice", dup)

@@ -1,0 +1,431 @@
+package monitor
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"blockwatch/internal/queue"
+)
+
+// Relay is a Sink whose back end is a stream instead of a checker: it
+// keeps the monitor's producer contract — per-thread lock-free SPSC
+// queues, batching Senders, the overflow policies, the fail-open health
+// machine — but its drain goroutine forwards events to an EventStream
+// (a remote connection, a trace file, or both) rather than a hash table.
+// The out-of-process client (internal/remote) and the trace recorder
+// (internal/trace) are both Relays with different streams.
+//
+// Ordering contract: events of one thread are streamed in exactly the
+// order that thread produced them (per-queue FIFO), and control markers
+// are forwarded as explicit stream calls, so the consuming side's
+// generation gating sees the same per-thread prefix structure an
+// in-process monitor would. Cross-thread interleaving is not preserved —
+// it is not meaningful in-process either.
+//
+// Failure contract (fail-open): if the stream errors, the relay degrades
+// to Degraded, keeps draining so producers are never wedged, counts the
+// discarded branch events as drops, and still tracks done markers so
+// Close terminates. The program always runs to completion.
+type Relay struct {
+	cfg       RelayConfig
+	queues    []*queue.SPSC[Event]
+	sendSpins int
+
+	drops       []atomic.Uint64
+	quarantined atomic.Uint64
+	health      atomic.Int32
+
+	mu      sync.Mutex
+	outcome RelayOutcome
+
+	started atomic.Bool
+	closed  atomic.Bool
+	stop    chan struct{}
+	done    chan struct{}
+}
+
+// EventStream is the relay's back end. Calls arrive from the single
+// relay goroutine, already ordered per thread; evs slices are only valid
+// for the duration of the call. Returning an error switches the relay
+// into discard mode (fail-open): no further stream calls are made.
+type EventStream interface {
+	// StreamEvents delivers a batch of branch events produced by thread
+	// slot (contiguous in that thread's event order, never spanning a
+	// control marker).
+	StreamEvents(slot int, evs []Event) error
+	// StreamControl delivers one control marker (EvFlush or EvDone)
+	// produced by thread slot.
+	StreamControl(slot int, ev Event) error
+}
+
+// RelayOutcome is the checking outcome the stream's finisher reports
+// back once the run ends; the relay serves it through Detected,
+// Violations, Health and Stats.
+type RelayOutcome struct {
+	Detected   bool
+	Violations []Violation
+	Stats      Stats
+	Health     HealthState
+}
+
+// RelayConfig configures a Relay.
+type RelayConfig struct {
+	// NumThreads is the number of producing program threads.
+	NumThreads int
+	// QueueCap overrides the per-thread queue capacity (0 = default).
+	QueueCap int
+	// Overflow selects the branch-event overflow policy (same semantics
+	// as Config.Overflow; control events always block).
+	Overflow OverflowPolicy
+	// SendSpins bounds the OverflowBlockTimeout spin (0 = default).
+	SendSpins int
+	// SenderBatch is the per-thread Sender buffer size (0 = default).
+	SenderBatch int
+	// Stream receives the ordered event stream.
+	Stream EventStream
+	// Finish runs on the relay goroutine after the last event has been
+	// streamed (every thread done, or Close after a final drain). broken
+	// reports whether the stream failed mid-run; when true the finisher
+	// should not attempt further protocol on the stream. The returned
+	// outcome is merged with the relay's own drop/quarantine counters.
+	Finish func(broken bool) (RelayOutcome, error)
+}
+
+// NewRelay builds a relay. The stream is required; Finish may be nil.
+func NewRelay(cfg RelayConfig) (*Relay, error) {
+	if cfg.NumThreads < 1 {
+		return nil, ErrNoThreads
+	}
+	if cfg.Stream == nil {
+		return nil, ErrNoStream
+	}
+	capQ := cfg.QueueCap
+	if capQ <= 0 {
+		capQ = DefaultQueueCap
+	}
+	spins := cfg.SendSpins
+	if spins <= 0 {
+		spins = DefaultSendSpins
+	}
+	r := &Relay{
+		cfg:       cfg,
+		sendSpins: spins,
+		drops:     make([]atomic.Uint64, cfg.NumThreads),
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+	}
+	r.queues = make([]*queue.SPSC[Event], cfg.NumThreads)
+	for i := range r.queues {
+		q, err := queue.NewSPSC[Event](capQ)
+		if err != nil {
+			return nil, err
+		}
+		r.queues[i] = q
+	}
+	return r, nil
+}
+
+// ErrNoStream reports a RelayConfig without an EventStream.
+var ErrNoStream = errors.New("relay requires an event stream")
+
+var _ Sink = (*Relay)(nil)
+
+// Send enqueues one event from thread ev.Thread, with exactly the
+// fail-open semantics of Monitor.Send: out-of-range threads are
+// quarantined, branch events obey the overflow policy, control events
+// block (the relay guarantees the queues drain).
+func (r *Relay) Send(ev Event) {
+	tid := int(ev.Thread)
+	if tid < 0 || tid >= len(r.queues) {
+		r.quarantined.Add(1)
+		r.Degrade()
+		return
+	}
+	q := r.queues[tid]
+	if ev.Kind != EvBranch {
+		for !q.Push(ev) {
+			runtime.Gosched()
+		}
+		return
+	}
+	if !pushPolicy(q, ev, r.cfg.Overflow, r.sendSpins) {
+		r.drops[tid].Add(1)
+		r.Degrade()
+	}
+}
+
+// Sender returns the batching producer handle for thread tid, mirroring
+// Monitor.Sender (including the quarantining handle for an out-of-range
+// tid).
+func (r *Relay) Sender(tid int) *Sender {
+	if tid < 0 || tid >= len(r.queues) {
+		return &Sender{quarantined: &r.quarantined, health: &r.health}
+	}
+	return &Sender{
+		q:           r.queues[tid],
+		buf:         make([]Event, 0, senderBatch(r.cfg.SenderBatch)),
+		policy:      r.cfg.Overflow,
+		spins:       r.sendSpins,
+		drops:       &r.drops[tid],
+		quarantined: &r.quarantined,
+		health:      &r.health,
+	}
+}
+
+// Start launches the relay goroutine.
+func (r *Relay) Start() {
+	if r.started.Swap(true) {
+		return
+	}
+	go r.loop()
+}
+
+// Close drains outstanding events through the stream, runs the finisher,
+// and waits for the relay goroutine. Idempotent.
+func (r *Relay) Close() {
+	if r.closed.Swap(true) {
+		if r.started.Load() {
+			<-r.done
+		}
+		return
+	}
+	if !r.started.Load() {
+		// Never started: drain synchronously so a trace still captures
+		// whatever was queued. stop is closed first so the drain
+		// terminates even when done markers never arrived.
+		close(r.stop)
+		r.run()
+		return
+	}
+	close(r.stop)
+	<-r.done
+}
+
+// Degrade lowers the relay's health from Healthy to Degraded (it never
+// overwrites a terminal state). Streams that absorb their own errors —
+// e.g. a recorder whose file went away while in-process checking is
+// still fine — use it to surface the lost coverage.
+func (r *Relay) Degrade() {
+	r.health.CompareAndSwap(int32(Healthy), int32(Degraded))
+}
+
+// Health reports the relay's degradation state merged with the
+// downstream outcome's (after Close).
+func (r *Relay) Health() HealthState {
+	local := HealthState(r.health.Load())
+	r.mu.Lock()
+	remote := r.outcome.Health
+	r.mu.Unlock()
+	if remote > local {
+		return remote
+	}
+	return local
+}
+
+// Detected reports whether the downstream checker recorded a violation
+// (meaningful after Close).
+func (r *Relay) Detected() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.outcome.Detected
+}
+
+// Violations returns a copy of the downstream checker's violations
+// (meaningful after Close).
+func (r *Relay) Violations() []Violation {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Violation, len(r.outcome.Violations))
+	copy(out, r.outcome.Violations)
+	return out
+}
+
+// Stats returns the downstream checker's counters merged with the
+// relay's own drop and quarantine counts (meaningful after Close).
+func (r *Relay) Stats() Stats {
+	r.mu.Lock()
+	s := r.outcome.Stats
+	r.mu.Unlock()
+	s.Dropped += sumDrops(r.drops)
+	s.Quarantined += r.quarantined.Load()
+	return s
+}
+
+func (r *Relay) loop() {
+	defer close(r.done)
+	r.run()
+}
+
+// run drains the queues until every thread's done marker has been
+// forwarded (or Close fires and a final drain empties the queues), then
+// runs the finisher. It is the body of both the relay goroutine and the
+// synchronous never-started Close path.
+func (r *Relay) run() {
+	s := &relayState{
+		r:        r,
+		doneSeen: make([]bool, len(r.queues)),
+		buf:      make([]Event, drainBatch),
+	}
+	defer func() {
+		// A panicking stream must not wedge producers or leak the
+		// goroutine: fail open exactly like the monitor's loop.
+		if rec := recover(); rec != nil {
+			r.health.Store(int32(Failed))
+			s.broken = true
+			for s.doneCount < len(r.queues) {
+				if !s.drainOnce() {
+					select {
+					case <-r.stop:
+						s.drainDry()
+						s.finish()
+						return
+					default:
+						runtime.Gosched()
+					}
+				}
+			}
+			s.finish()
+		}
+	}()
+	for {
+		progress := s.drainOnce()
+		if s.doneCount >= len(r.queues) {
+			s.finish()
+			return
+		}
+		if progress {
+			continue
+		}
+		select {
+		case <-r.stop:
+			// Producers stopped: one final drain, then finish even if
+			// some done markers never arrived (aborted run).
+			s.drainDry()
+			s.finish()
+			return
+		default:
+			runtime.Gosched()
+		}
+	}
+}
+
+// relayState is the drain loop's goroutine-private state.
+type relayState struct {
+	r         *Relay
+	doneSeen  []bool
+	doneCount int
+	broken    bool
+	finished  bool
+	buf       []Event
+}
+
+// drainOnce pops one batch from every queue; reports progress.
+func (s *relayState) drainOnce() bool {
+	progress := false
+	for tid, q := range s.r.queues {
+		n := q.PopBatch(s.buf)
+		if n == 0 {
+			continue
+		}
+		progress = true
+		s.forward(tid, s.buf[:n])
+	}
+	return progress
+}
+
+// drainDry keeps draining until every queue stays empty.
+func (s *relayState) drainDry() {
+	for s.drainOnce() {
+	}
+}
+
+// forward streams one popped batch: contiguous runs of branch events go
+// out as one StreamEvents call; control markers are forwarded
+// individually and split the runs, so a streamed batch never spans a
+// barrier. Unknown event kinds are quarantined (the in-process monitor
+// does the same).
+func (s *relayState) forward(tid int, evs []Event) {
+	start := 0
+	flushRun := func(end int) {
+		if start < end && !s.broken {
+			if err := s.r.cfg.Stream.StreamEvents(tid, evs[start:end]); err != nil {
+				s.fail(tid, end-start)
+			}
+		} else if start < end && s.broken {
+			s.r.drops[tid].Add(uint64(end - start))
+		}
+	}
+	for i := range evs {
+		switch evs[i].Kind {
+		case EvBranch:
+			continue
+		case EvFlush, EvDone:
+			flushRun(i)
+			start = i + 1
+			if evs[i].Kind == EvDone && !s.doneSeen[tid] {
+				s.doneSeen[tid] = true
+				s.doneCount++
+			}
+			if !s.broken {
+				if err := s.r.cfg.Stream.StreamControl(tid, evs[i]); err != nil {
+					s.fail(tid, 0)
+				}
+			}
+		default:
+			flushRun(i)
+			start = i + 1
+			s.r.quarantined.Add(1)
+			s.r.Degrade()
+		}
+	}
+	flushRun(len(evs))
+}
+
+// fail switches the relay into discard mode after a stream error.
+func (s *relayState) fail(tid, lost int) {
+	s.broken = true
+	s.r.Degrade()
+	if lost > 0 {
+		s.r.drops[tid].Add(uint64(lost))
+	}
+}
+
+// finish runs the configured finisher exactly once and publishes its
+// outcome.
+func (s *relayState) finish() {
+	if s.finished {
+		return
+	}
+	s.finished = true
+	if s.r.cfg.Finish == nil {
+		return
+	}
+	outcome, err := s.r.cfg.Finish(s.broken)
+	if err != nil {
+		s.r.Degrade()
+	}
+	s.r.mu.Lock()
+	s.r.outcome = outcome
+	s.r.mu.Unlock()
+}
+
+// Drops returns the relay-side per-thread drop counters (observability;
+// mirrors Monitor.Drops).
+func (r *Relay) Drops() []uint64 {
+	out := make([]uint64, len(r.drops))
+	for i := range r.drops {
+		out[i] = r.drops[i].Load()
+	}
+	return out
+}
+
+// statsProvider is implemented by every Sink in this repo that can
+// report Stats; consumers (interp, facades) type-assert against it.
+type statsProvider interface {
+	Stats() Stats
+}
+
+var _ statsProvider = (*Monitor)(nil)
+var _ statsProvider = (*Relay)(nil)

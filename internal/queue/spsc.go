@@ -26,9 +26,9 @@ var ErrBadCapacity = errors.New("queue capacity must be at least 1")
 // Exactly one goroutine may call Push/PushBatch and exactly one may call
 // Pop/PopBatch; each endpoint may freely mix its scalar and batch forms.
 type SPSC[T any] struct {
-	buf  []T
-	mask uint64
-	_    [64]byte // keep the endpoints' state on separate cache lines
+	buf        []T
+	mask       uint64
+	_          [64]byte      // keep the endpoints' state on separate cache lines
 	head       atomic.Uint64 // consumer-owned
 	cachedTail uint64        // consumer-private cache of tail
 	_          [64]byte

@@ -1,0 +1,78 @@
+package remote
+
+import (
+	"net"
+	"testing"
+
+	"blockwatch/internal/core"
+	"blockwatch/internal/monitor"
+)
+
+// BenchmarkRemoteLoopback measures the full out-of-process event path —
+// Sender batching, relay drain, wire encode, loopback TCP, server
+// decode, monitor checking — in events/op. The stream is a consistent
+// shared-branch pattern, so the run must end with zero violations and a
+// Healthy client.
+func BenchmarkRemoteLoopback(b *testing.B) {
+	const threads = 2
+	_, plans := kernelPlans(b, "fft")
+	branchID := -1
+	for id, p := range plans {
+		if p.Checked() && p.Kind == core.CheckShared {
+			branchID = id
+			break
+		}
+	}
+	if branchID < 0 {
+		b.Fatal("fft has no shared checked branch")
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := NewServer(ServerConfig{})
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	client, err := Dial(ln.Addr().String(), ClientConfig{
+		Program: "bench", NumThreads: threads, Plans: plans,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	client.Start()
+	senders := make([]*monitor.Sender, threads)
+	for tid := range senders {
+		senders[tid] = client.Sender(tid)
+	}
+
+	const genLen = 256 // events per thread per generation
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key := uint64(i % genLen)
+		for tid := 0; tid < threads; tid++ {
+			senders[tid].Send(monitor.Event{
+				Kind: monitor.EvBranch, Thread: int32(tid), BranchID: int32(branchID),
+				Key1: key, Key2: 1, Sig: 7, Taken: true,
+			})
+		}
+		if key == genLen-1 {
+			for tid := 0; tid < threads; tid++ {
+				senders[tid].Send(monitor.Event{Kind: monitor.EvFlush, Thread: int32(tid)})
+			}
+		}
+	}
+	b.StopTimer()
+	for tid := 0; tid < threads; tid++ {
+		senders[tid].Send(monitor.Event{Kind: monitor.EvDone, Thread: int32(tid)})
+	}
+	client.Close()
+	if client.Detected() {
+		b.Fatal("consistent stream produced a violation")
+	}
+	if client.Health() != monitor.Healthy {
+		b.Fatalf("health = %v, want Healthy", client.Health())
+	}
+	b.ReportMetric(float64(threads), "events/op")
+}

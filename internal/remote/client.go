@@ -1,0 +1,196 @@
+// Package remote moves the BLOCKWATCH monitor out of the monitored
+// process: a Client implements monitor.Sink by framing the event stream
+// onto a TCP or unix-socket connection (wire codec), and a Server demuxes
+// per-connection streams into ordinary in-process monitors, one per
+// monitored program, serving many programs concurrently. The split
+// follows the same driver/worker separation the parallel Astrée
+// implementation uses between its analysis workers and driver, and gives
+// the reproduction something the paper's in-process design cannot have:
+// the checker survives independently of the monitored program, and the
+// exact event stream that led to a detection can be captured and replayed
+// (internal/trace shares the codec).
+//
+// The client fails open, extending the monitor's in-process contract
+// across the process boundary: a dead or slow daemon degrades coverage
+// (Health() = Degraded, events discarded and counted as drops) but never
+// blocks, crashes, or false-positives the monitored program.
+package remote
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"time"
+
+	"blockwatch/internal/core"
+	"blockwatch/internal/monitor"
+	"blockwatch/internal/wire"
+)
+
+// DefaultResultTimeout bounds how long a closing client waits for the
+// server's result frame before failing open.
+const DefaultResultTimeout = 30 * time.Second
+
+// ClientConfig configures a remote monitoring client.
+type ClientConfig struct {
+	// Program names the monitored program (shown by the daemon).
+	Program string
+	// NumThreads is the SPMD thread count.
+	NumThreads int
+	// Plans is the check-plan table from the local static analysis; its
+	// checker-facing reduction is shipped in the hello frame.
+	Plans map[int]*core.CheckPlan
+	// QueueCap, Overflow, SendSpins, SenderBatch configure the client's
+	// producer front end exactly like the in-process monitor's
+	// (monitor.Config semantics). Backpressure from the connection maps
+	// onto the overflow policy: a slow daemon fills the per-thread
+	// queues, and the policy decides between blocking and dropping.
+	QueueCap    int
+	Overflow    monitor.OverflowPolicy
+	SendSpins   int
+	SenderBatch int
+	// ResultTimeout bounds the wait for the server's result frame after
+	// the finish frame (0 = DefaultResultTimeout).
+	ResultTimeout time.Duration
+}
+
+// Client is a monitor.Sink whose checking back end lives in a bwmonitord
+// daemon. Create with Dial or NewClient, then use exactly like a
+// monitor.Monitor: Start, per-thread Senders (or Send), Close, then
+// Detected/Violations/Health/Stats.
+type Client struct {
+	*monitor.Relay
+	conn net.Conn
+	wr   *wire.Writer
+	cfg  ClientConfig
+}
+
+// SplitAddr resolves the CLI address syntax into a (network, address)
+// pair for net.Dial/net.Listen: "unix:<path>" or any address containing
+// a path separator selects a unix socket; everything else is TCP.
+func SplitAddr(addr string) (network, address string) {
+	if rest, ok := strings.CutPrefix(addr, "unix:"); ok {
+		return "unix", rest
+	}
+	if rest, ok := strings.CutPrefix(addr, "tcp:"); ok {
+		return "tcp", rest
+	}
+	if strings.ContainsRune(addr, '/') {
+		return "unix", addr
+	}
+	return "tcp", addr
+}
+
+// Dial connects to a bwmonitord daemon and performs the hello exchange.
+func Dial(addr string, cfg ClientConfig) (*Client, error) {
+	network, address := SplitAddr(addr)
+	conn, err := net.Dial(network, address)
+	if err != nil {
+		return nil, fmt.Errorf("remote monitor: %w", err)
+	}
+	c, err := NewClient(conn, cfg)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// NewClient builds a client over an established connection and writes
+// the hello frame. Construction errors are returned synchronously (a
+// daemon that refuses the hello is a configuration problem, not a
+// mid-run failure, so it does not fail open).
+func NewClient(conn net.Conn, cfg ClientConfig) (*Client, error) {
+	if cfg.NumThreads < 1 {
+		return nil, monitor.ErrNoThreads
+	}
+	if cfg.Plans == nil {
+		return nil, monitor.ErrNoPlans
+	}
+	if cfg.ResultTimeout <= 0 {
+		cfg.ResultTimeout = DefaultResultTimeout
+	}
+	c := &Client{conn: conn, wr: wire.NewWriter(conn), cfg: cfg}
+	if err := c.wr.WriteHello(wire.HelloFromPlans(cfg.Program, cfg.NumThreads, cfg.Plans)); err != nil {
+		return nil, fmt.Errorf("remote monitor hello: %w", err)
+	}
+	if err := c.wr.Sync(); err != nil {
+		return nil, fmt.Errorf("remote monitor hello: %w", err)
+	}
+	relay, err := monitor.NewRelay(monitor.RelayConfig{
+		NumThreads:  cfg.NumThreads,
+		QueueCap:    cfg.QueueCap,
+		Overflow:    cfg.Overflow,
+		SendSpins:   cfg.SendSpins,
+		SenderBatch: cfg.SenderBatch,
+		Stream:      (*clientStream)(c),
+		Finish:      c.finish,
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.Relay = relay
+	return c, nil
+}
+
+// Close drains and closes the relay (running the finish protocol), then
+// closes the connection. Idempotent.
+func (c *Client) Close() {
+	c.Relay.Close()
+	c.conn.Close()
+}
+
+// clientStream adapts the client's connection writer to the relay's
+// EventStream. Calls arrive only from the relay goroutine.
+type clientStream Client
+
+func (s *clientStream) StreamEvents(slot int, evs []monitor.Event) error {
+	return s.wr.WriteEvents(slot, evs)
+}
+
+func (s *clientStream) StreamControl(slot int, ev monitor.Event) error {
+	switch ev.Kind {
+	case monitor.EvFlush:
+		return s.wr.WriteFlush(slot, ev.Thread)
+	default: // EvDone (the relay forwards no other kinds)
+		return s.wr.WriteDone(slot, ev.Thread)
+	}
+}
+
+// finish completes the protocol on the relay goroutine: finish frame
+// out, result frame in. On a broken stream it just tears the connection
+// down and reports the degraded outcome the fail-open contract promises.
+func (c *Client) finish(broken bool) (monitor.RelayOutcome, error) {
+	if broken {
+		c.conn.Close()
+		return monitor.RelayOutcome{Health: monitor.Degraded}, nil
+	}
+	fail := func(err error) (monitor.RelayOutcome, error) {
+		c.conn.Close()
+		return monitor.RelayOutcome{Health: monitor.Degraded}, err
+	}
+	if err := c.wr.WriteFinish(); err != nil {
+		return fail(err)
+	}
+	if err := c.wr.Sync(); err != nil {
+		return fail(err)
+	}
+	_ = c.conn.SetReadDeadline(time.Now().Add(c.cfg.ResultTimeout))
+	rd := wire.NewReader(c.conn)
+	for {
+		f, err := rd.ReadFrame()
+		if err != nil {
+			return fail(err)
+		}
+		if f.Type != wire.FrameResult {
+			continue // tolerate future frame types before the result
+		}
+		res := f.Result
+		return monitor.RelayOutcome{
+			Detected:   res.Detected(),
+			Violations: res.Violations,
+			Stats:      res.Stats,
+			Health:     res.Health,
+		}, nil
+	}
+}

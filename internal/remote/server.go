@@ -1,0 +1,282 @@
+package remote
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"blockwatch/internal/monitor"
+	"blockwatch/internal/wire"
+)
+
+// DefaultMaxThreads bounds the thread count a hello frame may claim; a
+// corrupt or hostile header cannot make the server allocate queues for
+// millions of threads.
+const DefaultMaxThreads = 1 << 10
+
+// ServerConfig configures a monitoring daemon.
+type ServerConfig struct {
+	// QueueCap overrides each session monitor's per-thread queue
+	// capacity (0 = monitor default).
+	QueueCap int
+	// CheckWorkers shards each session monitor's checking (monitor.Config
+	// semantics; detection results are identical for every value).
+	CheckWorkers int
+	// StallDeadline arms each session monitor's stall watchdog
+	// (0 = disabled).
+	StallDeadline time.Duration
+	// MaxThreads bounds the hello frame's thread count
+	// (0 = DefaultMaxThreads).
+	MaxThreads int
+	// Logf, when non-nil, receives one line per session event (accept,
+	// result, error). The daemon points it at its log; tests capture it.
+	Logf func(format string, args ...any)
+}
+
+// SessionInfo summarizes one finished monitoring session.
+type SessionInfo struct {
+	Program    string
+	Threads    int
+	Violations int
+	Health     monitor.HealthState
+	Stats      monitor.Stats
+	// Clean reports whether the session ended with the finish/result
+	// exchange (false: the connection dropped mid-stream).
+	Clean bool
+}
+
+// Server accepts monitoring connections and runs one in-process
+// monitor.Monitor per connection, fed from the decoded event stream.
+// Sessions are independent: many programs stream concurrently.
+type Server struct {
+	cfg ServerConfig
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+	sessions atomic.Uint64
+}
+
+// NewServer builds a server.
+func NewServer(cfg ServerConfig) *Server {
+	if cfg.MaxThreads <= 0 {
+		cfg.MaxThreads = DefaultMaxThreads
+	}
+	return &Server{cfg: cfg, conns: make(map[net.Conn]struct{})}
+}
+
+// ErrServerClosed is returned by Serve after Close.
+var ErrServerClosed = errors.New("remote: server closed")
+
+// Listen resolves addr with the same syntax as Dial (SplitAddr) and
+// returns a listener for Serve.
+func Listen(addr string) (net.Listener, error) {
+	network, address := SplitAddr(addr)
+	return net.Listen(network, address)
+}
+
+// Serve accepts connections on ln until Close, handling each session in
+// its own goroutine. It returns ErrServerClosed after Close, or the
+// accept error that stopped it.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return ErrServerClosed
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return ErrServerClosed
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return ErrServerClosed
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer s.wg.Done()
+			defer func() {
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+				conn.Close()
+			}()
+			s.handle(conn)
+		}()
+	}
+}
+
+// Close stops accepting, closes every live session connection, and waits
+// for the session goroutines (and their monitors) to wind down.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	ln := s.ln
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	s.wg.Wait()
+}
+
+// Sessions returns the number of sessions handled so far (including
+// unclean ones).
+func (s *Server) Sessions() uint64 { return s.sessions.Load() }
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// handle runs one monitoring session: hello, event stream, finish,
+// result. Sessions are isolated — a malformed stream only ends its own
+// session (the monitor still closes and checks what it received).
+func (s *Server) handle(conn net.Conn) {
+	defer s.sessions.Add(1)
+	rd := wire.NewReader(conn)
+	f, err := rd.ReadFrame()
+	if err != nil {
+		s.logf("session rejected: reading hello: %v", err)
+		return
+	}
+	if f.Type != wire.FrameHello {
+		s.logf("session rejected: first frame is type 0x%02x, not hello", f.Type)
+		return
+	}
+	hello := f.Hello
+	if hello.Threads < 1 || hello.Threads > s.cfg.MaxThreads {
+		s.logf("session rejected: %q claims %d threads (max %d)", hello.Program, hello.Threads, s.cfg.MaxThreads)
+		return
+	}
+	mon, err := monitor.New(monitor.Config{
+		NumThreads:    hello.Threads,
+		Plans:         hello.PlanTable(),
+		QueueCap:      s.cfg.QueueCap,
+		CheckWorkers:  s.cfg.CheckWorkers,
+		StallDeadline: s.cfg.StallDeadline,
+	})
+	if err != nil {
+		s.logf("session rejected: %q: monitor: %v", hello.Program, err)
+		return
+	}
+	s.logf("session start: %q, %d threads, %d plans", hello.Program, hello.Threads, len(hello.Plans))
+	mon.Start()
+
+	// The read loop is the single producer for every per-thread queue of
+	// this session's monitor, so the SPSC contract holds; per-slot
+	// Senders rebatch the decoded events.
+	senders := make([]*monitor.Sender, hello.Threads)
+	for tid := range senders {
+		senders[tid] = mon.Sender(tid)
+	}
+	info := SessionInfo{Program: hello.Program, Threads: hello.Threads}
+	defer func() {
+		s.logf("session end: %q clean=%t violations=%d health=%s",
+			info.Program, info.Clean, info.Violations, info.Health)
+	}()
+
+	sender := func(slot int) *monitor.Sender {
+		if slot < 0 || slot >= len(senders) {
+			// Out-of-range slot in a corrupt frame: quarantine through the
+			// monitor's own fail-open path (a Sender for an invalid tid
+			// counts and discards).
+			return mon.Sender(-1)
+		}
+		return senders[slot]
+	}
+	for {
+		f, err := rd.ReadFrame()
+		if err != nil {
+			// Connection lost or stream corrupt mid-run: close the monitor
+			// (checking everything received so far) and end the session.
+			// The client side fails open on its own.
+			if err != io.EOF {
+				s.logf("session %q: stream error: %v", info.Program, err)
+			}
+			mon.Close()
+			fillSession(&info, mon, false)
+			return
+		}
+		switch f.Type {
+		case wire.FrameEvents:
+			sd := sender(f.Slot)
+			for i := range f.Events {
+				sd.Send(f.Events[i])
+			}
+		case wire.FrameFlush:
+			sender(f.Slot).Send(monitor.Event{Kind: monitor.EvFlush, Thread: f.Thread})
+		case wire.FrameDone:
+			sender(f.Slot).Send(monitor.Event{Kind: monitor.EvDone, Thread: f.Thread})
+		case wire.FrameFinish:
+			mon.Close()
+			fillSession(&info, mon, true)
+			res := &wire.Result{
+				Health:     mon.Health(),
+				Stats:      mon.Stats(),
+				Violations: mon.Violations(),
+			}
+			wr := wire.NewWriter(conn)
+			if err := wr.WriteResult(res); err == nil {
+				err = wr.Sync()
+				if err != nil {
+					s.logf("session %q: writing result: %v", info.Program, err)
+				}
+			} else {
+				s.logf("session %q: writing result: %v", info.Program, err)
+			}
+			return
+		default:
+			// Hello mid-stream or an unknown-but-valid frame: protocol
+			// violation; end the session defensively.
+			s.logf("session %q: unexpected frame type 0x%02x", info.Program, f.Type)
+			mon.Close()
+			fillSession(&info, mon, false)
+			return
+		}
+	}
+}
+
+func fillSession(info *SessionInfo, mon *monitor.Monitor, clean bool) {
+	info.Clean = clean
+	info.Violations = len(mon.Violations())
+	info.Health = mon.Health()
+	info.Stats = mon.Stats()
+}
+
+// ListenAndServe listens on addr (Dial syntax) and serves until Close.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := Listen(addr)
+	if err != nil {
+		return fmt.Errorf("remote: listen %s: %w", addr, err)
+	}
+	return s.Serve(ln)
+}

@@ -1,0 +1,69 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"blockwatch/internal/monitor"
+)
+
+// benchBatch mirrors the monitor's default Sender batch: the unit of
+// encoding work on the remote hot path.
+func benchBatch() []monitor.Event {
+	evs := make([]monitor.Event, monitor.DefaultSenderBatch)
+	for i := range evs {
+		evs[i] = monitor.Event{
+			Kind:     monitor.EvBranch,
+			Thread:   2,
+			BranchID: int32(i % 7),
+			Key1:     0x9e3779b97f4a7c15 ^ uint64(i%7),
+			Key2:     uint64(i / 7),
+			Sig:      uint64(i) * 0x100000001b3,
+			Taken:    i%3 == 0,
+		}
+	}
+	return evs
+}
+
+func BenchmarkWireEncode(b *testing.B) {
+	evs := benchBatch()
+	w := NewWriter(io.Discard)
+	var encoded bytes.Buffer
+	mw := NewWriter(&encoded)
+	if err := mw.WriteEvents(2, evs); err != nil {
+		b.Fatal(err)
+	}
+	if err := mw.Sync(); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(encoded.Len()))
+	b.ReportMetric(float64(encoded.Len())/float64(len(evs)), "wire-bytes/event")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := w.WriteEvents(2, evs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWireDecode(b *testing.B) {
+	evs := benchBatch()
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WriteEvents(2, evs); err != nil {
+		b.Fatal(err)
+	}
+	if err := w.Sync(); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := NewReader(bytes.NewReader(data)).ReadFrame()
+		if err != nil || len(f.Events) != len(evs) {
+			b.Fatalf("decode: %v", err)
+		}
+	}
+}

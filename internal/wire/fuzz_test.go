@@ -1,0 +1,52 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// FuzzWireDecode pins the codec's totality: arbitrary bytes — including
+// mutations of well-formed streams — must decode to frames or errors,
+// never panic, and every frame the decoder does accept must itself
+// re-encode (the accepted subset of the wire language is closed under
+// round-tripping). This is the property the remote client's fail-open
+// path and bwtrace's corrupt-trace rejection both lean on.
+func FuzzWireDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(encodeStream(f))
+	f.Add([]byte{FrameEvents, 0x05, 0x00, 0x00, 0x00, 1, 2, 3, 4, 5, 0, 0, 0, 0})
+	f.Add([]byte{FrameHello, 0x00, 0x00, 0x00, 0x00, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(bytes.NewReader(data))
+		w := NewWriter(io.Discard)
+		for {
+			fr, err := r.ReadFrame()
+			if err != nil {
+				return
+			}
+			switch fr.Type {
+			case FrameHello:
+				if err := w.WriteHello(fr.Hello); err != nil {
+					t.Fatalf("re-encode hello: %v", err)
+				}
+			case FrameEvents:
+				if err := w.WriteEvents(fr.Slot, fr.Events); err != nil {
+					t.Fatalf("re-encode events: %v", err)
+				}
+			case FrameFlush:
+				_ = w.WriteFlush(fr.Slot, fr.Thread)
+			case FrameDone:
+				_ = w.WriteDone(fr.Slot, fr.Thread)
+			case FrameFinish:
+				_ = w.WriteFinish()
+			case FrameResult:
+				if err := w.WriteResult(fr.Result); err != nil {
+					t.Fatalf("re-encode result: %v", err)
+				}
+			default:
+				t.Fatalf("decoder accepted unknown frame type 0x%02x", fr.Type)
+			}
+		}
+	})
+}

@@ -1,0 +1,570 @@
+// Package wire is the compact, versioned binary codec shared by the
+// out-of-process monitoring path (internal/remote, cmd/bwmonitord) and
+// the on-disk trace format (internal/trace, cmd/bwtrace). A stream is a
+// sequence of length-prefixed, CRC-guarded frames:
+//
+//	frame := type(1) | payloadLen(u32 LE) | payload | crc32c(u32 LE)
+//
+// where the CRC covers the type byte and the payload. Payload interiors
+// use varints (unsigned for keys and counts, zigzag for the signed
+// thread/branch identifiers), so a typical branch event costs a handful
+// of bytes instead of Event's 40.
+//
+// The frame vocabulary mirrors the monitor's event model: a stream opens
+// with a Hello frame (magic, version, thread count, and the check-plan
+// table reduced to the fields the checker consumes), carries Events
+// frames (one thread's batch of branch events — a frame never mixes
+// threads and never contains control events, mirroring the Sender
+// flush-before-control rule, so a frame can never split a barrier),
+// explicit Flush/Done control-marker frames, a Finish frame when every
+// thread is done, and finally a Result frame carrying the checking
+// outcome (violations, stats, health).
+//
+// Decoding is total: corrupt input produces an error, never a panic, and
+// a CRC mismatch is always rejected (FuzzWireDecode pins both
+// properties). That is what lets the remote client fail open on a
+// garbled connection and lets bwtrace refuse a truncated trace cleanly.
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"sort"
+
+	"blockwatch/internal/core"
+	"blockwatch/internal/ir"
+	"blockwatch/internal/monitor"
+)
+
+// Magic opens every stream's Hello frame ("BWM1").
+const Magic uint32 = 0x42574d31
+
+// Version is the codec version emitted by this package. Decoders accept
+// exactly this version; bumping it is a wire break.
+const Version = 1
+
+// Frame types.
+const (
+	// FrameHello opens a stream: magic, version, program name, thread
+	// count, and the reduced check-plan table.
+	FrameHello byte = 1 + iota
+	// FrameEvents carries one thread's batch of branch events.
+	FrameEvents
+	// FrameFlush is a thread's barrier marker (monitor.EvFlush).
+	FrameFlush
+	// FrameDone is a thread's end-of-section marker (monitor.EvDone).
+	FrameDone
+	// FrameFinish marks that every thread's done marker has been sent;
+	// a server answers it with a FrameResult.
+	FrameFinish
+	// FrameResult carries the checking outcome.
+	FrameResult
+)
+
+// MaxPayload bounds a frame's payload; larger length prefixes are
+// rejected before any allocation (a corrupt length cannot OOM a reader).
+const MaxPayload = 1 << 20
+
+// Codec errors.
+var (
+	ErrCRC      = errors.New("wire: frame CRC mismatch")
+	ErrTooLarge = errors.New("wire: frame payload exceeds MaxPayload")
+	ErrBadMagic = errors.New("wire: bad hello magic")
+	ErrVersion  = errors.New("wire: unsupported codec version")
+	errShort    = errors.New("wire: truncated payload")
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Plan is the checker-facing reduction of a core.CheckPlan: exactly the
+// fields monitor.CheckReports consumes. Static analysis stays on the
+// program side of the wire; the checking side reconstructs a plan table
+// from these.
+type Plan struct {
+	BranchID  int
+	Kind      core.CheckKind
+	Relation  ir.Op
+	TidOnLeft bool
+}
+
+// Hello is the stream header.
+type Hello struct {
+	Version int
+	Program string
+	Threads int
+	Plans   []Plan
+}
+
+// HelloFromPlans builds a stream header from an analysis plan table,
+// keeping only checked branches (unchecked branches never produce
+// events) in deterministic BranchID order.
+func HelloFromPlans(program string, threads int, plans map[int]*core.CheckPlan) *Hello {
+	h := &Hello{Version: Version, Program: program, Threads: threads}
+	ids := make([]int, 0, len(plans))
+	for id, p := range plans {
+		if p != nil && p.Checked() {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		p := plans[id]
+		h.Plans = append(h.Plans, Plan{
+			BranchID:  p.BranchID,
+			Kind:      p.Kind,
+			Relation:  p.Relation,
+			TidOnLeft: p.TidOnLeft,
+		})
+	}
+	return h
+}
+
+// PlanTable reconstructs the check-plan table the monitor needs on the
+// checking side of the wire.
+func (h *Hello) PlanTable() map[int]*core.CheckPlan {
+	out := make(map[int]*core.CheckPlan, len(h.Plans))
+	for _, p := range h.Plans {
+		out[p.BranchID] = &core.CheckPlan{
+			BranchID:  p.BranchID,
+			Kind:      p.Kind,
+			Relation:  p.Relation,
+			TidOnLeft: p.TidOnLeft,
+			Reason:    core.ReasonChecked,
+		}
+	}
+	return out
+}
+
+// Result is the checking outcome carried by a FrameResult.
+type Result struct {
+	Health     monitor.HealthState
+	Stats      monitor.Stats
+	Violations []monitor.Violation
+}
+
+// Detected reports whether the result carries any violation.
+func (r *Result) Detected() bool { return len(r.Violations) > 0 }
+
+// Writer encodes frames onto an io.Writer through an internal buffer.
+// Writers are not safe for concurrent use; the relay's single drain
+// goroutine (or a trace writer) owns one.
+type Writer struct {
+	w   *bufio.Writer
+	buf []byte
+}
+
+// NewWriter wraps w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriterSize(w, 1<<15)}
+}
+
+// Sync flushes buffered frames to the underlying writer.
+func (w *Writer) Sync() error { return w.w.Flush() }
+
+func (w *Writer) frame(typ byte) error {
+	var hdr [5]byte
+	hdr[0] = typ
+	binary.LittleEndian.PutUint32(hdr[1:], uint32(len(w.buf)))
+	if _, err := w.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.w.Write(w.buf); err != nil {
+		return err
+	}
+	crc := crc32.Update(0, castagnoli, hdr[:1])
+	crc = crc32.Update(crc, castagnoli, w.buf)
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], crc)
+	_, err := w.w.Write(tail[:])
+	return err
+}
+
+func (w *Writer) u64(v uint64) { w.buf = binary.AppendUvarint(w.buf, v) }
+func (w *Writer) i64(v int64)  { w.buf = binary.AppendVarint(w.buf, v) }
+func (w *Writer) byte(b byte)  { w.buf = append(w.buf, b) }
+func (w *Writer) str(s string) { w.u64(uint64(len(s))); w.buf = append(w.buf, s...) }
+func (w *Writer) u32fixed(v uint32) {
+	w.buf = binary.LittleEndian.AppendUint32(w.buf, v)
+}
+
+// WriteHello encodes the stream header.
+func (w *Writer) WriteHello(h *Hello) error {
+	w.buf = w.buf[:0]
+	w.u32fixed(Magic)
+	w.u64(uint64(Version))
+	w.str(h.Program)
+	w.u64(uint64(h.Threads))
+	w.u64(uint64(len(h.Plans)))
+	for _, p := range h.Plans {
+		w.i64(int64(p.BranchID))
+		w.u64(uint64(p.Kind))
+		w.u64(uint64(p.Relation))
+		if p.TidOnLeft {
+			w.byte(1)
+		} else {
+			w.byte(0)
+		}
+	}
+	return w.frame(FrameHello)
+}
+
+// Event flag bits.
+const (
+	evTaken     = 1 << 0 // branch outcome
+	evHasThread = 1 << 1 // payload thread differs from the frame's slot
+)
+
+// WriteEvents encodes one thread's batch of branch events. slot is the
+// producing thread's queue index; an event whose payload Thread field
+// differs from slot (possible only under corruption) is encoded
+// explicitly so the checking side sees exactly what an in-process
+// monitor would have seen.
+func (w *Writer) WriteEvents(slot int, evs []monitor.Event) error {
+	w.buf = w.buf[:0]
+	w.u64(uint64(slot))
+	w.u64(uint64(len(evs)))
+	for i := range evs {
+		ev := &evs[i]
+		var flags byte
+		if ev.Taken {
+			flags |= evTaken
+		}
+		if int(ev.Thread) != slot {
+			flags |= evHasThread
+		}
+		w.byte(flags)
+		if flags&evHasThread != 0 {
+			w.i64(int64(ev.Thread))
+		}
+		w.i64(int64(ev.BranchID))
+		w.u64(ev.Key1)
+		w.u64(ev.Key2)
+		w.u64(ev.Sig)
+	}
+	return w.frame(FrameEvents)
+}
+
+// WriteFlush encodes thread slot's barrier marker; thread is the marker's
+// payload thread ID (== slot unless corrupted upstream).
+func (w *Writer) WriteFlush(slot int, thread int32) error {
+	return w.control(FrameFlush, slot, thread)
+}
+
+// WriteDone encodes thread slot's end-of-section marker.
+func (w *Writer) WriteDone(slot int, thread int32) error {
+	return w.control(FrameDone, slot, thread)
+}
+
+func (w *Writer) control(typ byte, slot int, thread int32) error {
+	w.buf = w.buf[:0]
+	w.u64(uint64(slot))
+	w.i64(int64(thread))
+	return w.frame(typ)
+}
+
+// WriteFinish encodes the end-of-stream marker.
+func (w *Writer) WriteFinish() error {
+	w.buf = w.buf[:0]
+	return w.frame(FrameFinish)
+}
+
+// WriteResult encodes the checking outcome.
+func (w *Writer) WriteResult(r *Result) error {
+	w.buf = w.buf[:0]
+	w.byte(byte(r.Health))
+	w.u64(r.Stats.Events)
+	w.u64(r.Stats.Instances)
+	w.u64(r.Stats.Flushes)
+	w.u64(r.Stats.Dropped)
+	w.u64(r.Stats.Quarantined)
+	w.u64(r.Stats.Watchdog)
+	w.u64(r.Stats.Panics)
+	w.u64(uint64(len(r.Violations)))
+	for _, v := range r.Violations {
+		w.i64(int64(v.BranchID))
+		w.u64(v.Key1)
+		w.u64(v.Key2)
+		w.str(v.Reason)
+	}
+	return w.frame(FrameResult)
+}
+
+// Frame is one decoded frame. Only the fields matching Type are set. The
+// Events slice is owned by the Reader and valid until the next ReadFrame.
+type Frame struct {
+	Type   byte
+	Slot   int             // FrameEvents, FrameFlush, FrameDone
+	Thread int32           // FrameFlush, FrameDone payload thread
+	Events []monitor.Event // FrameEvents
+	Hello  *Hello          // FrameHello
+	Result *Result         // FrameResult
+}
+
+// Reader decodes frames from an io.Reader. Not safe for concurrent use.
+type Reader struct {
+	r       *bufio.Reader
+	payload []byte
+	events  []monitor.Event
+}
+
+// NewReader wraps r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReaderSize(r, 1<<15)}
+}
+
+// ReadFrame reads and verifies one frame. It returns io.EOF at a clean
+// frame boundary and io.ErrUnexpectedEOF inside a frame; any malformed
+// content (bad CRC, bad length, truncated varints, unknown type) is an
+// error, never a panic.
+func (r *Reader) ReadFrame() (*Frame, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r.r, hdr[:1]); err != nil {
+		return nil, err // io.EOF here is a clean end of stream
+	}
+	if _, err := io.ReadFull(r.r, hdr[1:]); err != nil {
+		return nil, unexpectedEOF(err)
+	}
+	n := binary.LittleEndian.Uint32(hdr[1:])
+	if n > MaxPayload {
+		return nil, ErrTooLarge
+	}
+	if cap(r.payload) < int(n) {
+		r.payload = make([]byte, n)
+	}
+	r.payload = r.payload[:n]
+	if _, err := io.ReadFull(r.r, r.payload); err != nil {
+		return nil, unexpectedEOF(err)
+	}
+	var tail [4]byte
+	if _, err := io.ReadFull(r.r, tail[:]); err != nil {
+		return nil, unexpectedEOF(err)
+	}
+	crc := crc32.Update(0, castagnoli, hdr[:1])
+	crc = crc32.Update(crc, castagnoli, r.payload)
+	if crc != binary.LittleEndian.Uint32(tail[:]) {
+		return nil, ErrCRC
+	}
+	return r.decode(hdr[0], r.payload)
+}
+
+func unexpectedEOF(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+func (r *Reader) decode(typ byte, payload []byte) (*Frame, error) {
+	d := dec{b: payload}
+	f := &Frame{Type: typ}
+	switch typ {
+	case FrameHello:
+		h, err := decodeHello(&d)
+		if err != nil {
+			return nil, err
+		}
+		f.Hello = h
+	case FrameEvents:
+		slot := d.u64()
+		count := d.u64()
+		if d.err != nil {
+			return nil, d.err
+		}
+		// Each encoded event is at least 5 bytes, so count is bounded by
+		// the payload size; a corrupt count cannot force a huge allocation.
+		if count > uint64(len(payload)) {
+			return nil, fmt.Errorf("wire: events count %d exceeds payload", count)
+		}
+		f.Slot = int(slot)
+		r.events = r.events[:0]
+		for i := uint64(0); i < count; i++ {
+			flags := d.byte()
+			ev := monitor.Event{Kind: monitor.EvBranch, Thread: int32(slot)}
+			ev.Taken = flags&evTaken != 0
+			if flags&evHasThread != 0 {
+				ev.Thread = int32(d.i64())
+			}
+			ev.BranchID = int32(d.i64())
+			ev.Key1 = d.u64()
+			ev.Key2 = d.u64()
+			ev.Sig = d.u64()
+			if d.err != nil {
+				return nil, d.err
+			}
+			r.events = append(r.events, ev)
+		}
+		f.Events = r.events
+	case FrameFlush, FrameDone:
+		f.Slot = int(d.u64())
+		f.Thread = int32(d.i64())
+		if d.err != nil {
+			return nil, d.err
+		}
+	case FrameFinish:
+		// no payload
+	case FrameResult:
+		res, err := decodeResult(&d)
+		if err != nil {
+			return nil, err
+		}
+		f.Result = res
+	default:
+		return nil, fmt.Errorf("wire: unknown frame type 0x%02x", typ)
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	return f, nil
+}
+
+func decodeHello(d *dec) (*Hello, error) {
+	if d.u32fixed() != Magic {
+		if d.err != nil {
+			return nil, d.err
+		}
+		return nil, ErrBadMagic
+	}
+	v := d.u64()
+	if d.err == nil && v != Version {
+		return nil, fmt.Errorf("%w: got %d, want %d", ErrVersion, v, Version)
+	}
+	h := &Hello{Version: int(v)}
+	h.Program = d.str()
+	h.Threads = int(d.u64())
+	count := d.u64()
+	if d.err != nil {
+		return nil, d.err
+	}
+	if count > uint64(len(d.b)) {
+		return nil, fmt.Errorf("wire: plan count %d exceeds payload", count)
+	}
+	for i := uint64(0); i < count; i++ {
+		p := Plan{
+			BranchID: int(d.i64()),
+			Kind:     core.CheckKind(d.u64()),
+			Relation: ir.Op(d.u64()),
+		}
+		p.TidOnLeft = d.byte() != 0
+		if d.err != nil {
+			return nil, d.err
+		}
+		h.Plans = append(h.Plans, p)
+	}
+	return h, nil
+}
+
+func decodeResult(d *dec) (*Result, error) {
+	r := &Result{Health: monitor.HealthState(d.byte())}
+	r.Stats.Events = d.u64()
+	r.Stats.Instances = d.u64()
+	r.Stats.Flushes = d.u64()
+	r.Stats.Dropped = d.u64()
+	r.Stats.Quarantined = d.u64()
+	r.Stats.Watchdog = d.u64()
+	r.Stats.Panics = d.u64()
+	count := d.u64()
+	if d.err != nil {
+		return nil, d.err
+	}
+	if count > uint64(len(d.b)) {
+		return nil, fmt.Errorf("wire: violation count %d exceeds payload", count)
+	}
+	for i := uint64(0); i < count; i++ {
+		v := monitor.Violation{
+			BranchID: int(d.i64()),
+			Key1:     d.u64(),
+			Key2:     d.u64(),
+			Reason:   d.str(),
+		}
+		if d.err != nil {
+			return nil, d.err
+		}
+		r.Violations = append(r.Violations, v)
+	}
+	return r, nil
+}
+
+// dec is a bounds-checked little decoder over one frame payload. The
+// first failure sticks in err; subsequent reads return zero values, so
+// parse loops stay total on corrupt input.
+type dec struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *dec) fail() {
+	if d.err == nil {
+		d.err = errShort
+	}
+}
+
+func (d *dec) u64() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b[d.off:])
+	if n <= 0 {
+		d.fail()
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *dec) i64() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.b[d.off:])
+	if n <= 0 {
+		d.fail()
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *dec) byte() byte {
+	if d.err != nil {
+		return 0
+	}
+	if d.off >= len(d.b) {
+		d.fail()
+		return 0
+	}
+	b := d.b[d.off]
+	d.off++
+	return b
+}
+
+func (d *dec) u32fixed() uint32 {
+	if d.err != nil {
+		return 0
+	}
+	if d.off+4 > len(d.b) {
+		d.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.b[d.off:])
+	d.off += 4
+	return v
+}
+
+func (d *dec) str() string {
+	n := d.u64()
+	if d.err != nil {
+		return ""
+	}
+	if n > uint64(len(d.b)-d.off) {
+		d.fail()
+		return ""
+	}
+	s := string(d.b[d.off : d.off+int(n)])
+	d.off += int(n)
+	return s
+}
