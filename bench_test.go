@@ -13,6 +13,7 @@ import (
 	"blockwatch/internal/core"
 	"blockwatch/internal/harness"
 	"blockwatch/internal/inject"
+	"blockwatch/internal/metrics"
 	"blockwatch/internal/monitor"
 	"blockwatch/internal/queue"
 	"blockwatch/internal/splash"
@@ -182,7 +183,9 @@ func BenchmarkCampaignWorkers(b *testing.B) {
 // per thread), the shape the interpreter produces. The grid compares the
 // scalar Send path against the batched Sender path at 1, 2, and 4
 // checker-shard workers; allocs/op covers all goroutines, so it reports
-// the steady-state allocation cost of the whole pipeline per event.
+// the steady-state allocation cost of the whole pipeline per event. The
+// metrics=on variants attach a metrics.Registry, so the on/off ratio is
+// the pipeline's instrumentation overhead (budgeted at < 3%).
 func BenchmarkMonitorThroughput(b *testing.B) {
 	const producers = 4
 	const genEvery = 64
@@ -196,47 +199,59 @@ func BenchmarkMonitorThroughput(b *testing.B) {
 	}
 	for _, mode := range modes {
 		for _, workers := range []int{1, 2, 4} {
-			b.Run(fmt.Sprintf("%s/checkers=%d", mode.name, workers), func(b *testing.B) {
-				m, err := monitor.New(monitor.Config{
-					NumThreads:   producers,
-					Plans:        plans,
-					SenderBatch:  mode.batch,
-					CheckWorkers: workers,
-				})
-				if err != nil {
-					b.Fatal(err)
+			for _, withMetrics := range []bool{false, true} {
+				mode, workers, withMetrics := mode, workers, withMetrics
+				state := "off"
+				if withMetrics {
+					state = "on"
 				}
-				m.Start()
-				b.ReportAllocs()
-				b.ResetTimer()
-				var wg sync.WaitGroup
-				for tid := int32(0); tid < producers; tid++ {
-					wg.Add(1)
-					go func(tid int32) {
-						defer wg.Done()
-						send := m.Send
-						if mode.batch > 0 {
-							send = m.Sender(int(tid)).Send
-						}
-						for i := 0; i < b.N; i++ {
-							send(monitor.Event{
-								Kind: monitor.EvBranch, Thread: tid, BranchID: 1,
-								Key1: 1000, Key2: uint64(i % genEvery), Sig: 5, Taken: i%3 == 0,
-							})
-							if i%genEvery == genEvery-1 {
-								send(monitor.Event{Kind: monitor.EvFlush, Thread: tid})
+				b.Run(fmt.Sprintf("%s/checkers=%d/metrics=%s", mode.name, workers, state), func(b *testing.B) {
+					var reg *metrics.Registry
+					if withMetrics {
+						reg = metrics.NewRegistry()
+					}
+					m, err := monitor.New(monitor.Config{
+						NumThreads:   producers,
+						Plans:        plans,
+						SenderBatch:  mode.batch,
+						CheckWorkers: workers,
+						Metrics:      reg,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					m.Start()
+					b.ReportAllocs()
+					b.ResetTimer()
+					var wg sync.WaitGroup
+					for tid := int32(0); tid < producers; tid++ {
+						wg.Add(1)
+						go func(tid int32) {
+							defer wg.Done()
+							send := m.Send
+							if mode.batch > 0 {
+								send = m.Sender(int(tid)).Send
 							}
-						}
-						send(monitor.Event{Kind: monitor.EvDone, Thread: tid})
-					}(tid)
-				}
-				wg.Wait()
-				m.Close()
-				b.StopTimer()
-				if m.Detected() {
-					b.Fatal("unexpected violation")
-				}
-			})
+							for i := 0; i < b.N; i++ {
+								send(monitor.Event{
+									Kind: monitor.EvBranch, Thread: tid, BranchID: 1,
+									Key1: 1000, Key2: uint64(i % genEvery), Sig: 5, Taken: i%3 == 0,
+								})
+								if i%genEvery == genEvery-1 {
+									send(monitor.Event{Kind: monitor.EvFlush, Thread: tid})
+								}
+							}
+							send(monitor.Event{Kind: monitor.EvDone, Thread: tid})
+						}(tid)
+					}
+					wg.Wait()
+					m.Close()
+					b.StopTimer()
+					if m.Detected() {
+						b.Fatal("unexpected violation")
+					}
+				})
+			}
 		}
 	}
 }

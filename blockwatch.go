@@ -34,6 +34,7 @@ import (
 	"blockwatch/internal/interp"
 	"blockwatch/internal/ir"
 	"blockwatch/internal/lower"
+	"blockwatch/internal/metrics"
 	"blockwatch/internal/monitor"
 	"blockwatch/internal/opt"
 	"blockwatch/internal/remote"
@@ -304,7 +305,17 @@ type RunOptions struct {
 	// byte-identical violations (bwtrace replay). Mutually exclusive with
 	// Remote and MonitorGroups > 1.
 	Record io.Writer
+	// Metrics, when non-nil, attaches the run's monitor pipeline to this
+	// registry (bw_monitor_*, and bw_relay_*/bw_wire_*/bw_remote_* for
+	// Remote or Record runs). Metrics never change the verdict; every
+	// handle is atomic, so one registry may aggregate many runs.
+	Metrics *metrics.Registry
 }
+
+// NewMetricsRegistry returns a fresh metrics registry for RunOptions.Metrics
+// or CampaignOptions.Metrics, re-exported so callers need not import the
+// internal package.
+func NewMetricsRegistry() *metrics.Registry { return metrics.NewRegistry() }
 
 // RunResult is the outcome of one execution.
 type RunResult struct {
@@ -352,6 +363,7 @@ func (p *Program) Run(opts RunOptions) (*RunResult, error) {
 		SenderBatch:   opts.SenderBatch,
 		CheckWorkers:  opts.CheckWorkers,
 		StallDeadline: opts.StallDeadline,
+		Metrics:       opts.Metrics,
 	}
 	if opts.Protect {
 		rep := opts.Analysis
@@ -373,6 +385,7 @@ func (p *Program) Run(opts RunOptions) (*RunResult, error) {
 				QueueCap:    opts.QueueCap,
 				Overflow:    opts.Overflow.toMonitor(),
 				SenderBatch: opts.SenderBatch,
+				Metrics:     opts.Metrics,
 			})
 			if err != nil {
 				return nil, err
@@ -388,6 +401,7 @@ func (p *Program) Run(opts RunOptions) (*RunResult, error) {
 				SenderBatch:   opts.SenderBatch,
 				CheckWorkers:  opts.CheckWorkers,
 				StallDeadline: opts.StallDeadline,
+				Metrics:       opts.Metrics,
 			})
 			if err != nil {
 				return nil, err
@@ -486,6 +500,11 @@ type CampaignOptions struct {
 	// campaign. Callbacks are serialized but may arrive from worker
 	// goroutines.
 	Progress func(CampaignProgress)
+	// Metrics, when non-nil, aggregates the monitor metrics of every
+	// protected run in the campaign (handles are atomic, so concurrent
+	// workers share it safely). Deterministic campaign statistics are
+	// unaffected.
+	Metrics *metrics.Registry
 }
 
 // CampaignProgress is a live snapshot of a running campaign.
@@ -574,6 +593,7 @@ func (p *Program) Campaign(opts CampaignOptions) (*CampaignResult, error) {
 		Seed:         opts.Seed,
 		Workers:      opts.Workers,
 		CheckWorkers: opts.CheckWorkers,
+		Metrics:      opts.Metrics,
 	}
 	if opts.Progress != nil {
 		cb := opts.Progress

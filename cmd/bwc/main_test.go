@@ -2,6 +2,10 @@ package main
 
 import (
 	"bytes"
+	"errors"
+	"os"
+	"os/exec"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -51,4 +55,78 @@ func TestRunErrors(t *testing.T) {
 	if err := run([]string{"-badflag"}, &out, &errb); err == nil {
 		t.Error("expected error for unknown flag")
 	}
+}
+
+// TestMain re-execs the test binary as the real CLI when BWC_MAIN=1, so
+// the smoke tests below can assert process-level exit codes and stderr.
+func TestMain(m *testing.M) {
+	if os.Getenv("BWC_MAIN") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// bwc invokes the test binary as bwc and returns exit code and stderr.
+func bwc(t *testing.T, args ...string) (int, string) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "BWC_MAIN=1")
+	var errb bytes.Buffer
+	cmd.Stderr = &errb
+	err := cmd.Run()
+	if err == nil {
+		return 0, errb.String()
+	}
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) {
+		t.Fatalf("running %v: %v", args, err)
+	}
+	return ee.ExitCode(), errb.String()
+}
+
+func TestExitCodeSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess smoke test")
+	}
+	t.Run("bad flag", func(t *testing.T) {
+		code, errs := bwc(t, "-definitely-not-a-flag")
+		if code != 1 {
+			t.Errorf("exit code = %d, want 1", code)
+		}
+		if !strings.Contains(errs, "flag provided but not defined") {
+			t.Errorf("stderr missing flag diagnostic:\n%s", errs)
+		}
+		if !strings.Contains(errs, "Usage of bwc") {
+			t.Errorf("stderr missing usage text:\n%s", errs)
+		}
+	})
+	t.Run("empty input file", func(t *testing.T) {
+		src := filepath.Join(t.TempDir(), "empty.mc")
+		if err := os.WriteFile(src, nil, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		code, errs := bwc(t, src)
+		if code != 1 {
+			t.Errorf("exit code = %d, want 1", code)
+		}
+		if !strings.Contains(errs, "bwc:") || !strings.Contains(errs, "no slave() function") {
+			t.Errorf("stderr missing prefixed diagnostic:\n%s", errs)
+		}
+	})
+	t.Run("missing input file", func(t *testing.T) {
+		code, errs := bwc(t, filepath.Join(t.TempDir(), "nope.mc"))
+		if code != 1 {
+			t.Errorf("exit code = %d, want 1", code)
+		}
+		if !strings.Contains(errs, "bwc:") {
+			t.Errorf("stderr not prefixed:\n%s", errs)
+		}
+	})
+	t.Run("clean analysis exits zero", func(t *testing.T) {
+		code, errs := bwc(t, "-bench", "fft")
+		if code != 0 {
+			t.Errorf("exit code = %d, want 0; stderr:\n%s", code, errs)
+		}
+	})
 }

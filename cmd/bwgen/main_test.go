@@ -2,6 +2,10 @@ package main
 
 import (
 	"bytes"
+	"errors"
+	"os"
+	"os/exec"
+
 	"strings"
 	"testing"
 )
@@ -49,4 +53,63 @@ func TestRunBadFlag(t *testing.T) {
 	if err := run([]string{"-definitely-not-a-flag"}, &out, &errb); err == nil {
 		t.Error("expected error for unknown flag")
 	}
+}
+
+// TestMain re-execs the test binary as the real CLI when BWGEN_MAIN=1,
+// so the smoke tests below can assert process-level exit codes/stderr.
+func TestMain(m *testing.M) {
+	if os.Getenv("BWGEN_MAIN") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// bwgen invokes the test binary as bwgen, returning exit code, stdout,
+// and stderr.
+func bwgen(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "BWGEN_MAIN=1")
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	err := cmd.Run()
+	if err == nil {
+		return 0, out.String(), errb.String()
+	}
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) {
+		t.Fatalf("running %v: %v", args, err)
+	}
+	return ee.ExitCode(), out.String(), errb.String()
+}
+
+func TestExitCodeSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess smoke test")
+	}
+	t.Run("bad flag", func(t *testing.T) {
+		code, _, errs := bwgen(t, "-definitely-not-a-flag")
+		if code != 1 {
+			t.Errorf("exit code = %d, want 1", code)
+		}
+		if !strings.Contains(errs, "flag provided but not defined") {
+			t.Errorf("stderr missing flag diagnostic:\n%s", errs)
+		}
+	})
+	t.Run("empty generation still valid", func(t *testing.T) {
+		// -stmts 0 is the generator's empty input: it must still emit a
+		// compilable SPMD skeleton, and -check must accept it.
+		code, out, errs := bwgen(t, "-stmts", "0", "-depth", "0", "-check")
+		if code != 0 {
+			t.Errorf("exit code = %d, want 0; stderr:\n%s", code, errs)
+		}
+		if !strings.Contains(out, "func void slave()") {
+			t.Errorf("no slave() in generated program:\n%s", out)
+		}
+		if !strings.Contains(errs, "check:") {
+			t.Errorf("no check summary on stderr:\n%s", errs)
+		}
+	})
 }

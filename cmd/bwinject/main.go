@@ -24,6 +24,10 @@
 //	              inline; results are identical for any checker count)
 //	-progress     print live campaign progress and per-outcome latency
 //	              aggregates to stderr
+//	-metrics F    print the aggregated monitor metrics of every protected
+//	              run to stdout after the campaign: json | prom
+//	-metrics-addr A  serve /metrics, /healthz, /debug/pprof at A for the
+//	              campaign's duration (scrape a long campaign live)
 package main
 
 import (
@@ -34,6 +38,8 @@ import (
 	"sort"
 
 	"blockwatch"
+	"blockwatch/internal/adminhttp"
+	"blockwatch/internal/metrics"
 )
 
 func main() {
@@ -55,9 +61,23 @@ func run(args []string, stdout, stderr io.Writer) error {
 		workers  = fs.Int("workers", 0, "concurrent faulty runs (0 = all cores)")
 		checkers = fs.Int("checkers", 0, "monitor checker goroutines per protected run (0/1 = inline)")
 		progress = fs.Bool("progress", false, "print live progress to stderr")
+		metricsF = fs.String("metrics", "", "print the aggregated metrics snapshot to stdout: json | prom")
+		metricsA = fs.String("metrics-addr", "", "serve /metrics, /healthz, /debug/pprof at this address for the campaign")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	reg, err := metricsRegistry(*metricsF, *metricsA)
+	if err != nil {
+		return err
+	}
+	if *metricsA != "" {
+		adm, err := adminhttp.Start(*metricsA, reg)
+		if err != nil {
+			return err
+		}
+		defer adm.Close()
+		fmt.Fprintf(stderr, "bwinject: metrics endpoints on http://%s\n", adm.Addr())
 	}
 
 	var model blockwatch.FaultModel
@@ -78,7 +98,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	opts := blockwatch.CampaignOptions{
 		Threads: *threads, Faults: *faults, Model: model, Seed: *seed,
-		Workers: *workers, CheckWorkers: *checkers,
+		Workers: *workers, CheckWorkers: *checkers, Metrics: reg,
 	}
 	if *progress {
 		opts.Progress = func(p blockwatch.CampaignProgress) {
@@ -104,7 +124,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if *progress {
 			printLatency(stderr, "detector under fault", res)
 		}
-		return nil
+		return dumpMetrics(stdout, reg, *metricsF)
 	}
 
 	base, err := prog.Campaign(opts)
@@ -122,6 +142,32 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *progress {
 		printLatency(stderr, "without BLOCKWATCH", base)
 		printLatency(stderr, "with BLOCKWATCH", prot)
+	}
+	return dumpMetrics(stdout, reg, *metricsF)
+}
+
+// metricsRegistry builds the campaign's registry when either metrics flag
+// is set (a validated -metrics format, or any -metrics-addr).
+func metricsRegistry(format, addr string) (*metrics.Registry, error) {
+	switch format {
+	case "", "json", "prom":
+	default:
+		return nil, fmt.Errorf("-metrics: unknown format %q (json | prom)", format)
+	}
+	if format == "" && addr == "" {
+		return nil, nil
+	}
+	return metrics.NewRegistry(), nil
+}
+
+// dumpMetrics prints the final snapshot in the -metrics format (no-op for
+// an empty format).
+func dumpMetrics(w io.Writer, reg *metrics.Registry, format string) error {
+	switch format {
+	case "json":
+		return reg.WriteJSON(w)
+	case "prom":
+		return reg.WritePrometheus(w)
 	}
 	return nil
 }

@@ -112,3 +112,25 @@ func TestRunEventPathCampaign(t *testing.T) {
 		t.Errorf("event-path campaign printed an unprotected baseline:\n%s", out.String())
 	}
 }
+
+func TestCampaignMetricsDump(t *testing.T) {
+	src := writeSmokeProgram(t)
+	var out, errb bytes.Buffer
+	if err := run([]string{"-faults", "5", "-threads", "2", "-metrics", "prom", src}, &out, &errb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	prom := out.String()
+	if !strings.Contains(prom, "# TYPE bw_monitor_events_total counter") {
+		t.Errorf("-metrics prom missing monitor counter exposition:\n%s", prom)
+	}
+	if strings.Contains(prom, "bw_monitor_events_total 0\n") {
+		t.Errorf("protected campaign recorded zero monitor events:\n%s", prom)
+	}
+}
+
+func TestCampaignRejectsBadMetricsFormat(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-metrics", "yaml", "-bench", "fft"}, &out, &errb); err == nil {
+		t.Error("expected error for unknown -metrics format")
+	}
+}

@@ -18,6 +18,9 @@
 //	-watchdog D   per-session stall-watchdog deadline (0 = disabled)
 //	-maxthreads N largest thread count a session may claim (default 1024)
 //	-quiet        log only errors, not per-session lines
+//	-admin A      also serve an HTTP observability listener at A with
+//	              /metrics (Prometheus text), /healthz, and /debug/pprof;
+//	              one registry aggregates every session's monitor metrics
 //
 // The daemon runs until interrupted (SIGINT/SIGTERM), then closes live
 // sessions and exits.
@@ -31,6 +34,8 @@ import (
 	"os/signal"
 	"syscall"
 
+	"blockwatch/internal/adminhttp"
+	"blockwatch/internal/metrics"
 	"blockwatch/internal/remote"
 )
 
@@ -57,6 +62,7 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan os.Signal) error {
 		watchdog   = fs.Duration("watchdog", 0, "per-session stall-watchdog deadline (0 = disabled)")
 		maxthreads = fs.Int("maxthreads", 0, "largest thread count a session may claim (0 = default 1024)")
 		quiet      = fs.Bool("quiet", false, "log only errors, not per-session lines")
+		admin      = fs.String("admin", "", "HTTP observability listener address (/metrics, /healthz, /debug/pprof); empty = off")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -76,10 +82,22 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan os.Signal) error {
 			fmt.Fprintf(stderr, "bwmonitord: "+format+"\n", a...)
 		}
 	}
+	if *admin != "" {
+		cfg.Metrics = metrics.NewRegistry()
+	}
 	srv := remote.NewServer(cfg)
 	ln, err := remote.Listen(*addr)
 	if err != nil {
 		return err
+	}
+	if *admin != "" {
+		adm, err := adminhttp.Start(*admin, cfg.Metrics)
+		if err != nil {
+			ln.Close()
+			return err
+		}
+		defer adm.Close()
+		fmt.Fprintf(stdout, "bwmonitord: admin endpoints on http://%s (/metrics /healthz /debug/pprof)\n", adm.Addr())
 	}
 	fmt.Fprintf(stdout, "bwmonitord: serving on %s\n", ln.Addr())
 

@@ -2,8 +2,11 @@ package main
 
 import (
 	"bytes"
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"syscall"
 	"testing"
@@ -80,4 +83,117 @@ func TestUsageErrors(t *testing.T) {
 	if err := run([]string{"serve", "extra"}, &out, &out, stop); err == nil {
 		t.Error("trailing argument not rejected")
 	}
+}
+
+// TestAdminMetricsEndpoint is the observability acceptance path: daemon
+// with -admin, one protected loopback run through it, then a /metrics
+// scrape that must show nonzero wire and session counters, a working
+// /healthz, and a live pprof index.
+func TestAdminMetricsEndpoint(t *testing.T) {
+	sock := filepath.Join(t.TempDir(), "bw.sock")
+	var stdout, stderr bytes.Buffer
+	stop := make(chan os.Signal, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"serve", "-addr", "unix:" + sock, "-admin", "127.0.0.1:0", "-quiet"}, &stdout, &stderr, stop)
+	}()
+	defer func() {
+		stop <- syscall.SIGTERM
+		if err := <-done; err != nil {
+			t.Errorf("daemon exited with error: %v", err)
+		}
+	}()
+
+	// Wait for both listeners; the admin line prints its bound address.
+	deadline := time.Now().Add(5 * time.Second)
+	var admin string
+	for admin == "" {
+		if _, err := os.Stat(sock); err == nil {
+			if _, after, ok := strings.Cut(stdout.String(), "admin endpoints on http://"); ok {
+				admin = strings.Fields(after)[0]
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never came up; stdout: %s stderr: %s", stdout.String(), stderr.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	prog, err := blockwatch.LoadBenchmark("fft")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := prog.Run(blockwatch.RunOptions{Threads: 4, Remote: sock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Detected || res.Health != "healthy" {
+		t.Fatalf("loopback run not clean: detected=%t health=%s", res.Detected, res.Health)
+	}
+
+	resp, err := http.Get("http://" + admin + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics: status %d, err %v", resp.StatusCode, err)
+	}
+	scrape := string(body)
+	if !strings.Contains(scrape, "text/plain") && resp.Header.Get("Content-Type") == "" {
+		t.Error("/metrics has no Content-Type")
+	}
+	// The session just finished, so these must all be nonzero.
+	for _, name := range []string{
+		"bw_server_sessions_total",
+		"bw_server_sessions_clean_total",
+		"bw_server_session_events_total",
+		"bw_wire_rx_frames_total",
+		"bw_wire_rx_bytes_total",
+		"bw_monitor_events_total",
+		"bw_monitor_batches_total",
+	} {
+		val, ok := scrapeValue(scrape, name)
+		if !ok {
+			t.Errorf("/metrics missing %s:\n%s", name, scrape)
+			continue
+		}
+		if val == 0 {
+			t.Errorf("%s = 0 after a loopback session", name)
+		}
+	}
+	if val, ok := scrapeValue(scrape, "bw_server_sessions_active"); !ok || val != 0 {
+		t.Errorf("bw_server_sessions_active = %v, %v; want 0 after session end", val, ok)
+	}
+
+	resp, err = http.Get("http://" + admin + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/healthz status = %d", resp.StatusCode)
+	}
+	resp, err = http.Get("http://" + admin + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/debug/pprof/ status = %d", resp.StatusCode)
+	}
+}
+
+// scrapeValue pulls a plain (non-histogram) sample value out of a
+// Prometheus text exposition.
+func scrapeValue(scrape, name string) (float64, bool) {
+	for _, line := range strings.Split(scrape, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 2 && fields[0] == name {
+			v, err := strconv.ParseFloat(fields[1], 64)
+			return v, err == nil
+		}
+	}
+	return 0, false
 }

@@ -28,6 +28,10 @@
 //	              daemon dies)
 //	-record F     record the event stream to trace file F while checking
 //	              in-process (implies -protect; replay with bwtrace)
+//	-metrics F    print the run's final metrics snapshot to stdout in
+//	              format F: json | prom (Prometheus text exposition)
+//	-metrics-addr A  serve /metrics, /healthz and /debug/pprof at A for
+//	              the run's duration (useful for profiling long runs)
 package main
 
 import (
@@ -38,6 +42,8 @@ import (
 	"os"
 
 	"blockwatch"
+	"blockwatch/internal/adminhttp"
+	"blockwatch/internal/metrics"
 )
 
 func main() {
@@ -70,11 +76,17 @@ func run(args []string, stdout, stderr io.Writer) (*blockwatch.RunResult, error)
 		watchdog = fs.Duration("watchdog", 0, "monitor stall-watchdog deadline (0 = disabled)")
 		remote   = fs.String("remote", "", "bwmonitord address (host:port or unix:/path); implies -protect")
 		record   = fs.String("record", "", "trace file to record the event stream to; implies -protect")
+		metricsF = fs.String("metrics", "", "print the final metrics snapshot to stdout: json | prom")
+		metricsA = fs.String("metrics-addr", "", "serve /metrics, /healthz, /debug/pprof at this address for the run")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
 	policy, err := blockwatch.ParseOverflowPolicy(*overflow)
+	if err != nil {
+		return nil, err
+	}
+	reg, err := metricsRegistry(*metricsF, *metricsA)
 	if err != nil {
 		return nil, err
 	}
@@ -94,9 +106,18 @@ func run(args []string, stdout, stderr io.Writer) (*blockwatch.RunResult, error)
 		CheckWorkers:  *checkers,
 		StallDeadline: *watchdog,
 		Remote:        *remote,
+		Metrics:       reg,
 	}
 	if *trace {
 		runOpts.Trace = stderr
+	}
+	if *metricsA != "" {
+		adm, err := adminhttp.Start(*metricsA, reg)
+		if err != nil {
+			return nil, err
+		}
+		defer adm.Close()
+		fmt.Fprintf(stderr, "bwrun: metrics endpoints on http://%s\n", adm.Addr())
 	}
 	var traceFile *os.File
 	if *record != "" {
@@ -151,7 +172,36 @@ func run(args []string, stdout, stderr io.Writer) (*blockwatch.RunResult, error)
 		}
 		fmt.Fprintf(stdout, "instrumentation overhead at %d threads: %.2fx\n", *threads, oh)
 	}
+	if err := dumpMetrics(stdout, reg, *metricsF); err != nil {
+		return nil, err
+	}
 	return res, nil
+}
+
+// metricsRegistry builds the run's registry when either metrics flag is
+// set (a validated -metrics format, or any -metrics-addr).
+func metricsRegistry(format, addr string) (*metrics.Registry, error) {
+	switch format {
+	case "", "json", "prom":
+	default:
+		return nil, fmt.Errorf("-metrics: unknown format %q (json | prom)", format)
+	}
+	if format == "" && addr == "" {
+		return nil, nil
+	}
+	return metrics.NewRegistry(), nil
+}
+
+// dumpMetrics prints the final snapshot in the -metrics format (no-op for
+// an empty format).
+func dumpMetrics(w io.Writer, reg *metrics.Registry, format string) error {
+	switch format {
+	case "json":
+		return reg.WriteJSON(w)
+	case "prom":
+		return reg.WritePrometheus(w)
+	}
+	return nil
 }
 
 func loadProgram(bench string, args []string) (*blockwatch.Program, error) {

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"net"
 	"os"
 	"path/filepath"
@@ -185,5 +186,60 @@ func TestRunRejectsBadOverflowPolicy(t *testing.T) {
 	var out, errb bytes.Buffer
 	if _, err := run([]string{"-overflow", "bogus", "-bench", "fft"}, &out, &errb); err == nil {
 		t.Error("expected error for unknown overflow policy")
+	}
+}
+
+func TestRunMetricsDump(t *testing.T) {
+	var out, errb bytes.Buffer
+	if _, err := run([]string{"-bench", "fft", "-protect", "-q", "-metrics", "prom"}, &out, &errb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	prom := out.String()
+	if !strings.Contains(prom, "# TYPE bw_monitor_events_total counter") {
+		t.Errorf("-metrics prom missing monitor counter exposition:\n%s", prom)
+	}
+	if strings.Contains(prom, "bw_monitor_events_total 0\n") {
+		t.Errorf("protected run recorded zero monitor events:\n%s", prom)
+	}
+
+	out.Reset()
+	if _, err := run([]string{"-bench", "fft", "-protect", "-q", "-metrics", "json"}, &out, &errb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var snap struct {
+		Counters []struct {
+			Name  string `json:"name"`
+			Value uint64 `json:"value"`
+		} `json:"counters"`
+	}
+	jsonPart := out.String()[strings.Index(out.String(), "{"):]
+	if err := json.Unmarshal([]byte(jsonPart), &snap); err != nil {
+		t.Fatalf("-metrics json output does not parse: %v\n%s", err, out.String())
+	}
+	found := false
+	for _, c := range snap.Counters {
+		if c.Name == "bw_monitor_events_total" && c.Value > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("-metrics json missing nonzero bw_monitor_events_total:\n%s", jsonPart)
+	}
+}
+
+func TestRunRejectsBadMetricsFormat(t *testing.T) {
+	var out, errb bytes.Buffer
+	if _, err := run([]string{"-metrics", "xml", "-bench", "fft"}, &out, &errb); err == nil {
+		t.Error("expected error for unknown -metrics format")
+	}
+}
+
+func TestRunMetricsAddr(t *testing.T) {
+	var out, errb bytes.Buffer
+	if _, err := run([]string{"-bench", "fft", "-protect", "-q", "-metrics-addr", "127.0.0.1:0"}, &out, &errb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(errb.String(), "metrics endpoints on http://127.0.0.1:") {
+		t.Errorf("missing -metrics-addr announce line:\n%s", errb.String())
 	}
 }

@@ -116,7 +116,10 @@ func replay(args []string, stdout, stderr io.Writer) (bool, error) {
 	}
 	fmt.Fprintf(stdout, "replayed %s, %d threads (%d events, %d checked instances)\n",
 		o.Program, o.Threads, o.Stats.Events, o.Stats.Instances)
-	if !o.Clean {
+	switch {
+	case !o.Clean && o.Stats.Events == 0:
+		fmt.Fprintln(stdout, "WARNING: trace is header-only (no events were recorded before the recording stopped)")
+	case !o.Clean:
 		fmt.Fprintln(stdout, "WARNING: trace is truncated (recording process died mid-run); verdict covers the recorded prefix only")
 	}
 	vs := make([]string, len(o.Violations))
@@ -159,9 +162,12 @@ func stat(args []string, stdout, stderr io.Writer) error {
 	for tid, n := range info.EventsPerThread {
 		fmt.Fprintf(stdout, "  thread %2d: %8d events, %d flushes\n", tid, n, info.FlushesPerThread[tid])
 	}
-	if info.Clean {
+	switch {
+	case info.Clean:
 		fmt.Fprintln(stdout, "sealed:   yes")
-	} else {
+	case info.Frames == 0:
+		fmt.Fprintln(stdout, "sealed:   NO (header-only: no events were recorded)")
+	default:
 		fmt.Fprintln(stdout, "sealed:   NO (truncated)")
 	}
 	if info.Recorded != nil {

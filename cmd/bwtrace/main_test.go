@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"blockwatch/internal/wire"
 )
 
 func TestRecordReplayStatRoundTrip(t *testing.T) {
@@ -106,5 +108,66 @@ func TestUsageErrors(t *testing.T) {
 	}
 	if _, err := run([]string{"stat", garbage}, &out, &errb); err == nil {
 		t.Error("expected error statting garbage")
+	}
+}
+
+// TestHeaderOnlyTrace: stat calls out a header-only trace explicitly,
+// and replay succeeds with a WARNING instead of failing — the header
+// alone is still a valid (if useless) trace.
+func TestHeaderOnlyTrace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "headeronly.bwtrace")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wr := wire.NewWriter(f)
+	if err := wr.WriteHello(&wire.Hello{Program: "fft", Threads: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := wr.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var out, errb bytes.Buffer
+	if _, err := run([]string{"stat", path}, &out, &errb); err != nil {
+		t.Fatalf("stat on header-only trace: %v", err)
+	}
+	if !strings.Contains(out.String(), "header-only: no events were recorded") {
+		t.Errorf("stat missing header-only diagnostic:\n%s", out.String())
+	}
+
+	out.Reset()
+	detected, err := run([]string{"replay", path}, &out, &errb)
+	if err != nil {
+		t.Fatalf("replay on header-only trace: %v", err)
+	}
+	if detected {
+		t.Error("header-only trace reported detections")
+	}
+	if !strings.Contains(out.String(), "WARNING: trace is header-only") {
+		t.Errorf("replay missing header-only warning:\n%s", out.String())
+	}
+}
+
+// TestEmptyTraceFileErrors: a zero-length file errors with the "no
+// trace header was ever written" diagnostic on both subcommands.
+func TestEmptyTraceFileErrors(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty.bwtrace")
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	for _, sub := range []string{"stat", "replay"} {
+		_, err := run([]string{sub, path}, &out, &errb)
+		if err == nil {
+			t.Errorf("%s accepted an empty file", sub)
+			continue
+		}
+		if !strings.Contains(err.Error(), "no trace header was ever written") {
+			t.Errorf("%s error = %v, want empty-trace diagnostic", sub, err)
+		}
 	}
 }

@@ -1,0 +1,72 @@
+package adminhttp
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"blockwatch/internal/metrics"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: reading body: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestAdminEndpoints(t *testing.T) {
+	reg := metrics.NewRegistry()
+	reg.Counter("bw_test_hits_total", "test counter").Add(7)
+
+	srv, err := Start("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	code, body := get(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status = %d", code)
+	}
+	if !strings.Contains(body, "bw_test_hits_total 7") {
+		t.Fatalf("/metrics missing counter, got:\n%s", body)
+	}
+	if !strings.Contains(body, "# TYPE bw_test_hits_total counter") {
+		t.Fatalf("/metrics missing TYPE header, got:\n%s", body)
+	}
+
+	code, body = get(t, base+"/healthz")
+	if code != http.StatusOK || body != "ok\n" {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+
+	// pprof index and one sub-handler must answer; content is runtime-owned.
+	if code, _ = get(t, base+"/debug/pprof/"); code != http.StatusOK {
+		t.Fatalf("/debug/pprof/ status = %d", code)
+	}
+	if code, _ = get(t, base+"/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Fatalf("/debug/pprof/cmdline status = %d", code)
+	}
+}
+
+func TestNilRegistryServesEmptyExposition(t *testing.T) {
+	srv, err := Start("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	code, body := get(t, "http://"+srv.Addr()+"/metrics")
+	if code != http.StatusOK || body != "" {
+		t.Fatalf("nil-registry /metrics = %d %q, want 200 and empty", code, body)
+	}
+}

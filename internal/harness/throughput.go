@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"blockwatch/internal/core"
+	"blockwatch/internal/metrics"
 	"blockwatch/internal/monitor"
 	"blockwatch/internal/splash"
 )
@@ -43,6 +44,32 @@ type ThroughputPoint struct {
 	Events int
 	// Elapsed is the wall-clock time from first send to monitor close.
 	Elapsed time.Duration
+	// Metrics is the cell's final pipeline-metrics snapshot (drain batch
+	// size and generation-close latency distributions, queue high-water
+	// mark) — observability data recorded alongside the throughput number.
+	Metrics *metrics.Snapshot
+}
+
+// meanBatch returns the mean drain batch size observed by the cell's
+// monitor (0 when no snapshot was recorded).
+func (p ThroughputPoint) meanBatch() float64 {
+	if p.Metrics == nil {
+		return 0
+	}
+	h, ok := p.Metrics.Histogram("bw_monitor_batch_size")
+	if !ok {
+		return 0
+	}
+	return h.Mean()
+}
+
+// queueHWM returns the cell's queue-depth high-water mark.
+func (p ThroughputPoint) queueHWM() int64 {
+	if p.Metrics == nil {
+		return 0
+	}
+	v, _ := p.Metrics.Gauge("bw_monitor_queue_depth_hwm")
+	return v
 }
 
 // EventsPerSec returns the cell's sustained event throughput.
@@ -111,11 +138,13 @@ func throughputPlans() (map[int]*core.CheckPlan, int, error) {
 // stream of consistent branch events; the cell's elapsed time spans the
 // first send through the final pending check.
 func throughputCell(batch, workers int, plans map[int]*core.CheckPlan, branchID int) (ThroughputPoint, error) {
+	reg := metrics.NewRegistry()
 	m, err := monitor.New(monitor.Config{
 		NumThreads:   throughputProducers,
 		Plans:        plans,
 		SenderBatch:  batch,
 		CheckWorkers: workers,
+		Metrics:      reg,
 	})
 	if err != nil {
 		return ThroughputPoint{}, err
@@ -163,6 +192,7 @@ func throughputCell(batch, workers int, plans map[int]*core.CheckPlan, branchID 
 		CheckWorkers: workers,
 		Events:       throughputProducers * throughputEvents,
 		Elapsed:      elapsed,
+		Metrics:      reg.Snapshot(),
 	}, nil
 }
 
@@ -171,14 +201,16 @@ func RenderThroughput(points []ThroughputPoint) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Monitor pipeline throughput (%d producers, %d events each, barrier every %d)\n",
 		throughputProducers, throughputEvents, throughputGen)
-	fmt.Fprintf(&b, "%-12s %-10s %14s %12s\n", "producer", "checkers", "events/sec", "elapsed")
+	fmt.Fprintf(&b, "%-12s %-10s %14s %12s %12s %10s\n",
+		"producer", "checkers", "events/sec", "elapsed", "drain-batch", "queue-hwm")
 	for _, p := range points {
 		mode := "scalar"
 		if p.SenderBatch > 0 {
 			mode = fmt.Sprintf("batch=%d", p.SenderBatch)
 		}
-		fmt.Fprintf(&b, "%-12s %-10d %14.0f %12s\n",
-			mode, p.CheckWorkers, p.EventsPerSec(), p.Elapsed.Round(time.Millisecond))
+		fmt.Fprintf(&b, "%-12s %-10d %14.0f %12s %12.1f %10d\n",
+			mode, p.CheckWorkers, p.EventsPerSec(), p.Elapsed.Round(time.Millisecond),
+			p.meanBatch(), p.queueHWM())
 	}
 	return b.String()
 }

@@ -20,6 +20,7 @@ import (
 	"blockwatch/internal/core"
 	"blockwatch/internal/interp"
 	"blockwatch/internal/ir"
+	"blockwatch/internal/metrics"
 	"blockwatch/internal/monitor"
 )
 
@@ -212,6 +213,11 @@ type Campaign struct {
 	// ProgressEvery is the Progress granularity in completed runs
 	// (0 = max(1, Faults/64)).
 	ProgressEvery int
+	// Metrics, when non-nil, aggregates the monitor-pipeline metrics of
+	// every monitored run in the campaign (golden and faulty). All handles
+	// are atomic, so concurrent workers share the registry safely; the
+	// deterministic campaign statistics are unaffected.
+	Metrics *metrics.Registry
 }
 
 // CampaignProgress is a live snapshot of a running campaign, delivered to
@@ -383,6 +389,7 @@ func (c Campaign) runAll(run runnerFull) (*CampaignResult, error) {
 		}
 		goldenOpts.Mode = interp.MonitorDrainOnly
 		goldenOpts.Plans = c.Plans
+		goldenOpts.Metrics = c.Metrics
 	}
 	golden, err := interp.Run(c.Module, goldenOpts)
 	if err != nil {
@@ -654,6 +661,7 @@ func (c Campaign) runOneFull(f Fault, golden []interp.Value, stepLimit uint64) (
 		StepLimit:     stepLimit,
 		MonitorGroups: c.MonitorGroups,
 		CheckWorkers:  c.CheckWorkers,
+		Metrics:       c.Metrics,
 	})
 	if err != nil {
 		return Crash, runExtras{}
@@ -684,6 +692,7 @@ func (c Campaign) runOneEvent(f Fault, golden []interp.Value, stepLimit uint64) 
 		StepLimit:    stepLimit,
 		EventTap:     tap.Corrupt,
 		CheckWorkers: c.CheckWorkers,
+		Metrics:      c.Metrics,
 	})
 	if err != nil {
 		return Crash, runExtras{}

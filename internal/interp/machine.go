@@ -9,6 +9,7 @@ import (
 
 	"blockwatch/internal/core"
 	"blockwatch/internal/ir"
+	"blockwatch/internal/metrics"
 	"blockwatch/internal/monitor"
 )
 
@@ -72,6 +73,10 @@ type Options struct {
 	// MonitorGroups selects the hierarchical monitor extension with that
 	// many sub-monitors (0 or 1 = the paper's single flat monitor).
 	MonitorGroups int
+	// Metrics, when non-nil, attaches the run-owned monitor's pipeline
+	// metrics to this registry (no effect when Sink is supplied — an
+	// external sink carries its own registry).
+	Metrics *metrics.Registry
 	// Sink, when non-nil, replaces the run-owned monitor with an
 	// externally built event sink (a remote client, a trace recorder, or
 	// any other monitor.Sink). The run Starts it, feeds it, Closes it, and
@@ -289,6 +294,7 @@ func Run(mod *ir.Module, opts Options) (*Result, error) {
 			StallDeadline:    opts.StallDeadline,
 			Now:              opts.Now,
 			EventTap:         opts.EventTap,
+			Metrics:          opts.Metrics,
 		}
 		if opts.MonitorGroups > 1 {
 			if opts.EventTap != nil {

@@ -514,3 +514,86 @@ func void f() {
 		t.Fatalf("got %d loop heads, want 1", heads)
 	}
 }
+
+// TestLowerUnaryOps drives lowerUnary across both operand types it
+// accepts, checking the emitted op and result type.
+func TestLowerUnaryOps(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		op   ir.Op
+		typ  ir.Type
+	}{
+		{"neg-int", `func void f(int a) { output(-a); }`, ir.OpNeg, ir.Int},
+		{"neg-float", `func void f(float a) { outputf(-a); }`, ir.OpNeg, ir.Float},
+		// ! in a branch condition just swaps the targets (see
+		// TestNotInvertsBranchTargets); a value position forces OpNot.
+		{"not-bool", `func void f(int a) { bool b = !(a < 1); if (b) { output(1); } }`, ir.OpNot, ir.Bool},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := mustCompile(t, tc.src)
+			var found int
+			for _, b := range m.Func("f").Blocks {
+				for _, in := range b.Instrs {
+					if in.Op == tc.op {
+						found++
+						if in.Typ != tc.typ {
+							t.Errorf("%s lowered with type %s, want %s", tc.op, in.Typ, tc.typ)
+						}
+					}
+				}
+			}
+			if found != 1 {
+				t.Errorf("got %d %s instructions, want 1:\n%s", found, tc.op, m.Func("f").String())
+			}
+		})
+	}
+}
+
+// TestLowerBinaryOps checks the operator table: every MiniC binary
+// operator lowers to its IR op with the right result type.
+func TestLowerBinaryOps(t *testing.T) {
+	cases := []struct {
+		name string
+		expr string // expression over int params a and b
+		op   ir.Op
+		typ  ir.Type
+	}{
+		{"add", "a + b", ir.OpAdd, ir.Int},
+		{"sub", "a - b", ir.OpSub, ir.Int},
+		{"mul", "a * b", ir.OpMul, ir.Int},
+		{"div", "a / b", ir.OpDiv, ir.Int},
+		{"rem", "a % b", ir.OpRem, ir.Int},
+		{"eq", "a == b", ir.OpEq, ir.Bool},
+		{"ne", "a != b", ir.OpNe, ir.Bool},
+		{"lt", "a < b", ir.OpLt, ir.Bool},
+		{"le", "a <= b", ir.OpLe, ir.Bool},
+		{"gt", "a > b", ir.OpGt, ir.Bool},
+		{"ge", "a >= b", ir.OpGe, ir.Bool},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			// Comparisons produce bool, which only a condition may consume.
+			src := "func void f(int a, int b) { output(" + tc.expr + "); }"
+			if tc.typ == ir.Bool {
+				src = "func void f(int a, int b) { if (" + tc.expr + ") { output(1); } }"
+			}
+			m := mustCompile(t, src)
+			var found int
+			for _, b := range m.Func("f").Blocks {
+				for _, in := range b.Instrs {
+					if in.Op == tc.op {
+						found++
+						if in.Typ != tc.typ {
+							t.Errorf("%s lowered with type %s, want %s", tc.op, in.Typ, tc.typ)
+						}
+					}
+				}
+			}
+			if found != 1 {
+				t.Errorf("got %d %s instructions, want 1:\n%s", found, tc.op, m.Func("f").String())
+			}
+		})
+	}
+}

@@ -1,0 +1,99 @@
+package monitor
+
+import (
+	"blockwatch/internal/metrics"
+)
+
+// Metric names exported by the monitor pipeline. All handles come from
+// the metrics package's nil-handle pattern: with no registry attached
+// every update is a single nil-check branch, and the sites that need a
+// timestamp guard on the handle so time.Now is never called detached.
+//
+// Counting is per-batch where it matters: events and batch sizes are
+// recorded at the PopBatch refill point (one update per drained batch,
+// not per event), which is what keeps the instrumented hot path within
+// the <3% throughput budget.
+
+// monMetrics is the monitor's handle set (zero value = detached).
+type monMetrics struct {
+	events      *metrics.Counter   // bw_monitor_events_total
+	batches     *metrics.Counter   // bw_monitor_batches_total
+	drops       *metrics.Counter   // bw_monitor_drops_total
+	quarantined *metrics.Counter   // bw_monitor_quarantined_total
+	flushes     *metrics.Counter   // bw_monitor_flushes_total
+	batchSize   *metrics.Histogram // bw_monitor_batch_size
+	genCloseNs  *metrics.Histogram // bw_monitor_gen_close_ns
+	mergeNs     *metrics.Histogram // bw_monitor_merge_ns
+	flushSize   *metrics.Histogram // bw_sender_flush_size (shared with Relay)
+	queueHWM    *metrics.Gauge     // bw_monitor_queue_depth_hwm
+}
+
+// batchSizeBounds covers 1..drainBatch (256) in powers of two; flush
+// sizes share the shape (SenderBatch defaults to 64).
+var batchSizeBounds = []int64{1, 2, 4, 8, 16, 32, 64, 128, 256}
+
+func senderFlushHistogram(r *metrics.Registry) *metrics.Histogram {
+	return r.Histogram("bw_sender_flush_size",
+		"branch events published per Sender flush", batchSizeBounds)
+}
+
+func newMonMetrics(r *metrics.Registry) monMetrics {
+	if r == nil {
+		return monMetrics{}
+	}
+	return monMetrics{
+		events: r.Counter("bw_monitor_events_total",
+			"events (branch and control) drained from the front-end queues"),
+		batches: r.Counter("bw_monitor_batches_total",
+			"PopBatch refills performed by the monitor drain loop"),
+		drops: r.Counter("bw_monitor_drops_total",
+			"branch events dropped by the overflow policy"),
+		quarantined: r.Counter("bw_monitor_quarantined_total",
+			"malformed, stale, or straggler events skipped"),
+		flushes: r.Counter("bw_monitor_flushes_total",
+			"barrier-generation flushes (including forced and overflow closes)"),
+		batchSize: r.Histogram("bw_monitor_batch_size",
+			"events per PopBatch refill", batchSizeBounds),
+		genCloseNs: r.Histogram("bw_monitor_gen_close_ns",
+			"latency of closing one barrier generation, ns",
+			metrics.ExpBuckets(1000, 4, 10)),
+		mergeNs: r.Histogram("bw_monitor_merge_ns",
+			"checker-shard flush barrier and violation merge time, ns",
+			metrics.ExpBuckets(250, 4, 10)),
+		flushSize: senderFlushHistogram(r),
+		queueHWM: r.Gauge("bw_monitor_queue_depth_hwm",
+			"per-thread front-end queue depth high-water mark"),
+	}
+}
+
+// relayMetrics is the relay's handle set (zero value = detached).
+type relayMetrics struct {
+	events      *metrics.Counter   // bw_relay_events_total
+	batches     *metrics.Counter   // bw_relay_batches_total
+	control     *metrics.Counter   // bw_relay_control_total
+	drops       *metrics.Counter   // bw_relay_drops_total
+	quarantined *metrics.Counter   // bw_relay_quarantined_total
+	degraded    *metrics.Counter   // bw_relay_degraded_total
+	flushSize   *metrics.Histogram // bw_sender_flush_size (shared)
+}
+
+func newRelayMetrics(r *metrics.Registry) relayMetrics {
+	if r == nil {
+		return relayMetrics{}
+	}
+	return relayMetrics{
+		events: r.Counter("bw_relay_events_total",
+			"branch events forwarded to the relay's stream"),
+		batches: r.Counter("bw_relay_batches_total",
+			"StreamEvents calls (contiguous branch-event runs) forwarded"),
+		control: r.Counter("bw_relay_control_total",
+			"control markers (flush/done) forwarded to the stream"),
+		drops: r.Counter("bw_relay_drops_total",
+			"branch events discarded after a stream failure or overflow"),
+		quarantined: r.Counter("bw_relay_quarantined_total",
+			"malformed events skipped by the relay"),
+		degraded: r.Counter("bw_relay_degraded_total",
+			"stream failures that switched the relay into discard mode"),
+		flushSize: senderFlushHistogram(r),
+	}
+}

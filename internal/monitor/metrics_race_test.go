@@ -1,0 +1,111 @@
+package monitor
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"blockwatch/internal/metrics"
+)
+
+// TestMetricsSnapshotsUnderLoad hammers Registry.Snapshot and
+// Monitor.Stats from reader goroutines while producer goroutines stream
+// events through an attached monitor. Run under -race this proves the
+// scrape path (what the -admin /metrics endpoint does) is safe against
+// live senders; the monotonicity assertions prove snapshots never read
+// torn or rolled-back counter values.
+func TestMetricsSnapshotsUnderLoad(t *testing.T) {
+	const (
+		producers = 4
+		events    = 20_000
+		genEvery  = 64
+		readers   = 3
+	)
+	reg := metrics.NewRegistry()
+	m, err := New(Config{
+		NumThreads:  producers,
+		Plans:       testPlans(),
+		SenderBatch: DefaultSenderBatch,
+		Metrics:     reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Start()
+
+	var stop atomic.Bool
+	var readerWG sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		readerWG.Add(1)
+		go func() {
+			defer readerWG.Done()
+			var lastEvents, lastBatches, lastStats uint64
+			for !stop.Load() {
+				snap := reg.Snapshot()
+				ev, _ := snap.Counter("bw_monitor_events_total")
+				ba, _ := snap.Counter("bw_monitor_batches_total")
+				if ev < lastEvents {
+					t.Errorf("bw_monitor_events_total went backwards: %d -> %d", lastEvents, ev)
+					return
+				}
+				if ba < lastBatches {
+					t.Errorf("bw_monitor_batches_total went backwards: %d -> %d", lastBatches, ba)
+					return
+				}
+				lastEvents, lastBatches = ev, ba
+				st := m.Stats()
+				if st.Events < lastStats {
+					t.Errorf("Stats().Events went backwards: %d -> %d", lastStats, st.Events)
+					return
+				}
+				lastStats = st.Events
+			}
+		}()
+	}
+
+	var sendWG sync.WaitGroup
+	for tid := int32(0); tid < producers; tid++ {
+		sendWG.Add(1)
+		go func(tid int32) {
+			defer sendWG.Done()
+			sd := m.Sender(int(tid))
+			for i := 0; i < events; i++ {
+				sd.Send(Event{
+					Kind: EvBranch, Thread: tid, BranchID: 1,
+					Key1: 1000, Key2: uint64(i % genEvery), Sig: 5, Taken: i%3 == 0,
+				})
+				if i%genEvery == genEvery-1 {
+					sd.Send(Event{Kind: EvFlush, Thread: tid})
+				}
+			}
+			sd.Send(Event{Kind: EvDone, Thread: tid})
+		}(tid)
+	}
+	sendWG.Wait()
+	m.Close()
+	stop.Store(true)
+	readerWG.Wait()
+
+	if m.Detected() {
+		t.Fatalf("unexpected violation: %v", m.Violations())
+	}
+	// Every queued event (branch + flush + done) is counted at the drain,
+	// and the block policy drops nothing, so the final count is exact.
+	sent := uint64(producers * (events + events/genEvery + 1))
+	snap := reg.Snapshot()
+	if got, _ := snap.Counter("bw_monitor_events_total"); got != sent {
+		t.Errorf("bw_monitor_events_total = %d, want %d", got, sent)
+	}
+	if got, _ := snap.Counter("bw_monitor_drops_total"); got != 0 {
+		t.Errorf("bw_monitor_drops_total = %d, want 0", got)
+	}
+	if batches, _ := snap.Counter("bw_monitor_batches_total"); batches == 0 {
+		t.Error("bw_monitor_batches_total = 0 after streaming")
+	}
+	if h, ok := snap.Histogram("bw_monitor_batch_size"); !ok || h.Count == 0 {
+		t.Error("bw_monitor_batch_size histogram empty")
+	}
+	if hwm, _ := snap.Gauge("bw_monitor_queue_depth_hwm"); hwm <= 0 {
+		t.Errorf("bw_monitor_queue_depth_hwm = %d, want > 0", hwm)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"blockwatch/internal/core"
+	"blockwatch/internal/metrics"
 	"blockwatch/internal/queue"
 )
 
@@ -73,6 +74,11 @@ type Config struct {
 	// corrupt the event path (bit-flips in queued Event payloads); it
 	// must not block. Flat monitor only.
 	EventTap func(*Event)
+	// Metrics, when non-nil, receives the monitor's pipeline metrics
+	// (bw_monitor_* and bw_sender_flush_size). A nil registry compiles
+	// the instrumentation down to nil-check branches on the hot path;
+	// detection results are identical either way.
+	Metrics *metrics.Registry
 }
 
 // DefaultMaxInstances bounds the monitor's back-end table.
@@ -119,6 +125,7 @@ type Monitor struct {
 	queues    []*queue.SPSC[Event]
 	sendSpins int
 	now       func() time.Time
+	met       monMetrics
 
 	// Monitor-goroutine-private state.
 	table        map[uint64]*level1
@@ -215,6 +222,7 @@ func New(cfg Config) (*Monitor, error) {
 		cfg:          cfg,
 		sendSpins:    spins,
 		now:          now,
+		met:          newMonMetrics(cfg.Metrics),
 		table:        make(map[uint64]*level1),
 		maxInstances: maxInst,
 		flushCount:   make([]uint64, cfg.NumThreads),
@@ -272,7 +280,7 @@ func (m *Monitor) Send(ev Event) {
 // every event, mirroring Send's fail-open contract.
 func (m *Monitor) Sender(tid int) *Sender {
 	if tid < 0 || tid >= len(m.queues) {
-		return &Sender{quarantined: &m.quarantined, health: &m.health}
+		return &Sender{quarantined: &m.quarantined, health: &m.health, metQuar: m.met.quarantined}
 	}
 	return &Sender{
 		q:           m.queues[tid],
@@ -282,16 +290,21 @@ func (m *Monitor) Sender(tid int) *Sender {
 		drops:       &m.drops[tid],
 		quarantined: &m.quarantined,
 		health:      &m.health,
+		metDrops:    m.met.drops,
+		metQuar:     m.met.quarantined,
+		metFlush:    m.met.flushSize,
 	}
 }
 
 func (m *Monitor) drop(tid int) {
 	m.drops[tid].Add(1)
+	m.met.drops.Inc()
 	m.degrade()
 }
 
 func (m *Monitor) quarantine() {
 	m.quarantined.Add(1)
+	m.met.quarantined.Inc()
 	m.degrade()
 }
 
@@ -419,6 +432,15 @@ func (m *Monitor) drainSlot(tid int, q *queue.SPSC[Event]) bool {
 			}
 			m.pending[tid] = buf[:popped]
 			m.pendingPos[tid] = 0
+			// Per-batch (not per-event) metric updates keep the
+			// instrumented drain within the throughput budget; the depth
+			// high-water guard avoids q.Len()'s atomic loads when detached.
+			m.met.events.Add(uint64(popped))
+			m.met.batches.Inc()
+			m.met.batchSize.Observe(int64(popped))
+			if m.met.queueHWM != nil {
+				m.met.queueHWM.SetMax(int64(popped + q.Len()))
+			}
 		}
 		idx := m.pendingPos[tid]
 		m.pendingPos[tid]++
@@ -492,6 +514,10 @@ const (
 // place (level-1 entries and their maps persist across generations, so the
 // steady state allocates nothing).
 func (m *Monitor) closeGeneration(reason closeReason) {
+	var t0 time.Time
+	if m.met.genCloseNs != nil {
+		t0 = time.Now()
+	}
 	m.checkPending()
 	m.collectViolations()
 	for _, l1 := range m.table {
@@ -505,11 +531,16 @@ func (m *Monitor) closeGeneration(reason closeReason) {
 	case closeBarrier, closeForced:
 		m.flushedGens++
 		m.flushes.Add(1)
+		m.met.flushes.Inc()
 	case closeOverflow:
 		m.flushes.Add(1)
+		m.met.flushes.Inc()
 	case closeFinal:
 		// Run end: nothing advances; matches the pre-batching monitor,
 		// whose final pending check was not counted as a flush.
+	}
+	if m.met.genCloseNs != nil {
+		m.met.genCloseNs.Observe(time.Since(t0).Nanoseconds())
 	}
 }
 
@@ -561,6 +592,7 @@ func (m *Monitor) discardAll() {
 	for tid, q := range m.queues {
 		if n := m.buffered(tid); n > 0 {
 			m.quarantined.Add(uint64(n))
+			m.met.quarantined.Add(uint64(n))
 			m.pending[tid] = m.pending[tid][:0]
 			m.pendingPos[tid] = 0
 		}
@@ -571,6 +603,7 @@ func (m *Monitor) discardAll() {
 				break
 			}
 			m.quarantined.Add(uint64(n))
+			m.met.quarantined.Add(uint64(n))
 		}
 		m.pending[tid] = m.pending[tid][:0]
 		m.pendingPos[tid] = 0

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"blockwatch/internal/metrics"
 	"blockwatch/internal/queue"
 )
 
@@ -32,6 +33,7 @@ type Relay struct {
 	cfg       RelayConfig
 	queues    []*queue.SPSC[Event]
 	sendSpins int
+	met       relayMetrics
 
 	drops       []atomic.Uint64
 	quarantined atomic.Uint64
@@ -91,6 +93,9 @@ type RelayConfig struct {
 	// should not attempt further protocol on the stream. The returned
 	// outcome is merged with the relay's own drop/quarantine counters.
 	Finish func(broken bool) (RelayOutcome, error)
+	// Metrics, when non-nil, receives the relay's forwarding metrics
+	// (bw_relay_* and bw_sender_flush_size).
+	Metrics *metrics.Registry
 }
 
 // NewRelay builds a relay. The stream is required; Finish may be nil.
@@ -112,6 +117,7 @@ func NewRelay(cfg RelayConfig) (*Relay, error) {
 	r := &Relay{
 		cfg:       cfg,
 		sendSpins: spins,
+		met:       newRelayMetrics(cfg.Metrics),
 		drops:     make([]atomic.Uint64, cfg.NumThreads),
 		stop:      make(chan struct{}),
 		done:      make(chan struct{}),
@@ -140,6 +146,7 @@ func (r *Relay) Send(ev Event) {
 	tid := int(ev.Thread)
 	if tid < 0 || tid >= len(r.queues) {
 		r.quarantined.Add(1)
+		r.met.quarantined.Inc()
 		r.Degrade()
 		return
 	}
@@ -152,6 +159,7 @@ func (r *Relay) Send(ev Event) {
 	}
 	if !pushPolicy(q, ev, r.cfg.Overflow, r.sendSpins) {
 		r.drops[tid].Add(1)
+		r.met.drops.Inc()
 		r.Degrade()
 	}
 }
@@ -161,7 +169,7 @@ func (r *Relay) Send(ev Event) {
 // tid).
 func (r *Relay) Sender(tid int) *Sender {
 	if tid < 0 || tid >= len(r.queues) {
-		return &Sender{quarantined: &r.quarantined, health: &r.health}
+		return &Sender{quarantined: &r.quarantined, health: &r.health, metQuar: r.met.quarantined}
 	}
 	return &Sender{
 		q:           r.queues[tid],
@@ -171,6 +179,9 @@ func (r *Relay) Sender(tid int) *Sender {
 		drops:       &r.drops[tid],
 		quarantined: &r.quarantined,
 		health:      &r.health,
+		metDrops:    r.met.drops,
+		metQuar:     r.met.quarantined,
+		metFlush:    r.met.flushSize,
 	}
 }
 
@@ -352,9 +363,13 @@ func (s *relayState) forward(tid int, evs []Event) {
 		if start < end && !s.broken {
 			if err := s.r.cfg.Stream.StreamEvents(tid, evs[start:end]); err != nil {
 				s.fail(tid, end-start)
+			} else {
+				s.r.met.batches.Inc()
+				s.r.met.events.Add(uint64(end - start))
 			}
 		} else if start < end && s.broken {
 			s.r.drops[tid].Add(uint64(end - start))
+			s.r.met.drops.Add(uint64(end - start))
 		}
 	}
 	for i := range evs {
@@ -371,12 +386,15 @@ func (s *relayState) forward(tid int, evs []Event) {
 			if !s.broken {
 				if err := s.r.cfg.Stream.StreamControl(tid, evs[i]); err != nil {
 					s.fail(tid, 0)
+				} else {
+					s.r.met.control.Inc()
 				}
 			}
 		default:
 			flushRun(i)
 			start = i + 1
 			s.r.quarantined.Add(1)
+			s.r.met.quarantined.Inc()
 			s.r.Degrade()
 		}
 	}
@@ -386,9 +404,11 @@ func (s *relayState) forward(tid int, evs []Event) {
 // fail switches the relay into discard mode after a stream error.
 func (s *relayState) fail(tid, lost int) {
 	s.broken = true
+	s.r.met.degraded.Inc()
 	s.r.Degrade()
 	if lost > 0 {
 		s.r.drops[tid].Add(uint64(lost))
+		s.r.met.drops.Add(uint64(lost))
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"sync/atomic"
 
+	"blockwatch/internal/metrics"
 	"blockwatch/internal/queue"
 )
 
@@ -43,6 +44,11 @@ type Sender struct {
 	drops       *atomic.Uint64
 	quarantined *atomic.Uint64
 	health      *atomic.Int32
+	// Metric handles from the owning Monitor/Relay (nil when detached;
+	// updates are then single nil-check branches).
+	metDrops *metrics.Counter
+	metQuar  *metrics.Counter
+	metFlush *metrics.Histogram
 }
 
 // Send buffers a branch event (publishing the buffer when full) or
@@ -52,6 +58,7 @@ type Sender struct {
 func (s *Sender) Send(ev Event) {
 	if s.q == nil {
 		s.quarantined.Add(1)
+		s.metQuar.Inc()
 		s.health.CompareAndSwap(int32(Healthy), int32(Degraded))
 		return
 	}
@@ -76,12 +83,14 @@ func (s *Sender) Flush() {
 	if s == nil || len(s.buf) == 0 {
 		return
 	}
+	s.metFlush.Observe(int64(len(s.buf)))
 	rest := s.buf
 	switch s.policy {
 	case OverflowDropNewest:
 		n := s.q.PushBatch(rest)
 		if n < len(rest) {
 			s.drops.Add(uint64(len(rest) - n))
+			s.metDrops.Add(uint64(len(rest) - n))
 			s.health.CompareAndSwap(int32(Healthy), int32(Degraded))
 		}
 	case OverflowBlockTimeout:
@@ -94,6 +103,7 @@ func (s *Sender) Flush() {
 			}
 			if spins <= 0 {
 				s.drops.Add(uint64(len(rest)))
+				s.metDrops.Add(uint64(len(rest)))
 				s.health.CompareAndSwap(int32(Healthy), int32(Degraded))
 				break
 			}

@@ -253,3 +253,140 @@ func void slave() {
 			optm.Func("slave").NumInstrs(), plain.Func("slave").NumInstrs())
 	}
 }
+
+// TestComparisonFolding drives evalCompare through every operator at
+// every operand type: the comparison must fold away entirely and the
+// surviving program must still compute the right answer.
+func TestComparisonFolding(t *testing.T) {
+	cases := []struct {
+		name string
+		expr string // constant bool expression
+		want int64  // 1 when the expression is true
+	}{
+		{"int-eq-true", "2 == 2", 1},
+		{"int-eq-false", "2 == 3", 0},
+		{"int-ne", "2 != 3", 1},
+		{"int-lt", "2 < 3", 1},
+		{"int-le-false", "3 <= 2", 0},
+		{"int-gt", "3 > 2", 1},
+		{"int-ge-false", "2 >= 3", 0},
+		{"float-eq", "1.5 == 1.5", 1},
+		{"float-ne-false", "1.5 != 1.5", 0},
+		{"float-lt", "1.5 < 2.5", 1},
+		{"float-le", "1.5 <= 1.5", 1},
+		{"float-gt-false", "1.5 > 2.5", 0},
+		{"float-ge", "2.5 >= 1.5", 1},
+		{"bool-eq", "(1 < 2) == (3 < 4)", 1},
+		{"bool-ne", "(1 < 2) != (3 < 4)", 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m, st := compileOpt(t, `
+func void slave() {
+	int r = 0;
+	if (`+tc.expr+`) {
+		r = 1;
+	}
+	output(r);
+}`)
+			if st.Folded == 0 {
+				t.Fatalf("comparison %q not folded", tc.expr)
+			}
+			f := m.Func("slave")
+			for _, b := range f.Blocks {
+				for _, in := range b.Instrs {
+					if in.Op.IsCompare() {
+						t.Errorf("comparison survived folding: %s", in)
+					}
+				}
+			}
+			res, err := interp.Run(m, interp.Options{Threads: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := interp.AsInt(res.Output[0]); got != tc.want {
+				t.Errorf("%s = %d, want %d", tc.expr, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestUnaryAndBuiltinFolding covers the remaining evalConst arms: neg
+// (int and float), not, the int<->float conversions, rem, and the pure
+// builtins abs/min/max on constants.
+func TestUnaryAndBuiltinFolding(t *testing.T) {
+	cases := []struct {
+		name string
+		expr string // constant int expression
+		want int64
+	}{
+		{"neg", "-(3 + 4)", -7},
+		{"neg-float", "ftoi(-(1.0 + 1.5))", -2},
+		{"itof-ftoi", "ftoi(itof(9) / 3.0)", 3},
+		{"rem", "17 % 5", 2},
+		{"abs", "abs(4 - 9)", 5},
+		{"min", "min(3, 7)", 3},
+		{"max", "max(3, 7)", 7},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m, st := compileOpt(t, "func void slave() { output("+tc.expr+"); }")
+			if st.Folded == 0 {
+				t.Fatalf("%q not folded", tc.expr)
+			}
+			res, err := interp.Run(m, interp.Options{Threads: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := interp.AsInt(res.Output[0]); got != tc.want {
+				t.Errorf("%s = %d, want %d", tc.expr, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestNotFolding folds ! of a folded comparison (OpNot on a constant).
+func TestNotFolding(t *testing.T) {
+	m, st := compileOpt(t, `
+func void slave() {
+	int r = 0;
+	if (!(2 < 1)) {
+		r = 1;
+	}
+	output(r);
+}`)
+	if st.Folded == 0 {
+		t.Fatal("nothing folded")
+	}
+	for _, b := range m.Func("slave").Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpNot {
+				t.Errorf("! survived folding: %s", in)
+			}
+		}
+	}
+	res, err := interp.Run(m, interp.Options{Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := interp.AsInt(res.Output[0]); got != 1 {
+		t.Errorf("!(2 < 1) branch output = %d, want 1", got)
+	}
+}
+
+// TestRemByZeroNotFolded mirrors TestDivByZeroNotFolded for the other
+// trapping op: a constant x % 0 must keep its runtime trap.
+func TestRemByZeroNotFolded(t *testing.T) {
+	m, _ := compileOpt(t, `
+func void slave() {
+	int z = 0;
+	output(5 % z);
+}`)
+	res, err := interp.Run(m, interp.Options{Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Crashed() {
+		t.Fatal("rem-by-zero trap optimized away")
+	}
+}

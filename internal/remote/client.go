@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"blockwatch/internal/core"
+	"blockwatch/internal/metrics"
 	"blockwatch/internal/monitor"
 	"blockwatch/internal/wire"
 )
@@ -52,6 +53,34 @@ type ClientConfig struct {
 	// ResultTimeout bounds the wait for the server's result frame after
 	// the finish frame (0 = DefaultResultTimeout).
 	ResultTimeout time.Duration
+	// Metrics, when non-nil, receives the client's wire and session
+	// metrics (bw_wire_*, bw_remote_*) plus the relay's bw_relay_*.
+	Metrics *metrics.Registry
+}
+
+// clientMetrics is the client's handle set (zero value = detached).
+type clientMetrics struct {
+	dials    *metrics.Counter   // bw_remote_dials_total
+	dialNs   *metrics.Histogram // bw_remote_dial_ns
+	finishNs *metrics.Histogram // bw_remote_finish_ns
+	degraded *metrics.Counter   // bw_remote_degraded_total
+}
+
+func newClientMetrics(r *metrics.Registry) clientMetrics {
+	if r == nil {
+		return clientMetrics{}
+	}
+	return clientMetrics{
+		dials: r.Counter("bw_remote_dials_total",
+			"connections dialed to a monitoring daemon"),
+		dialNs: r.Histogram("bw_remote_dial_ns",
+			"dial + hello-exchange latency, ns", metrics.ExpBuckets(10_000, 4, 10)),
+		finishNs: r.Histogram("bw_remote_finish_ns",
+			"finish-protocol latency (finish frame out to result frame in), ns",
+			metrics.ExpBuckets(10_000, 4, 10)),
+		degraded: r.Counter("bw_remote_degraded_total",
+			"sessions that ended degraded (fail-open outcome)"),
+	}
 }
 
 // Client is a monitor.Sink whose checking back end lives in a bwmonitord
@@ -63,6 +92,7 @@ type Client struct {
 	conn net.Conn
 	wr   *wire.Writer
 	cfg  ClientConfig
+	met  clientMetrics
 }
 
 // SplitAddr resolves the CLI address syntax into a (network, address)
@@ -83,6 +113,10 @@ func SplitAddr(addr string) (network, address string) {
 
 // Dial connects to a bwmonitord daemon and performs the hello exchange.
 func Dial(addr string, cfg ClientConfig) (*Client, error) {
+	var t0 time.Time
+	if cfg.Metrics != nil {
+		t0 = time.Now()
+	}
 	network, address := SplitAddr(addr)
 	conn, err := net.Dial(network, address)
 	if err != nil {
@@ -92,6 +126,10 @@ func Dial(addr string, cfg ClientConfig) (*Client, error) {
 	if err != nil {
 		conn.Close()
 		return nil, err
+	}
+	c.met.dials.Inc()
+	if cfg.Metrics != nil {
+		c.met.dialNs.Observe(time.Since(t0).Nanoseconds())
 	}
 	return c, nil
 }
@@ -110,7 +148,8 @@ func NewClient(conn net.Conn, cfg ClientConfig) (*Client, error) {
 	if cfg.ResultTimeout <= 0 {
 		cfg.ResultTimeout = DefaultResultTimeout
 	}
-	c := &Client{conn: conn, wr: wire.NewWriter(conn), cfg: cfg}
+	c := &Client{conn: conn, wr: wire.NewWriter(conn), cfg: cfg, met: newClientMetrics(cfg.Metrics)}
+	c.wr.InstrumentTx(cfg.Metrics)
 	if err := c.wr.WriteHello(wire.HelloFromPlans(cfg.Program, cfg.NumThreads, cfg.Plans)); err != nil {
 		return nil, fmt.Errorf("remote monitor hello: %w", err)
 	}
@@ -125,6 +164,7 @@ func NewClient(conn net.Conn, cfg ClientConfig) (*Client, error) {
 		SenderBatch: cfg.SenderBatch,
 		Stream:      (*clientStream)(c),
 		Finish:      c.finish,
+		Metrics:     cfg.Metrics,
 	})
 	if err != nil {
 		return nil, err
@@ -162,12 +202,18 @@ func (s *clientStream) StreamControl(slot int, ev monitor.Event) error {
 // down and reports the degraded outcome the fail-open contract promises.
 func (c *Client) finish(broken bool) (monitor.RelayOutcome, error) {
 	if broken {
+		c.met.degraded.Inc()
 		c.conn.Close()
 		return monitor.RelayOutcome{Health: monitor.Degraded}, nil
 	}
 	fail := func(err error) (monitor.RelayOutcome, error) {
+		c.met.degraded.Inc()
 		c.conn.Close()
 		return monitor.RelayOutcome{Health: monitor.Degraded}, err
+	}
+	var t0 time.Time
+	if c.met.finishNs != nil {
+		t0 = time.Now()
 	}
 	if err := c.wr.WriteFinish(); err != nil {
 		return fail(err)
@@ -177,6 +223,7 @@ func (c *Client) finish(broken bool) (monitor.RelayOutcome, error) {
 	}
 	_ = c.conn.SetReadDeadline(time.Now().Add(c.cfg.ResultTimeout))
 	rd := wire.NewReader(c.conn)
+	rd.InstrumentRx(c.cfg.Metrics)
 	for {
 		f, err := rd.ReadFrame()
 		if err != nil {
@@ -186,6 +233,12 @@ func (c *Client) finish(broken bool) (monitor.RelayOutcome, error) {
 			continue // tolerate future frame types before the result
 		}
 		res := f.Result
+		if c.met.finishNs != nil {
+			c.met.finishNs.Observe(time.Since(t0).Nanoseconds())
+		}
+		if res.Health != monitor.Healthy {
+			c.met.degraded.Inc()
+		}
 		return monitor.RelayOutcome{
 			Detected:   res.Detected(),
 			Violations: res.Violations,

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"blockwatch/internal/metrics"
 	"blockwatch/internal/monitor"
 	"blockwatch/internal/wire"
 )
@@ -35,6 +36,38 @@ type ServerConfig struct {
 	// Logf, when non-nil, receives one line per session event (accept,
 	// result, error). The daemon points it at its log; tests capture it.
 	Logf func(format string, args ...any)
+	// Metrics, when non-nil, receives the daemon's session and wire
+	// metrics (bw_server_*, bw_wire_rx_*) and is threaded into every
+	// session monitor (bw_monitor_*), so one registry aggregates the
+	// whole daemon — what the -admin /metrics endpoint scrapes.
+	Metrics *metrics.Registry
+}
+
+// serverMetrics is the server's handle set (zero value = detached).
+type serverMetrics struct {
+	sessions   *metrics.Counter // bw_server_sessions_total
+	active     *metrics.Gauge   // bw_server_sessions_active
+	clean      *metrics.Counter // bw_server_sessions_clean_total
+	events     *metrics.Counter // bw_server_session_events_total
+	violations *metrics.Counter // bw_server_violations_total
+}
+
+func newServerMetrics(r *metrics.Registry) serverMetrics {
+	if r == nil {
+		return serverMetrics{}
+	}
+	return serverMetrics{
+		sessions: r.Counter("bw_server_sessions_total",
+			"monitoring sessions handled (including rejected and unclean)"),
+		active: r.Gauge("bw_server_sessions_active",
+			"monitoring sessions currently streaming"),
+		clean: r.Counter("bw_server_sessions_clean_total",
+			"sessions that completed the finish/result exchange"),
+		events: r.Counter("bw_server_session_events_total",
+			"branch events checked across finished sessions"),
+		violations: r.Counter("bw_server_violations_total",
+			"violations detected across finished sessions"),
+	}
 }
 
 // SessionInfo summarizes one finished monitoring session.
@@ -54,6 +87,7 @@ type SessionInfo struct {
 // Sessions are independent: many programs stream concurrently.
 type Server struct {
 	cfg ServerConfig
+	met serverMetrics
 
 	mu       sync.Mutex
 	ln       net.Listener
@@ -68,7 +102,7 @@ func NewServer(cfg ServerConfig) *Server {
 	if cfg.MaxThreads <= 0 {
 		cfg.MaxThreads = DefaultMaxThreads
 	}
-	return &Server{cfg: cfg, conns: make(map[net.Conn]struct{})}
+	return &Server{cfg: cfg, met: newServerMetrics(cfg.Metrics), conns: make(map[net.Conn]struct{})}
 }
 
 // ErrServerClosed is returned by Serve after Close.
@@ -162,7 +196,11 @@ func (s *Server) logf(format string, args ...any) {
 // session (the monitor still closes and checks what it received).
 func (s *Server) handle(conn net.Conn) {
 	defer s.sessions.Add(1)
+	s.met.sessions.Inc()
+	s.met.active.Add(1)
+	defer s.met.active.Add(-1)
 	rd := wire.NewReader(conn)
+	rd.InstrumentRx(s.cfg.Metrics)
 	f, err := rd.ReadFrame()
 	if err != nil {
 		s.logf("session rejected: reading hello: %v", err)
@@ -183,6 +221,7 @@ func (s *Server) handle(conn net.Conn) {
 		QueueCap:      s.cfg.QueueCap,
 		CheckWorkers:  s.cfg.CheckWorkers,
 		StallDeadline: s.cfg.StallDeadline,
+		Metrics:       s.cfg.Metrics,
 	})
 	if err != nil {
 		s.logf("session rejected: %q: monitor: %v", hello.Program, err)
@@ -200,6 +239,11 @@ func (s *Server) handle(conn net.Conn) {
 	}
 	info := SessionInfo{Program: hello.Program, Threads: hello.Threads}
 	defer func() {
+		if info.Clean {
+			s.met.clean.Inc()
+		}
+		s.met.events.Add(info.Stats.Events)
+		s.met.violations.Add(uint64(info.Violations))
 		s.logf("session end: %q clean=%t violations=%d health=%s",
 			info.Program, info.Clean, info.Violations, info.Health)
 	}()

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"blockwatch/internal/core"
+	"blockwatch/internal/metrics"
 	"blockwatch/internal/monitor"
 	"blockwatch/internal/wire"
 )
@@ -44,6 +45,10 @@ type RecorderConfig struct {
 	CheckWorkers int
 	// StallDeadline arms the inner monitor's stall watchdog.
 	StallDeadline time.Duration
+	// Metrics, when non-nil, receives the recorder's wire metrics
+	// (bw_wire_*) and is threaded into the inner monitor (bw_monitor_*)
+	// and the relay (bw_relay_*).
+	Metrics *metrics.Registry
 }
 
 // Recorder is a monitor.Sink that writes the event stream to a trace
@@ -72,11 +77,13 @@ func NewRecorder(w io.Writer, cfg RecorderConfig) (*Recorder, error) {
 		QueueCap:      cfg.QueueCap,
 		CheckWorkers:  cfg.CheckWorkers,
 		StallDeadline: cfg.StallDeadline,
+		Metrics:       cfg.Metrics,
 	})
 	if err != nil {
 		return nil, err
 	}
 	rec := &Recorder{wr: wire.NewWriter(w), inner: inner}
+	rec.wr.InstrumentTx(cfg.Metrics)
 	hello := wire.HelloFromPlans(cfg.Program, cfg.NumThreads, cfg.Plans)
 	if err := rec.wr.WriteHello(hello); err != nil {
 		return nil, fmt.Errorf("trace header: %w", err)
@@ -93,6 +100,7 @@ func NewRecorder(w io.Writer, cfg RecorderConfig) (*Recorder, error) {
 		SenderBatch: cfg.SenderBatch,
 		Stream:      (*recorderStream)(rec),
 		Finish:      rec.finish,
+		Metrics:     cfg.Metrics,
 	})
 	if err != nil {
 		return nil, err
@@ -208,20 +216,42 @@ type Outcome struct {
 // ErrNotTrace reports a stream that does not start with a trace header.
 var ErrNotTrace = errors.New("trace: stream does not start with a hello frame")
 
+// ErrEmptyTrace reports a zero-length trace file. Distinguished from a
+// corrupt one so the CLI can say what actually happened: the recording
+// wrote nothing (it crashed before the header, or the wrong file was
+// passed), not that the trace decoded badly.
+var ErrEmptyTrace = errors.New("trace: file is empty — no trace header was ever written")
+
+// readHeader reads and validates a stream's hello frame, turning the
+// raw decode errors of a zero-length or header-truncated file into
+// clean diagnostics.
+func readHeader(rd *wire.Reader) (*wire.Hello, error) {
+	f, err := rd.ReadFrame()
+	if err != nil {
+		switch err {
+		case io.EOF:
+			return nil, ErrEmptyTrace
+		case io.ErrUnexpectedEOF:
+			return nil, errors.New("trace: file truncated inside the header frame (recording died while writing the header)")
+		}
+		return nil, fmt.Errorf("trace header: %w", err)
+	}
+	if f.Type != wire.FrameHello {
+		return nil, ErrNotTrace
+	}
+	return f.Hello, nil
+}
+
 // Replay feeds a recorded trace through a fresh monitor and returns its
 // verdict. The trace's per-thread event order and generation markers
 // reproduce the live monitor's input exactly, so a sealed trace replays
 // to byte-identical violations.
 func Replay(r io.Reader, cfg ReplayConfig) (*Outcome, error) {
 	rd := wire.NewReader(r)
-	f, err := rd.ReadFrame()
+	hello, err := readHeader(rd)
 	if err != nil {
-		return nil, fmt.Errorf("trace header: %w", err)
+		return nil, err
 	}
-	if f.Type != wire.FrameHello {
-		return nil, ErrNotTrace
-	}
-	hello := f.Hello
 	mon, err := monitor.New(monitor.Config{
 		NumThreads:   hello.Threads,
 		Plans:        hello.PlanTable(),
@@ -302,14 +332,10 @@ type Info struct {
 // Stat scans a trace and reports its shape and recorded verdict.
 func Stat(r io.Reader) (*Info, error) {
 	rd := wire.NewReader(r)
-	f, err := rd.ReadFrame()
+	hello, err := readHeader(rd)
 	if err != nil {
-		return nil, fmt.Errorf("trace header: %w", err)
+		return nil, err
 	}
-	if f.Type != wire.FrameHello {
-		return nil, ErrNotTrace
-	}
-	hello := f.Hello
 	info := &Info{
 		Program:          hello.Program,
 		Threads:          hello.Threads,

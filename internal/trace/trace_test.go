@@ -2,7 +2,9 @@ package trace
 
 import (
 	"bytes"
+	"errors"
 	"reflect"
+	"strings"
 	"testing"
 
 	"blockwatch/internal/core"
@@ -11,6 +13,7 @@ import (
 	"blockwatch/internal/ir"
 	"blockwatch/internal/monitor"
 	"blockwatch/internal/splash"
+	"blockwatch/internal/wire"
 )
 
 const testThreads = 4
@@ -281,5 +284,75 @@ func TestReplayRejectsGarbage(t *testing.T) {
 	}
 	if _, err := Stat(bytes.NewReader(nil)); err == nil {
 		t.Error("empty input accepted as a trace")
+	}
+}
+
+// TestEmptyTraceDiagnostics: zero-length inputs are reported as "no
+// header was ever written" (ErrEmptyTrace), not as generic decode
+// corruption — the CLI leans on this to tell a never-started recording
+// apart from a damaged one.
+func TestEmptyTraceDiagnostics(t *testing.T) {
+	if _, err := Stat(bytes.NewReader(nil)); !errors.Is(err, ErrEmptyTrace) {
+		t.Errorf("Stat(empty) error = %v, want ErrEmptyTrace", err)
+	}
+	if _, err := Replay(bytes.NewReader(nil), ReplayConfig{}); !errors.Is(err, ErrEmptyTrace) {
+		t.Errorf("Replay(empty) error = %v, want ErrEmptyTrace", err)
+	}
+}
+
+// TestTruncatedHeaderDiagnostics: a file cut off inside the very first
+// frame names the header in its error, so the user learns the recording
+// died while writing it rather than getting a bare short-read.
+func TestTruncatedHeaderDiagnostics(t *testing.T) {
+	mod, plans := kernelPlans(t, "fft")
+	_, traceBytes := recordRun(t, "fft", mod, plans, nil)
+	// Cuts landing in the frame type byte's tail, the length word, and
+	// the hello payload — all are "inside the header frame".
+	for _, cut := range []int{1, 3, 10} {
+		part := traceBytes[:cut]
+		if _, err := Stat(bytes.NewReader(part)); err == nil || !strings.Contains(err.Error(), "truncated inside the header") {
+			t.Errorf("Stat(cut=%d) error = %v, want header-truncation diagnostic", cut, err)
+		}
+		if _, err := Replay(bytes.NewReader(part), ReplayConfig{}); err == nil || !strings.Contains(err.Error(), "truncated inside the header") {
+			t.Errorf("Replay(cut=%d) error = %v, want header-truncation diagnostic", cut, err)
+		}
+	}
+}
+
+// TestHeaderOnlyTrace: a trace holding just the hello frame (recorder
+// died before the first event) stats and replays without error, with an
+// explicit not-sealed, zero-event verdict.
+func TestHeaderOnlyTrace(t *testing.T) {
+	_, plans := kernelPlans(t, "fft")
+	var buf bytes.Buffer
+	wr := wire.NewWriter(&buf)
+	if err := wr.WriteHello(wire.HelloFromPlans("fft", testThreads, plans)); err != nil {
+		t.Fatal(err)
+	}
+	if err := wr.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	info, err := Stat(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("Stat(header-only): %v", err)
+	}
+	if info.Program != "fft" || info.Threads != testThreads {
+		t.Errorf("header: %q/%d, want fft/%d", info.Program, info.Threads, testThreads)
+	}
+	if info.Frames != 0 || info.Events != 0 {
+		t.Errorf("header-only trace: frames=%d events=%d, want 0/0", info.Frames, info.Events)
+	}
+	if info.Clean || info.Recorded != nil {
+		t.Error("header-only trace reported as sealed")
+	}
+
+	o, err := Replay(bytes.NewReader(buf.Bytes()), ReplayConfig{})
+	if err != nil {
+		t.Fatalf("Replay(header-only): %v", err)
+	}
+	if o.Clean || o.Detected || o.Stats.Events != 0 {
+		t.Errorf("header-only replay: clean=%v detected=%v events=%d, want false/false/0",
+			o.Clean, o.Detected, o.Stats.Events)
 	}
 }

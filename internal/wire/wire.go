@@ -34,9 +34,11 @@ import (
 	"hash/crc32"
 	"io"
 	"sort"
+	"time"
 
 	"blockwatch/internal/core"
 	"blockwatch/internal/ir"
+	"blockwatch/internal/metrics"
 	"blockwatch/internal/monitor"
 )
 
@@ -155,6 +157,11 @@ func (r *Result) Detected() bool { return len(r.Violations) > 0 }
 type Writer struct {
 	w   *bufio.Writer
 	buf []byte
+	// Metric handles (nil when detached): frames/bytes encoded and
+	// per-frame encode time. frame() is the single encode choke point.
+	metFrames   *metrics.Counter
+	metBytes    *metrics.Counter
+	metEncodeNs *metrics.Histogram
 }
 
 // NewWriter wraps w.
@@ -162,10 +169,39 @@ func NewWriter(w io.Writer) *Writer {
 	return &Writer{w: bufio.NewWriterSize(w, 1<<15)}
 }
 
+// Instrument attaches metric handles to the writer: frames and bytes
+// count every encoded frame (header + payload + CRC), encodeNs times
+// each frame write. Nil handles are allowed (and cost one branch each).
+func (w *Writer) Instrument(frames, bytes *metrics.Counter, encodeNs *metrics.Histogram) {
+	w.metFrames = frames
+	w.metBytes = bytes
+	w.metEncodeNs = encodeNs
+}
+
+// InstrumentTx attaches the codec's standard transmit metrics
+// (bw_wire_frames_total, bw_wire_bytes_total, bw_wire_encode_ns) from
+// r. A nil registry leaves the writer detached. The remote client and
+// the trace recorder share these names — both encode the same stream.
+func (w *Writer) InstrumentTx(r *metrics.Registry) {
+	if r == nil {
+		return
+	}
+	w.Instrument(
+		r.Counter("bw_wire_frames_total", "frames encoded onto the wire or trace"),
+		r.Counter("bw_wire_bytes_total", "bytes encoded onto the wire or trace"),
+		r.Histogram("bw_wire_encode_ns", "per-frame encode+write time, ns",
+			metrics.ExpBuckets(250, 4, 10)),
+	)
+}
+
 // Sync flushes buffered frames to the underlying writer.
 func (w *Writer) Sync() error { return w.w.Flush() }
 
 func (w *Writer) frame(typ byte) error {
+	var t0 time.Time
+	if w.metEncodeNs != nil {
+		t0 = time.Now()
+	}
 	var hdr [5]byte
 	hdr[0] = typ
 	binary.LittleEndian.PutUint32(hdr[1:], uint32(len(w.buf)))
@@ -179,8 +215,15 @@ func (w *Writer) frame(typ byte) error {
 	crc = crc32.Update(crc, castagnoli, w.buf)
 	var tail [4]byte
 	binary.LittleEndian.PutUint32(tail[:], crc)
-	_, err := w.w.Write(tail[:])
-	return err
+	if _, err := w.w.Write(tail[:]); err != nil {
+		return err
+	}
+	w.metFrames.Inc()
+	w.metBytes.Add(uint64(len(hdr) + len(w.buf) + len(tail)))
+	if w.metEncodeNs != nil {
+		w.metEncodeNs.Observe(time.Since(t0).Nanoseconds())
+	}
+	return nil
 }
 
 func (w *Writer) u64(v uint64) { w.buf = binary.AppendUvarint(w.buf, v) }
@@ -309,11 +352,34 @@ type Reader struct {
 	r       *bufio.Reader
 	payload []byte
 	events  []monitor.Event
+	// Metric handles (nil when detached): frames/bytes decoded.
+	metFrames *metrics.Counter
+	metBytes  *metrics.Counter
 }
 
 // NewReader wraps r.
 func NewReader(r io.Reader) *Reader {
 	return &Reader{r: bufio.NewReaderSize(r, 1<<15)}
+}
+
+// Instrument attaches metric handles to the reader: frames and bytes
+// count every successfully decoded frame. Nil handles are allowed.
+func (r *Reader) Instrument(frames, bytes *metrics.Counter) {
+	r.metFrames = frames
+	r.metBytes = bytes
+}
+
+// InstrumentRx attaches the codec's standard receive metrics
+// (bw_wire_rx_frames_total, bw_wire_rx_bytes_total) from reg. A nil
+// registry leaves the reader detached.
+func (r *Reader) InstrumentRx(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	r.Instrument(
+		reg.Counter("bw_wire_rx_frames_total", "frames decoded from the wire or trace"),
+		reg.Counter("bw_wire_rx_bytes_total", "bytes decoded from the wire or trace"),
+	)
 }
 
 // ReadFrame reads and verifies one frame. It returns io.EOF at a clean
@@ -348,7 +414,12 @@ func (r *Reader) ReadFrame() (*Frame, error) {
 	if crc != binary.LittleEndian.Uint32(tail[:]) {
 		return nil, ErrCRC
 	}
-	return r.decode(hdr[0], r.payload)
+	f, err := r.decode(hdr[0], r.payload)
+	if err == nil {
+		r.metFrames.Inc()
+		r.metBytes.Add(uint64(len(hdr) + len(r.payload) + len(tail)))
+	}
+	return f, err
 }
 
 func unexpectedEOF(err error) error {
