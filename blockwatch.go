@@ -36,6 +36,7 @@ import (
 	"blockwatch/internal/lower"
 	"blockwatch/internal/metrics"
 	"blockwatch/internal/monitor"
+	"blockwatch/internal/netfault"
 	"blockwatch/internal/opt"
 	"blockwatch/internal/remote"
 	"blockwatch/internal/splash"
@@ -299,6 +300,16 @@ type RunOptions struct {
 	// client fails open: a dead or slow daemon degrades Health, never the
 	// program. Mutually exclusive with Record and MonitorGroups > 1.
 	Remote string
+	// RemoteRetry is the dial budget per outage for Remote runs: the
+	// client retries failed dials with exponential backoff, and with a
+	// spool it also reconnects mid-run (0 = 1: a single attempt).
+	RemoteRetry int
+	// RemoteSpool, when non-empty, makes a Remote run self-healing: every
+	// outbound frame is also buffered to this on-disk file, reconnects
+	// replay it into a fresh daemon session, and if the daemon never
+	// delivers a verdict the file is sealed into a bwtrace-replayable
+	// trace (see RunResult.SealedTrace).
+	RemoteSpool string
 	// Record, when non-nil, tees the monitor event stream to this writer
 	// in the wire trace format while an in-process monitor keeps checking
 	// it live (implies Protect). The sealed trace replays to
@@ -342,6 +353,14 @@ type RunResult struct {
 	QuarantinedEvents uint64
 	// WatchdogFires counts generations force-closed by the stall watchdog.
 	WatchdogFires uint64
+	// RemoteReconnects counts successful mid-run reconnects of a Remote
+	// session (spool replays into fresh daemon sessions).
+	RemoteReconnects int
+	// SealedTrace is the path of the sealed spool file when a Remote run
+	// lost its daemon for good: the verdict was not delivered live, but
+	// `bwtrace replay <SealedTrace>` reproduces it offline. Empty when
+	// the verdict arrived normally.
+	SealedTrace string
 }
 
 // Run executes the program.
@@ -352,6 +371,7 @@ func (p *Program) Run(opts RunOptions) (*RunResult, error) {
 	if opts.Remote != "" || opts.Record != nil {
 		opts.Protect = true
 	}
+	var remoteClient *remote.Client
 	iopts := interp.Options{
 		Threads:       opts.Threads,
 		Seed:          opts.Seed,
@@ -386,10 +406,13 @@ func (p *Program) Run(opts RunOptions) (*RunResult, error) {
 				Overflow:    opts.Overflow.toMonitor(),
 				SenderBatch: opts.SenderBatch,
 				Metrics:     opts.Metrics,
+				Retry:       remote.RetryConfig{Attempts: opts.RemoteRetry},
+				SpoolPath:   opts.RemoteSpool,
 			})
 			if err != nil {
 				return nil, err
 			}
+			remoteClient = client
 			iopts.Sink = client
 		case opts.Record != nil:
 			rec, err := trace.NewRecorder(opts.Record, trace.RecorderConfig{
@@ -431,6 +454,11 @@ func (p *Program) Run(opts RunOptions) (*RunResult, error) {
 		out.DroppedEvents = res.MonitorStats.Dropped
 		out.QuarantinedEvents = res.MonitorStats.Quarantined
 		out.WatchdogFires = res.MonitorStats.Watchdog
+	}
+	if remoteClient != nil {
+		// interp.Run closed the sink, so the session is settled.
+		out.RemoteReconnects = remoteClient.Reconnects()
+		out.SealedTrace = remoteClient.SealedSpool()
 	}
 	for _, v := range res.Violations {
 		out.Violations = append(out.Violations, v.String())
@@ -651,6 +679,89 @@ func (p *Program) Campaign(opts CampaignOptions) (*CampaignResult, error) {
 			QuarantinedRuns:    res.Detector.Quarantined,
 			DegradedRuns:       res.Detector.Degraded,
 		}
+	}
+	return out, nil
+}
+
+// NetFaultOptions configures a network-fault campaign against the
+// out-of-process monitoring transport (bwinject -type net-fault).
+type NetFaultOptions struct {
+	Threads int
+	// Faults is the number of injected runs (each gets one transport
+	// fault: a connection drop, stall, partial write, or bit-flip at a
+	// sampled wire-frame index).
+	Faults int
+	Seed   int64
+	// Transport is "tcp" (default) or "unix".
+	Transport string
+	// DisableSpool turns the disk spillover off: the client is merely
+	// fail-open and verdicts may be lost (classified "coverage-lost").
+	DisableSpool bool
+	// Workers is the number of injected runs executed concurrently
+	// (0 = all cores).
+	Workers int
+	// Analysis supplies a precomputed Report (nil = analyze with
+	// defaults). The campaign always runs protected.
+	Analysis *Report
+}
+
+// NetFaultResult summarizes a network-fault campaign.
+type NetFaultResult struct {
+	Injected int
+	// Fired counts runs whose transport fault actually triggered (frame
+	// timing is scheduling-dependent, so a sampled index can fall past
+	// the end of a given run's stream).
+	Fired int
+	// Reconnects totals successful mid-run reconnects across all runs.
+	Reconnects int
+	// Counts tallies runs per outcome name: "absorbed", "recovered",
+	// "spool-sealed", "not-activated", "divergent", "coverage-lost",
+	// "VERDICT-LOST", "HANG", "CRASH".
+	Counts map[string]int
+	// ContractViolations counts outcomes the self-healing contract
+	// forbids (lost verdicts, hangs, crashes) — zero on a healthy build.
+	ContractViolations int
+	Elapsed            time.Duration
+}
+
+// NetFaultCampaign injects deterministic transport faults into remote
+// monitoring sessions of this program and verifies the self-healing
+// contract: the program never hangs or crashes, corrupted frames are
+// caught by CRC, and the verdict is recovered live or sealed for offline
+// replay — never silently lost.
+func (p *Program) NetFaultCampaign(opts NetFaultOptions) (*NetFaultResult, error) {
+	rep := opts.Analysis
+	if rep == nil {
+		var err error
+		rep, err = p.Analyze(AnalysisOptions{})
+		if err != nil {
+			return nil, err
+		}
+	}
+	c := netfault.Campaign{
+		Module:       p.mod,
+		Plans:        rep.analysis.Plans,
+		Threads:      opts.Threads,
+		Faults:       opts.Faults,
+		Seed:         opts.Seed,
+		Transport:    opts.Transport,
+		DisableSpool: opts.DisableSpool,
+		Workers:      opts.Workers,
+	}
+	res, err := c.Run()
+	if err != nil {
+		return nil, fmt.Errorf("net-fault campaign on %s: %w", p.name, err)
+	}
+	out := &NetFaultResult{
+		Injected:           res.Injected,
+		Fired:              res.Fired,
+		Reconnects:         res.Reconnects,
+		Counts:             make(map[string]int, len(res.Counts)),
+		ContractViolations: res.ContractViolations(),
+		Elapsed:            res.Elapsed,
+	}
+	for o, n := range res.Counts {
+		out.Counts[o.String()] = n
 	}
 	return out, nil
 }

@@ -10,7 +10,7 @@
 //
 // Experiments: tables (I and II), table3, table4, table5, fig6, fig7,
 // fig8, fig9, falsepos, duplication, ablation, detectorfault, throughput,
-// remote, all.
+// remote, netfault, all.
 package main
 
 import (
@@ -36,7 +36,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("bwbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		exp     = fs.String("exp", "all", "experiment id (tables|table3|table4|table5|fig6|fig7|fig8|fig9|falsepos|duplication|ablation|nestsweep|detectorfault|throughput|remote|all)")
+		exp     = fs.String("exp", "all", "experiment id (tables|table3|table4|table5|fig6|fig7|fig8|fig9|falsepos|duplication|ablation|nestsweep|detectorfault|throughput|remote|netfault|all)")
 		faults  = fs.Int("faults", 1000, "faults per campaign cell")
 		fpruns  = fs.Int("fpruns", 100, "error-free runs per program for the false-positive experiment")
 		seed    = fs.Int64("seed", 1, "campaign seed")
@@ -180,11 +180,20 @@ func run(args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintln(stdout, harness.RenderRemote(points))
 		ran++
 	}
+	if want("netfault") {
+		points, err := harness.NetFault(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, harness.RenderNetFault(points))
+		ran++
+	}
 	if ran == 0 {
 		return fmt.Errorf("unknown experiment %q; try one of %s", *exp,
 			strings.Join([]string{"tables", "table3", "table4", "table5", "fig6",
 				"fig7", "fig8", "fig9", "falsepos", "duplication", "ablation",
-				"nestsweep", "detectorfault", "throughput", "remote", "all"}, ", "))
+				"nestsweep", "detectorfault", "throughput", "remote", "netfault",
+				"all"}, ", "))
 	}
 	fmt.Fprintf(stderr, "bwbench: %d experiment(s) in %s\n", ran, time.Since(start).Round(time.Millisecond))
 	return nil

@@ -14,9 +14,16 @@
 //	-bench name   target a bundled benchmark
 //	-threads N    thread count (default 4)
 //	-faults N     injections per campaign (default 1000, as in the paper)
-//	-type T       branch-flip | branch-condition | event-path
+//	-type T       branch-flip | branch-condition | event-path | net-fault
 //	              (default branch-flip; event-path corrupts the monitor's
-//	              own queued events and classifies detector behavior)
+//	              own queued events and classifies detector behavior;
+//	              net-fault injects transport failures — connection drops,
+//	              stalls, partial writes, frame bit-flips — into remote
+//	              monitoring sessions and verifies the self-healing
+//	              contract: no hangs, no crashes, no lost verdicts)
+//	-transport T  with -type net-fault: tcp (default) or unix
+//	-no-spool     with -type net-fault: disable the disk spillover, so the
+//	              client is merely fail-open (verdicts may be lost)
 //	-seed N       campaign seed
 //	-workers N    concurrent faulty runs (0 = all cores; results are
 //	              identical for any worker count)
@@ -53,16 +60,18 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("bwinject", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		bench    = fs.String("bench", "", "bundled benchmark name")
-		threads  = fs.Int("threads", 4, "thread count")
-		faults   = fs.Int("faults", 1000, "faults per campaign")
-		ftype    = fs.String("type", "branch-flip", "branch-flip | branch-condition | event-path")
-		seed     = fs.Int64("seed", 1, "campaign seed")
-		workers  = fs.Int("workers", 0, "concurrent faulty runs (0 = all cores)")
-		checkers = fs.Int("checkers", 0, "monitor checker goroutines per protected run (0/1 = inline)")
-		progress = fs.Bool("progress", false, "print live progress to stderr")
-		metricsF = fs.String("metrics", "", "print the aggregated metrics snapshot to stdout: json | prom")
-		metricsA = fs.String("metrics-addr", "", "serve /metrics, /healthz, /debug/pprof at this address for the campaign")
+		bench     = fs.String("bench", "", "bundled benchmark name")
+		threads   = fs.Int("threads", 4, "thread count")
+		faults    = fs.Int("faults", 1000, "faults per campaign")
+		ftype     = fs.String("type", "branch-flip", "branch-flip | branch-condition | event-path | net-fault")
+		transport = fs.String("transport", "tcp", "net-fault transport: tcp | unix")
+		noSpool   = fs.Bool("no-spool", false, "net-fault: disable the disk spillover (fail-open only)")
+		seed      = fs.Int64("seed", 1, "campaign seed")
+		workers   = fs.Int("workers", 0, "concurrent faulty runs (0 = all cores)")
+		checkers  = fs.Int("checkers", 0, "monitor checker goroutines per protected run (0/1 = inline)")
+		progress  = fs.Bool("progress", false, "print live progress to stderr")
+		metricsF  = fs.String("metrics", "", "print the aggregated metrics snapshot to stdout: json | prom")
+		metricsA  = fs.String("metrics-addr", "", "serve /metrics, /healthz, /debug/pprof at this address for the campaign")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -88,6 +97,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		model = blockwatch.ConditionBit
 	case "event-path":
 		model = blockwatch.EventPath
+	case "net-fault":
 	default:
 		return fmt.Errorf("unknown fault type %q", *ftype)
 	}
@@ -95,6 +105,17 @@ func run(args []string, stdout, stderr io.Writer) error {
 	prog, err := loadProgram(*bench, fs.Args())
 	if err != nil {
 		return err
+	}
+
+	if *ftype == "net-fault" {
+		return netFaultCampaign(stdout, prog, blockwatch.NetFaultOptions{
+			Threads:      *threads,
+			Faults:       *faults,
+			Seed:         *seed,
+			Transport:    *transport,
+			DisableSpool: *noSpool,
+			Workers:      *workers,
+		})
 	}
 	opts := blockwatch.CampaignOptions{
 		Threads: *threads, Faults: *faults, Model: model, Seed: *seed,
@@ -170,6 +191,47 @@ func dumpMetrics(w io.Writer, reg *metrics.Registry, format string) error {
 		return reg.WritePrometheus(w)
 	}
 	return nil
+}
+
+// netFaultCampaign runs the transport fault campaign and reports the
+// self-healing contract. A nonzero violation count is a hard error, so
+// scripts and CI fail when a verdict is lost.
+func netFaultCampaign(w io.Writer, prog *blockwatch.Program, opts blockwatch.NetFaultOptions) error {
+	fmt.Fprintf(w, "net-fault campaign: %s, %d threads, %d faults over %s (spool %s)\n",
+		prog.Name(), opts.Threads, opts.Faults, transportName(opts.Transport), onOff(!opts.DisableSpool))
+	res, err := prog.NetFaultCampaign(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "injected=%d fired=%d reconnects=%d (%s)\n",
+		res.Injected, res.Fired, res.Reconnects, res.Elapsed.Round(1e6))
+	outcomes := make([]string, 0, len(res.Counts))
+	for o := range res.Counts {
+		outcomes = append(outcomes, o)
+	}
+	sort.Strings(outcomes)
+	for _, o := range outcomes {
+		fmt.Fprintf(w, "  %-14s %d\n", o, res.Counts[o])
+	}
+	if res.ContractViolations > 0 {
+		return fmt.Errorf("self-healing contract violated %d time(s): lost verdicts, hangs, or crashes", res.ContractViolations)
+	}
+	fmt.Fprintln(w, "self-healing contract held: no hangs, no crashes, no lost verdicts")
+	return nil
+}
+
+func transportName(t string) string {
+	if t == "" {
+		return "tcp"
+	}
+	return t
+}
+
+func onOff(b bool) string {
+	if b {
+		return "on"
+	}
+	return "off"
 }
 
 func printTally(w io.Writer, label string, r *blockwatch.CampaignResult) {

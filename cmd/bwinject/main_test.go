@@ -81,6 +81,32 @@ func TestRunWorkerCountDoesNotChangeTallies(t *testing.T) {
 	}
 }
 
+// TestRunNetFaultCampaign: the transport fault campaign over the CLI —
+// the self-healing contract must hold and be reported.
+func TestRunNetFaultCampaign(t *testing.T) {
+	var out, errb bytes.Buffer
+	args := []string{"-threads", "2", "-faults", "6", "-type", "net-fault",
+		"-seed", "3", writeSmokeProgram(t)}
+	if err := run(args, &out, &errb); err != nil {
+		t.Fatalf("run: %v\nstdout: %s", err, out.String())
+	}
+	for _, want := range []string{"net-fault campaign", "injected=6", "self-healing contract held"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestRunNetFaultRejectsBadTransport: transport validation reaches the CLI.
+func TestRunNetFaultRejectsBadTransport(t *testing.T) {
+	var out, errb bytes.Buffer
+	args := []string{"-faults", "2", "-type", "net-fault", "-transport", "smoke-signal",
+		writeSmokeProgram(t)}
+	if err := run(args, &out, &errb); err == nil {
+		t.Error("bad -transport not rejected")
+	}
+}
+
 func TestRunRejectsBadFaultType(t *testing.T) {
 	var out, errb bytes.Buffer
 	if err := run([]string{"-type", "bogus", "-bench", "fft"}, &out, &errb); err == nil {

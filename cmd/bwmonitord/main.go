@@ -17,13 +17,22 @@
 //	-checkers N   checker goroutines per session monitor (0/1 = inline)
 //	-watchdog D   per-session stall-watchdog deadline (0 = disabled)
 //	-maxthreads N largest thread count a session may claim (default 1024)
+//	-maxconns N   reject new sessions beyond N live ones with a polite
+//	              wire-level reject frame (0 = unlimited)
+//	-readtimeout D   per-frame read deadline on session connections; a
+//	              peer silent longer than D is disconnected (0 = none)
+//	-writetimeout D  write deadline on result/reject frames (0 = default 10s)
+//	-drain D      on SIGINT/SIGTERM stop accepting, report "draining" on
+//	              /healthz, and give live sessions up to D to finish
+//	              before closing (0 = close immediately)
 //	-quiet        log only errors, not per-session lines
 //	-admin A      also serve an HTTP observability listener at A with
 //	              /metrics (Prometheus text), /healthz, and /debug/pprof;
 //	              one registry aggregates every session's monitor metrics
 //
-// The daemon runs until interrupted (SIGINT/SIGTERM), then closes live
-// sessions and exits.
+// The daemon runs until interrupted (SIGINT/SIGTERM), then drains (or
+// closes) live sessions and exits. A stale unix socket left by a crashed
+// daemon is removed on startup if nothing is listening on it.
 package main
 
 import (
@@ -61,6 +70,10 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan os.Signal) error {
 		checkers   = fs.Int("checkers", 0, "checker goroutines per session monitor (0/1 = inline)")
 		watchdog   = fs.Duration("watchdog", 0, "per-session stall-watchdog deadline (0 = disabled)")
 		maxthreads = fs.Int("maxthreads", 0, "largest thread count a session may claim (0 = default 1024)")
+		maxconns   = fs.Int("maxconns", 0, "reject new sessions beyond N live ones (0 = unlimited)")
+		readto     = fs.Duration("readtimeout", 0, "per-frame read deadline on session connections (0 = none)")
+		writeto    = fs.Duration("writetimeout", 0, "write deadline on result/reject frames (0 = default)")
+		drain      = fs.Duration("drain", 0, "graceful-drain window for live sessions on shutdown (0 = close immediately)")
 		quiet      = fs.Bool("quiet", false, "log only errors, not per-session lines")
 		admin      = fs.String("admin", "", "HTTP observability listener address (/metrics, /healthz, /debug/pprof); empty = off")
 	)
@@ -76,6 +89,9 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan os.Signal) error {
 		CheckWorkers:  *checkers,
 		StallDeadline: *watchdog,
 		MaxThreads:    *maxthreads,
+		MaxConns:      *maxconns,
+		IdleTimeout:   *readto,
+		WriteTimeout:  *writeto,
 	}
 	if !*quiet {
 		cfg.Logf = func(format string, a ...any) {
@@ -91,7 +107,12 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan os.Signal) error {
 		return err
 	}
 	if *admin != "" {
-		adm, err := adminhttp.Start(*admin, cfg.Metrics)
+		adm, err := adminhttp.StartWithHealth(*admin, cfg.Metrics, func() string {
+			if srv.Draining() {
+				return "draining"
+			}
+			return ""
+		})
 		if err != nil {
 			ln.Close()
 			return err
@@ -107,6 +128,10 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan os.Signal) error {
 	case err := <-errc:
 		return err
 	case sig := <-stop:
+		if *drain > 0 {
+			fmt.Fprintf(stdout, "bwmonitord: %v, draining (up to %v for live sessions)\n", sig, *drain)
+			srv.Drain(*drain)
+		}
 		fmt.Fprintf(stdout, "bwmonitord: %v, shutting down (%d sessions served)\n", sig, srv.Sessions())
 		srv.Close()
 		<-errc

@@ -71,6 +71,52 @@ func TestServeAndShutdown(t *testing.T) {
 	}
 }
 
+// TestDrainOnSignal: with -drain, the stop signal takes the graceful
+// path — the daemon announces it is draining, still prints the shutdown
+// line, and exits. The new hardening flags must all parse. Drain
+// behavior under live sessions is covered by internal/remote.
+func TestDrainOnSignal(t *testing.T) {
+	sock := filepath.Join(t.TempDir(), "bw.sock")
+	var stdout, stderr bytes.Buffer
+	stop := make(chan os.Signal, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"serve", "-addr", "unix:" + sock,
+			"-drain", "5s", "-maxconns", "8", "-readtimeout", "30s", "-writetimeout", "5s"},
+			&stdout, &stderr, stop)
+	}()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := os.Stat(sock); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never listened; stderr: %s", stderr.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	stop <- syscall.SIGTERM
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon exited with error: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("drain did not complete with no live sessions")
+	}
+	if !strings.Contains(stdout.String(), "draining (up to 5s") {
+		t.Errorf("draining line missing:\n%s", stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "shutting down (0 sessions served)") {
+		t.Errorf("shutdown line missing:\n%s", stdout.String())
+	}
+	if _, err := os.Stat(sock); !os.IsNotExist(err) {
+		t.Errorf("unix socket left behind after shutdown: %v", err)
+	}
+}
+
 func TestUsageErrors(t *testing.T) {
 	var out bytes.Buffer
 	stop := make(chan os.Signal)

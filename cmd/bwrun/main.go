@@ -26,6 +26,12 @@
 //	-remote A     stream events to a bwmonitord daemon at A instead of
 //	              checking in-process (implies -protect; fails open if the
 //	              daemon dies)
+//	-retry N      with -remote, retry each failed dial up to N times with
+//	              exponential backoff, reconnecting mid-run after drops
+//	              (0 = single attempt, no reconnect)
+//	-spool F      with -remote, buffer the event stream to disk file F and
+//	              replay it on reconnect; if the daemon never comes back
+//	              the spool is sealed as a bwtrace-replayable trace
 //	-record F     record the event stream to trace file F while checking
 //	              in-process (implies -protect; replay with bwtrace)
 //	-metrics F    print the run's final metrics snapshot to stdout in
@@ -75,6 +81,8 @@ func run(args []string, stdout, stderr io.Writer) (*blockwatch.RunResult, error)
 		checkers = fs.Int("checkers", 0, "monitor checker goroutines (0/1 = inline checking)")
 		watchdog = fs.Duration("watchdog", 0, "monitor stall-watchdog deadline (0 = disabled)")
 		remote   = fs.String("remote", "", "bwmonitord address (host:port or unix:/path); implies -protect")
+		retry    = fs.Int("retry", 0, "with -remote, dial attempts per outage with backoff (0 = single attempt)")
+		spool    = fs.String("spool", "", "with -remote, disk spillover file replayed on reconnect")
 		record   = fs.String("record", "", "trace file to record the event stream to; implies -protect")
 		metricsF = fs.String("metrics", "", "print the final metrics snapshot to stdout: json | prom")
 		metricsA = fs.String("metrics-addr", "", "serve /metrics, /healthz, /debug/pprof at this address for the run")
@@ -106,7 +114,12 @@ func run(args []string, stdout, stderr io.Writer) (*blockwatch.RunResult, error)
 		CheckWorkers:  *checkers,
 		StallDeadline: *watchdog,
 		Remote:        *remote,
+		RemoteRetry:   *retry,
+		RemoteSpool:   *spool,
 		Metrics:       reg,
+	}
+	if (*retry != 0 || *spool != "") && *remote == "" {
+		return nil, fmt.Errorf("-retry and -spool require -remote")
 	}
 	if *trace {
 		runOpts.Trace = stderr
@@ -164,6 +177,13 @@ func run(args []string, stdout, stderr io.Writer) (*blockwatch.RunResult, error)
 	if protected {
 		fmt.Fprintf(stdout, "monitor health: %s (dropped=%d quarantined=%d watchdog-fires=%d)\n",
 			res.Health, res.DroppedEvents, res.QuarantinedEvents, res.WatchdogFires)
+	}
+	if res.RemoteReconnects > 0 {
+		fmt.Fprintf(stdout, "remote monitor reconnected %d time(s)\n", res.RemoteReconnects)
+	}
+	if res.SealedTrace != "" {
+		fmt.Fprintf(stdout, "remote verdict not received; event stream sealed to %s (check offline with: bwtrace replay %s)\n",
+			res.SealedTrace, res.SealedTrace)
 	}
 	if *overhead {
 		oh, err := prog.Overhead(*threads)

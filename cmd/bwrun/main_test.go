@@ -111,6 +111,48 @@ func TestRunRemoteAgainstDaemon(t *testing.T) {
 	}
 }
 
+// TestRunRemoteRetryAndSpool: the self-healing flags against a healthy
+// daemon — run clean, spool consumed (removed after the verdict), no
+// sealed-trace hint printed.
+func TestRunRemoteRetryAndSpool(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := remote.NewServer(remote.ServerConfig{})
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	spool := filepath.Join(t.TempDir(), "run.spool")
+	var out, errb bytes.Buffer
+	res, err := run([]string{"-bench", "fft", "-threads", "2",
+		"-remote", ln.Addr().String(), "-retry", "3", "-spool", spool, "-q"}, &out, &errb)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if res.Detected {
+		t.Error("clean remote run reported detections")
+	}
+	if strings.Contains(out.String(), "sealed") {
+		t.Errorf("healthy run printed a sealed-trace hint:\n%s", out.String())
+	}
+	if _, err := os.Stat(spool); !os.IsNotExist(err) {
+		t.Errorf("spool not removed after a delivered verdict: %v", err)
+	}
+}
+
+func TestRunRetrySpoolRequireRemote(t *testing.T) {
+	for _, args := range [][]string{
+		{"-bench", "fft", "-retry", "2"},
+		{"-bench", "fft", "-spool", "x.spool"},
+	} {
+		var out, errb bytes.Buffer
+		if _, err := run(args, &out, &errb); err == nil {
+			t.Errorf("%v accepted without -remote", args)
+		}
+	}
+}
+
 func TestRunRecordWritesReplayableTrace(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "run.bwtrace")
 	var out, errb bytes.Buffer

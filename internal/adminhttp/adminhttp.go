@@ -25,6 +25,14 @@ import (
 // as an empty exposition, so a caller may enable the listener without
 // wiring metrics.
 func Handler(reg *metrics.Registry) http.Handler {
+	return HandlerWithHealth(reg, nil)
+}
+
+// HandlerWithHealth is Handler with a pluggable /healthz state. A nil
+// health func (or one returning "") keeps the plain "ok" liveness probe;
+// a non-empty string is served with 503 so load balancers stop routing
+// new sessions to a daemon that is, e.g., draining.
+func HandlerWithHealth(reg *metrics.Registry, health func() string) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -34,6 +42,13 @@ func Handler(reg *metrics.Registry) http.Handler {
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if health != nil {
+			if state := health(); state != "" {
+				w.WriteHeader(http.StatusServiceUnavailable)
+				fmt.Fprintln(w, state)
+				return
+			}
+		}
 		fmt.Fprintln(w, "ok")
 	})
 	// Register the pprof handlers explicitly rather than importing the
@@ -57,6 +72,12 @@ type Server struct {
 // Start listens on a TCP addr (e.g. "127.0.0.1:0") and serves the admin
 // endpoints in a background goroutine until Close.
 func Start(addr string, reg *metrics.Registry) (*Server, error) {
+	return StartWithHealth(addr, reg, nil)
+}
+
+// StartWithHealth is Start with a pluggable /healthz state (see
+// HandlerWithHealth).
+func StartWithHealth(addr string, reg *metrics.Registry, health func() string) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("admin listener: %w", err)
@@ -64,7 +85,7 @@ func Start(addr string, reg *metrics.Registry) (*Server, error) {
 	s := &Server{
 		ln: ln,
 		srv: &http.Server{
-			Handler:           Handler(reg),
+			Handler:           HandlerWithHealth(reg, health),
 			ReadHeaderTimeout: 5 * time.Second,
 		},
 		err: make(chan error, 1),

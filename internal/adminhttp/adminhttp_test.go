@@ -59,6 +59,32 @@ func TestAdminEndpoints(t *testing.T) {
 	}
 }
 
+// TestHealthCallback: a non-empty health state flips /healthz to 503
+// with the state in the body; back to "" restores the 200 "ok" probe.
+func TestHealthCallback(t *testing.T) {
+	state := ""
+	srv, err := StartWithHealth("127.0.0.1:0", nil, func() string { return state })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	code, body := get(t, base+"/healthz")
+	if code != http.StatusOK || body != "ok\n" {
+		t.Fatalf("healthy /healthz = %d %q", code, body)
+	}
+	state = "draining"
+	code, body = get(t, base+"/healthz")
+	if code != http.StatusServiceUnavailable || body != "draining\n" {
+		t.Fatalf("draining /healthz = %d %q, want 503 %q", code, body, "draining\n")
+	}
+	state = ""
+	if code, _ = get(t, base+"/healthz"); code != http.StatusOK {
+		t.Fatalf("recovered /healthz = %d", code)
+	}
+}
+
 func TestNilRegistryServesEmptyExposition(t *testing.T) {
 	srv, err := Start("127.0.0.1:0", nil)
 	if err != nil {

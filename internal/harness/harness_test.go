@@ -273,3 +273,31 @@ func TestRemoteTransportGrid(t *testing.T) {
 		t.Errorf("render missing transports:\n%s", out)
 	}
 }
+
+func TestNetFaultGrid(t *testing.T) {
+	if testing.Short() {
+		t.Skip("remote fault campaign in -short mode")
+	}
+	// Config.Faults scales down to the per-cell minimum of 8; NetFault
+	// itself fails on any self-healing contract violation.
+	points, err := NetFault(Config{Faults: 100, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRows := len(netFaultKernels) * 2
+	if len(points) != wantRows {
+		t.Fatalf("grid has %d rows, want %d", len(points), wantRows)
+	}
+	for _, p := range points {
+		if p.Injected == 0 || p.Fired == 0 {
+			t.Errorf("%s/%s: injected=%d fired=%d", p.Program, p.Transport, p.Injected, p.Fired)
+		}
+		if p.Absorbed+p.Recovered+p.Sealed != p.Injected {
+			t.Errorf("%s/%s: outcomes %d+%d+%d do not account for %d runs",
+				p.Program, p.Transport, p.Absorbed, p.Recovered, p.Sealed, p.Injected)
+		}
+	}
+	if out := RenderNetFault(points); !strings.Contains(out, "unix") {
+		t.Errorf("render missing transports:\n%s", out)
+	}
+}

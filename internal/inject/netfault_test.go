@@ -1,0 +1,159 @@
+package inject
+
+import (
+	"bytes"
+	"net"
+	"testing"
+
+	"blockwatch/internal/wire"
+)
+
+// TestNetInjectorFrameScanner: the injector's incremental parser counts
+// wire frames correctly even when frames are split across Write calls,
+// and fires on exactly the configured frame.
+func TestNetInjectorFrameScanner(t *testing.T) {
+	// Encode three frames into one buffer.
+	var buf bytes.Buffer
+	wr := wire.NewWriter(&buf)
+	if err := wr.WriteFlush(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := wr.WriteFlush(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := wr.WriteDone(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := wr.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	stream := buf.Bytes()
+
+	// Counting-only injector, fed one byte at a time: all frame
+	// boundaries must still be found.
+	ij := NewNetInjector(NetFaultPlan{})
+	client, server := net.Pipe()
+	defer server.Close()
+	go func() {
+		drain := make([]byte, 64)
+		for {
+			if _, err := server.Read(drain); err != nil {
+				return
+			}
+		}
+	}()
+	fc := ij.Wrap(client)
+	for i := range stream {
+		if _, err := fc.Write(stream[i : i+1]); err != nil {
+			t.Fatalf("byte %d: %v", i, err)
+		}
+	}
+	if got := ij.Frames(); got != 3 {
+		t.Fatalf("frames = %d, want 3", got)
+	}
+	if ij.Fired() {
+		t.Fatal("counting injector fired")
+	}
+	client.Close()
+
+	// Drop on frame 2, whole stream in one write: the bytes of frame 1
+	// pass, the connection dies at the frame-2 boundary.
+	ij2 := NewNetInjector(NetFaultPlan{Kind: NetDrop, AfterFrames: 2})
+	c2, s2 := net.Pipe()
+	var got bytes.Buffer
+	readDone := make(chan struct{})
+	go func() {
+		defer close(readDone)
+		drain := make([]byte, 64)
+		for {
+			n, err := s2.Read(drain)
+			got.Write(drain[:n])
+			if err != nil {
+				return
+			}
+		}
+	}()
+	fc2 := ij2.Wrap(c2)
+	if _, err := fc2.Write(stream); err == nil {
+		t.Fatal("drop injector reported success")
+	}
+	<-readDone
+	s2.Close()
+	if !ij2.Fired() {
+		t.Fatal("drop injector never fired")
+	}
+	// Exactly frame 1 must have made it through.
+	rd := wire.NewReader(bytes.NewReader(got.Bytes()))
+	f, err := rd.ReadFrame()
+	if err != nil || f.Type != wire.FrameFlush {
+		t.Fatalf("first frame after drop: %v %v", f, err)
+	}
+	if _, err := rd.ReadFrame(); err == nil {
+		t.Fatal("bytes past the drop point leaked through")
+	}
+}
+
+// TestNetInjectorBitFlipCaughtByCRC: a flipped bit inside a frame makes
+// the frame undecodable (CRC-32C or parser failure) — it can never be
+// read back as a valid frame with different content.
+func TestNetInjectorBitFlipCaughtByCRC(t *testing.T) {
+	var buf bytes.Buffer
+	wr := wire.NewWriter(&buf)
+	if err := wr.WriteFlush(3, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := wr.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	stream := buf.Bytes()
+
+	for bit := uint(0); bit < uint(len(stream))*8; bit++ {
+		ij := NewNetInjector(NetFaultPlan{Kind: NetFlip, AfterFrames: 1, Bit: bit})
+		c, s := net.Pipe()
+		var got bytes.Buffer
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			drain := make([]byte, 64)
+			for {
+				n, err := s.Read(drain)
+				got.Write(drain[:n])
+				if err != nil {
+					return
+				}
+			}
+		}()
+		if _, err := ij.Wrap(c).Write(stream); err != nil {
+			t.Fatalf("bit %d: write: %v", bit, err)
+		}
+		c.Close()
+		<-done
+		s.Close()
+		if !ij.Fired() {
+			t.Fatalf("bit %d: injector never fired", bit)
+		}
+		if bytes.Equal(got.Bytes(), stream) {
+			t.Fatalf("bit %d: stream unchanged", bit)
+		}
+		rd := wire.NewReader(bytes.NewReader(got.Bytes()))
+		f, err := rd.ReadFrame()
+		if err == nil && f.Type == wire.FrameFlush && f.Slot == 3 && f.Thread == 1 {
+			t.Fatalf("bit %d: corrupted frame decoded as the original", bit)
+		}
+	}
+}
+
+// TestNetFaultKindStrings keeps the CLI names stable.
+func TestNetFaultKindStrings(t *testing.T) {
+	want := map[NetFaultKind]string{
+		NetDrop:    "drop",
+		NetPartial: "partial-write",
+		NetStall:   "stall",
+		NetFlip:    "bit-flip",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), s)
+		}
+	}
+}

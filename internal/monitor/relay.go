@@ -62,6 +62,18 @@ type EventStream interface {
 	StreamControl(slot int, ev Event) error
 }
 
+// StreamIdler is an optional EventStream extension. When the stream
+// implements it, the relay calls StreamIdle (on the relay goroutine)
+// each time the drain loop finds every queue empty. Streams use the
+// hook to do deferred work that must not ride the hot path — flush a
+// write buffer so a dead transport is noticed during quiet periods, or
+// pace reconnect attempts while the daemon is down. Returning an error
+// switches the relay into discard mode, exactly like a failed stream
+// call.
+type StreamIdler interface {
+	StreamIdle() error
+}
+
 // RelayOutcome is the checking outcome the stream's finisher reports
 // back once the run ends; the relay serves it through Detected,
 // Violations, Health and Stats.
@@ -309,6 +321,7 @@ func (r *Relay) run() {
 		if progress {
 			continue
 		}
+		s.idle()
 		select {
 		case <-r.stop:
 			// Producers stopped: one final drain, then finish even if
@@ -399,6 +412,20 @@ func (s *relayState) forward(tid int, evs []Event) {
 		}
 	}
 	flushRun(len(evs))
+}
+
+// idle gives a StreamIdler stream its quiet-period hook.
+func (s *relayState) idle() {
+	if s.broken {
+		return
+	}
+	idler, ok := s.r.cfg.Stream.(StreamIdler)
+	if !ok {
+		return
+	}
+	if err := idler.StreamIdle(); err != nil {
+		s.fail(0, 0)
+	}
 }
 
 // fail switches the relay into discard mode after a stream error.

@@ -130,6 +130,86 @@ func TestRelayPreservesPerThreadOrder(t *testing.T) {
 	}
 }
 
+// idleStream counts StreamIdle calls and can fail them.
+type idleStream struct {
+	collectStream
+	mu      sync.Mutex
+	idles   int
+	idleErr error
+}
+
+func (s *idleStream) StreamIdle() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.idles++
+	return s.idleErr
+}
+
+func (s *idleStream) idleCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.idles
+}
+
+func newIdleStream(idleErr error) *idleStream {
+	return &idleStream{
+		collectStream: collectStream{perTid: map[int][]Event{}, controls: map[int][]EventKind{}},
+		idleErr:       idleErr,
+	}
+}
+
+// TestRelayStreamIdleHook: a StreamIdler stream gets called during quiet
+// periods, and an idle error degrades the relay like any stream failure.
+func TestRelayStreamIdleHook(t *testing.T) {
+	stream := newIdleStream(nil)
+	r, err := NewRelay(RelayConfig{NumThreads: 1, Stream: stream})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Start()
+	s := r.Sender(0)
+	s.Send(relayEv(0, 1, 1))
+	// Let the relay drain and go idle at least once.
+	deadline := time.Now().Add(5 * time.Second)
+	for stream.idleCount() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("StreamIdle never called while relay was idle")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	s.Send(Event{Kind: EvDone, Thread: 0})
+	r.Close()
+	if r.Health() != Healthy {
+		t.Errorf("health = %v after clean idle calls", r.Health())
+	}
+
+	// A failing idle hook breaks the stream: later events are discarded
+	// as drops and the relay degrades.
+	failing := newIdleStream(errors.New("idle broken"))
+	r2, err := NewRelay(RelayConfig{NumThreads: 1, Stream: failing})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Start()
+	s2 := r2.Sender(0)
+	deadline = time.Now().Add(5 * time.Second)
+	for failing.idleCount() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("failing StreamIdle never called")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	s2.Send(relayEv(0, 1, 1))
+	s2.Send(Event{Kind: EvDone, Thread: 0})
+	r2.Close()
+	if r2.Health() != Degraded {
+		t.Errorf("health = %v after idle error, want Degraded", r2.Health())
+	}
+	if got := failing.events(0); len(got) != 0 {
+		t.Errorf("events streamed after idle error: %v", got)
+	}
+}
+
 func TestRelayFailOpenOnStreamError(t *testing.T) {
 	stream := newCollectStream()
 	stream.failAt = 2 // first call succeeds, everything after fails

@@ -2,6 +2,7 @@ package remote
 
 import (
 	"net"
+	"path/filepath"
 	"testing"
 
 	"blockwatch/internal/core"
@@ -10,10 +11,17 @@ import (
 
 // BenchmarkRemoteLoopback measures the full out-of-process event path —
 // Sender batching, relay drain, wire encode, loopback TCP, server
-// decode, monitor checking — in events/op. The stream is a consistent
-// shared-branch pattern, so the run must end with zero violations and a
-// Healthy client.
+// decode, monitor checking — in events/op, with the disk spool off
+// (the plain client) and on (every frame teed to a bounded file, the
+// self-healing configuration). The stream is a consistent shared-branch
+// pattern, so the run must end with zero violations and a Healthy
+// client.
 func BenchmarkRemoteLoopback(b *testing.B) {
+	b.Run("spool=off", func(b *testing.B) { benchLoopback(b, false) })
+	b.Run("spool=on", func(b *testing.B) { benchLoopback(b, true) })
+}
+
+func benchLoopback(b *testing.B, spoolOn bool) {
 	const threads = 2
 	_, plans := kernelPlans(b, "fft")
 	branchID := -1
@@ -35,9 +43,14 @@ func BenchmarkRemoteLoopback(b *testing.B) {
 	go srv.Serve(ln)
 	defer srv.Close()
 
-	client, err := Dial(ln.Addr().String(), ClientConfig{
+	cfg := ClientConfig{
 		Program: "bench", NumThreads: threads, Plans: plans,
-	})
+	}
+	if spoolOn {
+		cfg.SpoolPath = filepath.Join(b.TempDir(), "bench.spool")
+		cfg.SpoolMaxBytes = 1 << 30 // never overflow under -benchtime
+	}
+	client, err := Dial(ln.Addr().String(), cfg)
 	if err != nil {
 		b.Fatal(err)
 	}

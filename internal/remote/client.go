@@ -14,10 +14,23 @@
 // across the process boundary: a dead or slow daemon degrades coverage
 // (Health() = Degraded, events discarded and counted as drops) but never
 // blocks, crashes, or false-positives the monitored program.
+//
+// With a spool configured (ClientConfig.SpoolPath) the client is
+// self-healing instead of merely fail-open: every outbound frame is
+// teed to a bounded on-disk spool (internal/spool), so when the
+// connection drops or stalls the client keeps the program running at
+// full speed, appending to the spool, while re-dialing under the retry
+// budget. A successful reconnect replays the spool onto the fresh
+// connection — the stream is self-contained, so the new session's
+// verdict is byte-identical to an uninterrupted run. If the daemon
+// never comes back the spool is sealed into a `bwtrace replay`-able
+// trace (SealedSpool reports the path) so the verdict is computable
+// offline instead of lost. Degraded, never crashed.
 package remote
 
 import (
 	"fmt"
+	"math/rand"
 	"net"
 	"strings"
 	"time"
@@ -25,12 +38,87 @@ import (
 	"blockwatch/internal/core"
 	"blockwatch/internal/metrics"
 	"blockwatch/internal/monitor"
+	"blockwatch/internal/spool"
 	"blockwatch/internal/wire"
 )
 
 // DefaultResultTimeout bounds how long a closing client waits for the
 // server's result frame before failing open.
 const DefaultResultTimeout = 30 * time.Second
+
+// DefaultWriteTimeout bounds each event/control frame write so a
+// stalled daemon cannot block the sender forever.
+const DefaultWriteTimeout = 10 * time.Second
+
+// Retry defaults (RetryConfig zero values).
+const (
+	DefaultDialTimeout   = 2 * time.Second
+	DefaultRetryBase     = 50 * time.Millisecond
+	DefaultRetryMax      = 2 * time.Second
+	DefaultRetryJitter   = 0.2
+	DefaultRetryAttempts = 1
+)
+
+// RetryConfig shapes the client's dial retry: the initial Dial, each
+// mid-stream reconnect outage, and the finish-phase last chance all get
+// a budget of Attempts dials separated by exponential backoff with
+// jitter.
+type RetryConfig struct {
+	// Attempts is the dial budget per outage (0 = 1: a single attempt,
+	// the pre-retry behavior).
+	Attempts int
+	// BaseDelay is the backoff before the second attempt
+	// (0 = DefaultRetryBase); it doubles per failed attempt.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff (0 = DefaultRetryMax).
+	MaxDelay time.Duration
+	// Jitter randomizes each delay by ±Jitter fraction
+	// (0 = DefaultRetryJitter; negative = no jitter).
+	Jitter float64
+	// DialTimeout bounds each individual dial (0 = DefaultDialTimeout).
+	DialTimeout time.Duration
+	// Seed seeds the jitter RNG so tests are deterministic (0 = 1).
+	Seed int64
+}
+
+func (r RetryConfig) withDefaults() RetryConfig {
+	if r.Attempts <= 0 {
+		r.Attempts = DefaultRetryAttempts
+	}
+	if r.BaseDelay <= 0 {
+		r.BaseDelay = DefaultRetryBase
+	}
+	if r.MaxDelay <= 0 {
+		r.MaxDelay = DefaultRetryMax
+	}
+	if r.Jitter == 0 {
+		r.Jitter = DefaultRetryJitter
+	}
+	if r.DialTimeout <= 0 {
+		r.DialTimeout = DefaultDialTimeout
+	}
+	if r.Seed == 0 {
+		r.Seed = 1
+	}
+	return r
+}
+
+// backoff returns the delay after the attempt-th consecutive failed
+// dial (attempt >= 1): BaseDelay doubled per failure, capped at
+// MaxDelay, jittered ±Jitter.
+func (r RetryConfig) backoff(rng *rand.Rand, attempt int) time.Duration {
+	d := r.BaseDelay
+	for i := 1; i < attempt && d < r.MaxDelay; i++ {
+		d *= 2
+	}
+	if d > r.MaxDelay {
+		d = r.MaxDelay
+	}
+	if r.Jitter > 0 {
+		d = time.Duration(float64(d) * (1 + r.Jitter*(2*rng.Float64()-1)))
+	}
+	return d
+}
 
 // ClientConfig configures a remote monitoring client.
 type ClientConfig struct {
@@ -53,17 +141,56 @@ type ClientConfig struct {
 	// ResultTimeout bounds the wait for the server's result frame after
 	// the finish frame (0 = DefaultResultTimeout).
 	ResultTimeout time.Duration
+	// WriteTimeout is the per-write deadline on event/control frames
+	// (0 = DefaultWriteTimeout, negative = no deadline). A write that
+	// misses it counts as a transport fault: reconnect when spooling,
+	// fail open otherwise.
+	WriteTimeout time.Duration
+	// Retry shapes dial retry and reconnect backoff.
+	Retry RetryConfig
+	// SpoolPath, when non-empty, tees every outbound frame to a bounded
+	// on-disk spool at that path, enabling mid-stream reconnect (exact
+	// replay of the session onto a fresh connection) and seal-to-trace
+	// on terminal failure. The file is removed when the session ends
+	// with a daemon verdict.
+	SpoolPath string
+	// SpoolMaxBytes bounds the spool (0 = spool.DefaultMaxBytes). An
+	// overflowed spool can no longer reconstruct the session, so
+	// overflow turns the next transport fault terminal (fail open).
+	SpoolMaxBytes int64
+	// WrapConn, when non-nil, wraps every dialed connection (including
+	// reconnects). The network-fault injector hooks here.
+	WrapConn func(net.Conn) net.Conn
 	// Metrics, when non-nil, receives the client's wire and session
-	// metrics (bw_wire_*, bw_remote_*) plus the relay's bw_relay_*.
+	// metrics (bw_wire_*, bw_remote_*, bw_spool_*) plus the relay's
+	// bw_relay_*.
 	Metrics *metrics.Registry
+}
+
+func (cfg ClientConfig) writeTimeout() time.Duration {
+	if cfg.WriteTimeout == 0 {
+		return DefaultWriteTimeout
+	}
+	if cfg.WriteTimeout < 0 {
+		return 0
+	}
+	return cfg.WriteTimeout
 }
 
 // clientMetrics is the client's handle set (zero value = detached).
 type clientMetrics struct {
-	dials    *metrics.Counter   // bw_remote_dials_total
-	dialNs   *metrics.Histogram // bw_remote_dial_ns
-	finishNs *metrics.Histogram // bw_remote_finish_ns
-	degraded *metrics.Counter   // bw_remote_degraded_total
+	dials       *metrics.Counter   // bw_remote_dials_total
+	dialNs      *metrics.Histogram // bw_remote_dial_ns
+	finishNs    *metrics.Histogram // bw_remote_finish_ns
+	degraded    *metrics.Counter   // bw_remote_degraded_total
+	streamErrs  *metrics.Counter   // bw_remote_stream_errors_total
+	redials     *metrics.Counter   // bw_remote_redials_total
+	reconnects  *metrics.Counter   // bw_remote_reconnects_total
+	spoolFrames *metrics.Counter   // bw_spool_frames_total
+	spoolBytes  *metrics.Counter   // bw_spool_bytes_total
+	spoolOver   *metrics.Counter   // bw_spool_overflows_total
+	spoolReplay *metrics.Counter   // bw_spool_replays_total
+	spoolSealed *metrics.Counter   // bw_spool_sealed_total
 }
 
 func newClientMetrics(r *metrics.Registry) clientMetrics {
@@ -80,6 +207,22 @@ func newClientMetrics(r *metrics.Registry) clientMetrics {
 			metrics.ExpBuckets(10_000, 4, 10)),
 		degraded: r.Counter("bw_remote_degraded_total",
 			"sessions that ended degraded (fail-open outcome)"),
+		streamErrs: r.Counter("bw_remote_stream_errors_total",
+			"transport faults on the event stream (write errors, timeouts)"),
+		redials: r.Counter("bw_remote_redials_total",
+			"reconnect dial attempts after a transport fault"),
+		reconnects: r.Counter("bw_remote_reconnects_total",
+			"successful reconnects (spool replayed onto a fresh connection)"),
+		spoolFrames: r.Counter("bw_spool_frames_total",
+			"frames appended to the on-disk spool"),
+		spoolBytes: r.Counter("bw_spool_bytes_total",
+			"bytes appended to the on-disk spool"),
+		spoolOver: r.Counter("bw_spool_overflows_total",
+			"spools that hit their byte bound"),
+		spoolReplay: r.Counter("bw_spool_replays_total",
+			"spool replays onto a fresh connection"),
+		spoolSealed: r.Counter("bw_spool_sealed_total",
+			"spools sealed into offline-replayable traces"),
 	}
 }
 
@@ -89,10 +232,26 @@ func newClientMetrics(r *metrics.Registry) clientMetrics {
 // Detected/Violations/Health/Stats.
 type Client struct {
 	*monitor.Relay
-	conn net.Conn
-	wr   *wire.Writer
-	cfg  ClientConfig
-	met  clientMetrics
+	cfg ClientConfig
+	met clientMetrics
+
+	// Connection and spool state. Written by the constructor before the
+	// relay exists and by the relay goroutine afterwards; read elsewhere
+	// only after Relay.Close has joined the relay goroutine.
+	addr      string // "" = reconnect disabled (NewClient over a given conn)
+	conn      net.Conn
+	wr        *wire.Writer
+	connected bool
+	dirty     bool // frames buffered in wr, not yet flushed to the conn
+	terminal  bool // mid-run retry budget exhausted
+	attempt   int  // consecutive failed dials in the current outage
+	nextDial  time.Time
+	rng       *rand.Rand
+
+	sp         *spool.Spool
+	spoolDead  bool // spool overflowed or its disk write failed
+	sealedPath string
+	reconnects int
 }
 
 // SplitAddr resolves the CLI address syntax into a (network, address)
@@ -111,20 +270,34 @@ func SplitAddr(addr string) (network, address string) {
 	return "tcp", addr
 }
 
-// Dial connects to a bwmonitord daemon and performs the hello exchange.
+// Dial connects to a bwmonitord daemon under the retry budget and
+// performs the hello exchange. Without a spool, exhausting the budget is
+// a synchronous error (a daemon that was never there is a configuration
+// problem). With a spool, Dial always returns a working client: if the
+// daemon is unreachable the session starts disconnected, events spool to
+// disk, and the client keeps re-dialing mid-run and at finish.
 func Dial(addr string, cfg ClientConfig) (*Client, error) {
 	var t0 time.Time
 	if cfg.Metrics != nil {
 		t0 = time.Now()
 	}
-	network, address := SplitAddr(addr)
-	conn, err := net.Dial(network, address)
+	c, err := newClient(cfg)
 	if err != nil {
-		return nil, fmt.Errorf("remote monitor: %w", err)
+		return nil, err
 	}
-	c, err := NewClient(conn, cfg)
-	if err != nil {
-		conn.Close()
+	c.addr = addr
+	dialErr := c.connectBlocking(c.cfg.Retry.Attempts)
+	if dialErr != nil {
+		if c.sp == nil {
+			return nil, fmt.Errorf("remote monitor: %w", dialErr)
+		}
+		// Self-healing start: run disconnected, spool, retry mid-run.
+		c.Degrade()
+		c.attempt = 0
+		c.nextDial = time.Now().Add(c.cfg.Retry.backoff(c.rng, 1))
+	}
+	if err := c.buildRelay(); err != nil {
+		c.teardown()
 		return nil, err
 	}
 	c.met.dials.Inc()
@@ -137,8 +310,30 @@ func Dial(addr string, cfg ClientConfig) (*Client, error) {
 // NewClient builds a client over an established connection and writes
 // the hello frame. Construction errors are returned synchronously (a
 // daemon that refuses the hello is a configuration problem, not a
-// mid-run failure, so it does not fail open).
+// mid-run failure, so it does not fail open). Reconnect is disabled —
+// the client does not know how to re-dial a connection it was handed —
+// but a configured spool still tees the stream and seals it on failure.
 func NewClient(conn net.Conn, cfg ClientConfig) (*Client, error) {
+	c, err := newClient(cfg)
+	if err != nil {
+		return nil, err
+	}
+	c.adopt(conn)
+	if err := c.writeHello(); err != nil {
+		c.teardown()
+		return nil, fmt.Errorf("remote monitor hello: %w", err)
+	}
+	if err := c.buildRelay(); err != nil {
+		c.teardown()
+		return nil, err
+	}
+	return c, nil
+}
+
+// newClient validates the config and sets up everything except the
+// connection: metrics, retry state, and the spool (which immediately
+// stores the hello so a replay is always self-contained).
+func newClient(cfg ClientConfig) (*Client, error) {
 	if cfg.NumThreads < 1 {
 		return nil, monitor.ErrNoThreads
 	}
@@ -148,102 +343,426 @@ func NewClient(conn net.Conn, cfg ClientConfig) (*Client, error) {
 	if cfg.ResultTimeout <= 0 {
 		cfg.ResultTimeout = DefaultResultTimeout
 	}
-	c := &Client{conn: conn, wr: wire.NewWriter(conn), cfg: cfg, met: newClientMetrics(cfg.Metrics)}
-	c.wr.InstrumentTx(cfg.Metrics)
-	if err := c.wr.WriteHello(wire.HelloFromPlans(cfg.Program, cfg.NumThreads, cfg.Plans)); err != nil {
-		return nil, fmt.Errorf("remote monitor hello: %w", err)
+	cfg.Retry = cfg.Retry.withDefaults()
+	c := &Client{
+		cfg: cfg,
+		met: newClientMetrics(cfg.Metrics),
+		rng: rand.New(rand.NewSource(cfg.Retry.Seed)),
 	}
-	if err := c.wr.Sync(); err != nil {
-		return nil, fmt.Errorf("remote monitor hello: %w", err)
+	if cfg.SpoolPath != "" {
+		sp, err := spool.Create(cfg.SpoolPath, cfg.SpoolMaxBytes, c.hello())
+		if err != nil {
+			return nil, fmt.Errorf("remote monitor: %w", err)
+		}
+		c.sp = sp
+		c.met.spoolFrames.Inc()
+		c.met.spoolBytes.Add(uint64(sp.Size()))
 	}
+	return c, nil
+}
+
+func (c *Client) hello() *wire.Hello {
+	return wire.HelloFromPlans(c.cfg.Program, c.cfg.NumThreads, c.cfg.Plans)
+}
+
+func (c *Client) buildRelay() error {
 	relay, err := monitor.NewRelay(monitor.RelayConfig{
-		NumThreads:  cfg.NumThreads,
-		QueueCap:    cfg.QueueCap,
-		Overflow:    cfg.Overflow,
-		SendSpins:   cfg.SendSpins,
-		SenderBatch: cfg.SenderBatch,
+		NumThreads:  c.cfg.NumThreads,
+		QueueCap:    c.cfg.QueueCap,
+		Overflow:    c.cfg.Overflow,
+		SendSpins:   c.cfg.SendSpins,
+		SenderBatch: c.cfg.SenderBatch,
 		Stream:      (*clientStream)(c),
 		Finish:      c.finish,
-		Metrics:     cfg.Metrics,
+		Metrics:     c.cfg.Metrics,
 	})
 	if err != nil {
-		return nil, err
+		return err
 	}
 	c.Relay = relay
-	return c, nil
+	return nil
+}
+
+// teardown releases constructor-held resources on an error path.
+func (c *Client) teardown() {
+	if c.conn != nil {
+		c.conn.Close()
+	}
+	if c.sp != nil {
+		c.sp.Remove()
+	}
 }
 
 // Close drains and closes the relay (running the finish protocol), then
 // closes the connection. Idempotent.
 func (c *Client) Close() {
 	c.Relay.Close()
-	c.conn.Close()
+	if c.conn != nil {
+		c.conn.Close()
+	}
 }
 
-// clientStream adapts the client's connection writer to the relay's
-// EventStream. Calls arrive only from the relay goroutine.
+// SealedSpool returns the path of the sealed, `bwtrace replay`-able
+// spool when the session ended without a daemon verdict, "" otherwise.
+// Meaningful after Close.
+func (c *Client) SealedSpool() string { return c.sealedPath }
+
+// Reconnects reports how many times the session recovered a dropped
+// connection by replaying the spool. Meaningful after Close.
+func (c *Client) Reconnects() int { return c.reconnects }
+
+// adopt installs conn as the live connection.
+func (c *Client) adopt(conn net.Conn) {
+	c.conn = conn
+	c.wr = wire.NewWriter(conn)
+	c.wr.InstrumentTx(c.cfg.Metrics)
+	c.connected = true
+	c.dirty = false
+	c.attempt = 0
+}
+
+// writeHello sends the hello over the live writer (the no-spool path;
+// with a spool, connects replay the spooled hello instead).
+func (c *Client) writeHello() error {
+	if err := c.wr.WriteHello(c.hello()); err != nil {
+		return err
+	}
+	return c.wr.Sync()
+}
+
+// deadlineWriter re-arms the write deadline before every write; the
+// spool replay streams through it so a stalled daemon cannot wedge a
+// reconnect either.
+type deadlineWriter struct {
+	conn    net.Conn
+	timeout time.Duration
+}
+
+func (d *deadlineWriter) Write(p []byte) (int, error) {
+	if d.timeout > 0 {
+		_ = d.conn.SetWriteDeadline(time.Now().Add(d.timeout))
+	}
+	return d.conn.Write(p)
+}
+
+// dialOnce makes one connection attempt and, on success, makes the new
+// connection current: with a spool the whole session history (hello
+// first) is replayed onto it, so the daemon sees a complete fresh
+// session; without one the hello is written directly.
+func (c *Client) dialOnce() error {
+	network, address := SplitAddr(c.addr)
+	d := net.Dialer{Timeout: c.cfg.Retry.DialTimeout}
+	conn, err := d.Dial(network, address)
+	if err != nil {
+		return err
+	}
+	if c.cfg.WrapConn != nil {
+		conn = c.cfg.WrapConn(conn)
+	}
+	if c.sp != nil {
+		if _, err := c.sp.ReplayTo(&deadlineWriter{conn: conn, timeout: c.cfg.writeTimeout()}); err != nil {
+			conn.Close()
+			return fmt.Errorf("spool replay: %w", err)
+		}
+		c.met.spoolReplay.Inc()
+	}
+	wasLive := c.conn != nil
+	c.adopt(conn)
+	if c.sp == nil {
+		if err := c.writeHello(); err != nil {
+			c.dropConn()
+			return err
+		}
+	} else if wasLive {
+		c.reconnects++
+		c.met.reconnects.Inc()
+	}
+	return nil
+}
+
+// connectBlocking dials under a budget with real backoff sleeps (the
+// initial Dial and the finish phase, where blocking is acceptable).
+func (c *Client) connectBlocking(budget int) error {
+	var err error
+	for i := 0; i < budget; i++ {
+		if i > 0 {
+			time.Sleep(c.cfg.Retry.backoff(c.rng, i))
+		}
+		c.met.redials.Inc()
+		if err = c.dialOnce(); err == nil {
+			return nil
+		}
+	}
+	return err
+}
+
+// dropConn closes the live connection and marks the client
+// disconnected. The next stream call may re-dial immediately.
+func (c *Client) dropConn() {
+	if c.conn != nil {
+		c.conn.Close()
+	}
+	c.connected = false
+	c.dirty = false
+}
+
+// onStreamError handles a transport fault on the live connection:
+// degrade (a detector fault happened, even if we recover), drop the
+// connection, and schedule an immediate reconnect attempt.
+func (c *Client) onStreamError() {
+	c.met.streamErrs.Inc()
+	c.Degrade()
+	c.dropConn()
+	c.attempt = 0
+	c.nextDial = time.Now()
+}
+
+// canReconnect reports whether a mid-run reconnect is possible: it
+// needs an address to re-dial and an intact spool to replay.
+func (c *Client) canReconnect() bool {
+	return c.addr != "" && c.sp != nil && !c.spoolDead && !c.terminal
+}
+
+// maybeReconnect makes at most one non-blocking reconnect attempt,
+// honoring the backoff schedule. Called from the stream path, so it
+// must never sleep: between attempts the program keeps running and
+// events keep spooling.
+func (c *Client) maybeReconnect() {
+	if c.connected || !c.canReconnect() || time.Now().Before(c.nextDial) {
+		return
+	}
+	c.met.redials.Inc()
+	if err := c.dialOnce(); err != nil {
+		c.attempt++
+		if c.attempt >= c.cfg.Retry.Attempts {
+			// Budget exhausted: stop dialing mid-run. The spool keeps
+			// absorbing events; the finish phase gets one last budget.
+			c.terminal = true
+			return
+		}
+		c.nextDial = time.Now().Add(c.cfg.Retry.backoff(c.rng, c.attempt))
+	}
+}
+
+// spoolTee appends one frame's worth of stream to the spool, tracking
+// metrics and the spool's health.
+func (c *Client) spoolTee(write func() error) {
+	if c.sp == nil || c.spoolDead {
+		return
+	}
+	before := c.sp.Size()
+	if err := write(); err != nil {
+		c.spoolDead = true
+		if err == spool.ErrSpoolFull {
+			c.met.spoolOver.Inc()
+		}
+		c.Degrade() // resilience lost even if the live stream is fine
+		return
+	}
+	c.met.spoolFrames.Inc()
+	c.met.spoolBytes.Add(uint64(c.sp.Size() - before))
+}
+
+// clientStream adapts the client to the relay's EventStream. Calls
+// arrive only from the relay goroutine.
 type clientStream Client
 
+// status translates the client's post-call state into the relay
+// contract: nil while the frame is safely on the wire or in the spool,
+// the transport error once neither holds (relay switches to fail-open
+// discard mode).
+func (c *Client) status(err error) error {
+	if c.connected || (c.sp != nil && !c.spoolDead) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	return fmt.Errorf("remote monitor: connection lost and spool unavailable")
+}
+
+func (c *Client) armWrite() {
+	if wt := c.cfg.writeTimeout(); wt > 0 {
+		_ = c.conn.SetWriteDeadline(time.Now().Add(wt))
+	}
+}
+
 func (s *clientStream) StreamEvents(slot int, evs []monitor.Event) error {
-	return s.wr.WriteEvents(slot, evs)
+	c := (*Client)(s)
+	// Reconnect BEFORE teeing the current frame: a successful redial
+	// replays the spool, so appending first would send this frame twice
+	// (once in the replay, once live) and fabricate duplicate events.
+	c.maybeReconnect()
+	c.spoolTee(func() error { return c.sp.WriteEvents(slot, evs) })
+	var err error
+	if c.connected {
+		c.armWrite()
+		if err = c.wr.WriteEvents(slot, evs); err != nil {
+			c.onStreamError()
+		} else {
+			c.dirty = true
+		}
+	}
+	return c.status(err)
 }
 
 func (s *clientStream) StreamControl(slot int, ev monitor.Event) error {
-	switch ev.Kind {
-	case monitor.EvFlush:
-		return s.wr.WriteFlush(slot, ev.Thread)
-	default: // EvDone (the relay forwards no other kinds)
-		return s.wr.WriteDone(slot, ev.Thread)
+	c := (*Client)(s)
+	write := func(w interface {
+		WriteFlush(int, int32) error
+		WriteDone(int, int32) error
+	}) error {
+		if ev.Kind == monitor.EvFlush {
+			return w.WriteFlush(slot, ev.Thread)
+		}
+		return w.WriteDone(slot, ev.Thread) // the relay forwards no other kinds
 	}
+	c.maybeReconnect() // before the tee — see StreamEvents
+	c.spoolTee(func() error { return write(c.sp) })
+	var err error
+	if c.connected {
+		c.armWrite()
+		// Control markers are barrier edges: flush the buffered writer so
+		// a dead daemon surfaces at a frame boundary, not a buffer-full.
+		if err = write(c.wr); err == nil {
+			err = c.wr.Sync()
+		}
+		if err != nil {
+			c.onStreamError()
+		} else {
+			c.dirty = false
+		}
+	}
+	return c.status(err)
+}
+
+// StreamIdle is the relay's quiet-period hook: flush buffered frames so
+// a broken transport is noticed between bursts, and pace reconnect
+// attempts while the daemon is down.
+func (s *clientStream) StreamIdle() error {
+	c := (*Client)(s)
+	c.maybeReconnect()
+	var err error
+	if c.connected && c.dirty {
+		c.armWrite()
+		if err = c.wr.Sync(); err != nil {
+			c.onStreamError()
+		} else {
+			c.dirty = false
+		}
+	}
+	return c.status(err)
 }
 
 // finish completes the protocol on the relay goroutine: finish frame
-// out, result frame in. On a broken stream it just tears the connection
-// down and reports the degraded outcome the fail-open contract promises.
+// out, result frame in — reconnecting under one last retry budget if
+// the connection is down or dies mid-protocol. When no connection can
+// be had, the spool is sealed into an offline-replayable trace and the
+// degraded outcome the fail-open contract promises is reported.
 func (c *Client) finish(broken bool) (monitor.RelayOutcome, error) {
 	if broken {
+		// The relay already discarded events: no complete stream exists
+		// anywhere, so there is nothing to replay. Seal whatever prefix
+		// the spool holds (a truncated trace is still evidence).
 		c.met.degraded.Inc()
-		c.conn.Close()
+		c.dropConn()
+		c.seal()
 		return monitor.RelayOutcome{Health: monitor.Degraded}, nil
-	}
-	fail := func(err error) (monitor.RelayOutcome, error) {
-		c.met.degraded.Inc()
-		c.conn.Close()
-		return monitor.RelayOutcome{Health: monitor.Degraded}, err
 	}
 	var t0 time.Time
 	if c.met.finishNs != nil {
 		t0 = time.Now()
 	}
+	// The program is done: blocking is acceptable now, so the finish
+	// phase gets a fresh budget of real backoff-separated dials, capped
+	// across protocol retries (a daemon that accepts and immediately
+	// drops connections must not loop us forever).
+	budget := c.cfg.Retry.Attempts
+	var lastErr error
+	for {
+		if !c.connected {
+			if c.addr == "" || c.sp == nil || c.spoolDead || budget <= 0 {
+				break
+			}
+			used := c.cfg.Retry.Attempts - budget
+			if used > 0 {
+				time.Sleep(c.cfg.Retry.backoff(c.rng, used))
+			}
+			budget--
+			c.met.redials.Inc()
+			if err := c.dialOnce(); err != nil {
+				lastErr = err
+				continue
+			}
+		}
+		res, err := c.finishOnce()
+		if err == nil {
+			if c.met.finishNs != nil {
+				c.met.finishNs.Observe(time.Since(t0).Nanoseconds())
+			}
+			if res.Health != monitor.Healthy {
+				c.met.degraded.Inc()
+			}
+			if c.sp != nil {
+				c.sp.Remove() // verdict obtained: the buffer served its purpose
+			}
+			return monitor.RelayOutcome{
+				Detected:   res.Detected(),
+				Violations: res.Violations,
+				Stats:      res.Stats,
+				Health:     res.Health,
+			}, nil
+		}
+		lastErr = err
+		c.onStreamError()
+	}
+	// No daemon verdict. Seal the spool so the verdict is computable
+	// offline, and fail open.
+	c.met.degraded.Inc()
+	c.seal()
+	return monitor.RelayOutcome{Health: monitor.Degraded}, lastErr
+}
+
+// finishOnce runs one attempt of the finish protocol on the live
+// connection.
+func (c *Client) finishOnce() (*wire.Result, error) {
+	c.armWrite()
 	if err := c.wr.WriteFinish(); err != nil {
-		return fail(err)
+		return nil, err
 	}
 	if err := c.wr.Sync(); err != nil {
-		return fail(err)
+		return nil, err
 	}
+	c.dirty = false
 	_ = c.conn.SetReadDeadline(time.Now().Add(c.cfg.ResultTimeout))
 	rd := wire.NewReader(c.conn)
 	rd.InstrumentRx(c.cfg.Metrics)
 	for {
 		f, err := rd.ReadFrame()
 		if err != nil {
-			return fail(err)
+			return nil, err
 		}
-		if f.Type != wire.FrameResult {
-			continue // tolerate future frame types before the result
+		switch f.Type {
+		case wire.FrameResult:
+			return f.Result, nil
+		case wire.FrameReject:
+			return nil, fmt.Errorf("remote monitor: session rejected: %s", f.Reject)
+		default:
+			// tolerate future frame types before the result
 		}
-		res := f.Result
-		if c.met.finishNs != nil {
-			c.met.finishNs.Observe(time.Since(t0).Nanoseconds())
-		}
-		if res.Health != monitor.Healthy {
-			c.met.degraded.Inc()
-		}
-		return monitor.RelayOutcome{
-			Detected:   res.Detected(),
-			Violations: res.Violations,
-			Stats:      res.Stats,
-			Health:     res.Health,
-		}, nil
 	}
+}
+
+// seal turns the spool into an offline-replayable trace and records its
+// path. On an unusable spool (disk error) sealing fails quietly — the
+// degraded outcome already tells the caller coverage was lost.
+func (c *Client) seal() {
+	if c.sp == nil {
+		return
+	}
+	if err := c.sp.Seal(nil); err == nil {
+		c.sealedPath = c.sp.Path()
+		c.met.spoolSealed.Inc()
+	}
+	c.sp.Close()
 }

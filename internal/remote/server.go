@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -18,6 +19,10 @@ import (
 // corrupt or hostile header cannot make the server allocate queues for
 // millions of threads.
 const DefaultMaxThreads = 1 << 10
+
+// DefaultServerWriteTimeout bounds the server's writes (result and
+// reject frames) so a dead client cannot wedge a session goroutine.
+const DefaultServerWriteTimeout = 10 * time.Second
 
 // ServerConfig configures a monitoring daemon.
 type ServerConfig struct {
@@ -33,6 +38,19 @@ type ServerConfig struct {
 	// MaxThreads bounds the hello frame's thread count
 	// (0 = DefaultMaxThreads).
 	MaxThreads int
+	// MaxConns bounds concurrent sessions (0 = unlimited). A connection
+	// accepted past the limit gets a polite reject frame with a reason,
+	// then is closed; the client treats it as a retryable transport
+	// fault.
+	MaxConns int
+	// IdleTimeout is the per-frame read deadline on a session connection
+	// (0 = none: monitored programs may legitimately compute for a long
+	// time between events). When set, a connection silent past it ends
+	// its session, checking what was received.
+	IdleTimeout time.Duration
+	// WriteTimeout bounds the server's result/reject frame writes
+	// (0 = DefaultServerWriteTimeout, negative = none).
+	WriteTimeout time.Duration
 	// Logf, when non-nil, receives one line per session event (accept,
 	// result, error). The daemon points it at its log; tests capture it.
 	Logf func(format string, args ...any)
@@ -50,6 +68,8 @@ type serverMetrics struct {
 	clean      *metrics.Counter // bw_server_sessions_clean_total
 	events     *metrics.Counter // bw_server_session_events_total
 	violations *metrics.Counter // bw_server_violations_total
+	rejected   *metrics.Counter // bw_server_rejected_total
+	draining   *metrics.Gauge   // bw_server_draining
 }
 
 func newServerMetrics(r *metrics.Registry) serverMetrics {
@@ -67,6 +87,10 @@ func newServerMetrics(r *metrics.Registry) serverMetrics {
 			"branch events checked across finished sessions"),
 		violations: r.Counter("bw_server_violations_total",
 			"violations detected across finished sessions"),
+		rejected: r.Counter("bw_server_rejected_total",
+			"connections refused at the -maxconns session limit"),
+		draining: r.Gauge("bw_server_draining",
+			"1 while the server is draining (stopped accepting, finishing live sessions)"),
 	}
 }
 
@@ -93,8 +117,10 @@ type Server struct {
 	ln       net.Listener
 	conns    map[net.Conn]struct{}
 	closed   bool
+	draining bool
 	wg       sync.WaitGroup
 	sessions atomic.Uint64
+	rejected atomic.Uint64
 }
 
 // NewServer builds a server.
@@ -109,10 +135,40 @@ func NewServer(cfg ServerConfig) *Server {
 var ErrServerClosed = errors.New("remote: server closed")
 
 // Listen resolves addr with the same syntax as Dial (SplitAddr) and
-// returns a listener for Serve.
+// returns a listener for Serve. A stale unix socket file — left behind
+// by a killed daemon — is detected (nothing answers a dial) and
+// unlinked, so a restart never fails on a leftover; a socket with a
+// live daemon behind it is a real address conflict and errors.
 func Listen(addr string) (net.Listener, error) {
 	network, address := SplitAddr(addr)
+	if network == "unix" {
+		if err := cleanStaleSocket(address); err != nil {
+			return nil, err
+		}
+	}
 	return net.Listen(network, address)
+}
+
+// cleanStaleSocket unlinks address if it is a unix socket file no
+// daemon is listening on. (Go's net package removes the file on a clean
+// listener Close; this handles the unclean-death case.)
+func cleanStaleSocket(address string) error {
+	fi, err := os.Stat(address)
+	if err != nil {
+		return nil // absent (or unstatable): let net.Listen report it
+	}
+	if fi.Mode()&os.ModeSocket == 0 {
+		return fmt.Errorf("remote: %s exists and is not a socket", address)
+	}
+	conn, err := net.DialTimeout("unix", address, 250*time.Millisecond)
+	if err == nil {
+		conn.Close()
+		return fmt.Errorf("remote: %s is in use by a running daemon", address)
+	}
+	if err := os.Remove(address); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("remote: removing stale socket %s: %w", address, err)
+	}
+	return nil
 }
 
 // Serve accepts connections on ln until Close, handling each session in
@@ -131,7 +187,7 @@ func (s *Server) Serve(ln net.Listener) error {
 		conn, err := ln.Accept()
 		if err != nil {
 			s.mu.Lock()
-			closed := s.closed
+			closed := s.closed || s.draining
 			s.mu.Unlock()
 			if closed {
 				return ErrServerClosed
@@ -143,6 +199,16 @@ func (s *Server) Serve(ln net.Listener) error {
 			s.mu.Unlock()
 			conn.Close()
 			return ErrServerClosed
+		}
+		if s.cfg.MaxConns > 0 && len(s.conns) >= s.cfg.MaxConns {
+			live := len(s.conns)
+			s.mu.Unlock()
+			s.rejected.Add(1)
+			s.met.rejected.Inc()
+			// Refuse politely off the accept loop; the write is
+			// deadline-bounded so a dead client cannot stall it anyway.
+			go s.reject(conn, live)
+			continue
 		}
 		s.conns[conn] = struct{}{}
 		s.wg.Add(1)
@@ -181,9 +247,82 @@ func (s *Server) Close() {
 	s.wg.Wait()
 }
 
+// Drain gracefully shuts the server down: stop accepting, let live
+// sessions finish within the timeout, then force-close whatever
+// remains. Draining() (and an adminhttp health hook pointed at it)
+// reports the intermediate state. Drain blocks until shutdown is
+// complete; calling it on a closed or already-draining server just
+// waits.
+func (s *Server) Drain(timeout time.Duration) {
+	s.mu.Lock()
+	if s.closed || s.draining {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.draining = true
+	ln := s.ln
+	s.mu.Unlock()
+	s.met.draining.Set(1)
+	if ln != nil {
+		ln.Close() // Serve returns ErrServerClosed; no new sessions
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(timeout):
+	}
+	s.Close()
+	s.met.draining.Set(0)
+}
+
+// Draining reports whether the server is between Drain and full
+// shutdown: not accepting, finishing live sessions.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining && !s.closed
+}
+
+// reject writes the polite at-capacity refusal and closes the
+// connection.
+func (s *Server) reject(conn net.Conn, live int) {
+	defer conn.Close()
+	if wt := s.writeTimeout(); wt > 0 {
+		_ = conn.SetWriteDeadline(time.Now().Add(wt))
+	}
+	wr := wire.NewWriter(conn)
+	reason := fmt.Sprintf("daemon at capacity (%d sessions, -maxconns %d)", live, s.cfg.MaxConns)
+	if err := wr.WriteReject(reason); err == nil {
+		err = wr.Sync()
+		if err != nil {
+			s.logf("rejecting session: %v", err)
+		}
+	}
+	s.logf("session refused: %s", reason)
+}
+
+func (s *Server) writeTimeout() time.Duration {
+	if s.cfg.WriteTimeout == 0 {
+		return DefaultServerWriteTimeout
+	}
+	if s.cfg.WriteTimeout < 0 {
+		return 0
+	}
+	return s.cfg.WriteTimeout
+}
+
 // Sessions returns the number of sessions handled so far (including
 // unclean ones).
 func (s *Server) Sessions() uint64 { return s.sessions.Load() }
+
+// Rejected returns the number of connections refused at the MaxConns
+// limit.
+func (s *Server) Rejected() uint64 { return s.rejected.Load() }
 
 func (s *Server) logf(format string, args ...any) {
 	if s.cfg.Logf != nil {
@@ -201,6 +340,15 @@ func (s *Server) handle(conn net.Conn) {
 	defer s.met.active.Add(-1)
 	rd := wire.NewReader(conn)
 	rd.InstrumentRx(s.cfg.Metrics)
+	// armRead re-arms the per-frame read deadline: a connection that goes
+	// silent past IdleTimeout ends its session instead of pinning a
+	// goroutine and a monitor forever.
+	armRead := func() {
+		if s.cfg.IdleTimeout > 0 {
+			_ = conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+		}
+	}
+	armRead()
 	f, err := rd.ReadFrame()
 	if err != nil {
 		s.logf("session rejected: reading hello: %v", err)
@@ -258,6 +406,7 @@ func (s *Server) handle(conn net.Conn) {
 		return senders[slot]
 	}
 	for {
+		armRead()
 		f, err := rd.ReadFrame()
 		if err != nil {
 			// Connection lost or stream corrupt mid-run: close the monitor
@@ -287,6 +436,9 @@ func (s *Server) handle(conn net.Conn) {
 				Health:     mon.Health(),
 				Stats:      mon.Stats(),
 				Violations: mon.Violations(),
+			}
+			if wt := s.writeTimeout(); wt > 0 {
+				_ = conn.SetWriteDeadline(time.Now().Add(wt))
 			}
 			wr := wire.NewWriter(conn)
 			if err := wr.WriteResult(res); err == nil {

@@ -1,0 +1,195 @@
+// Package spool buffers the out-of-process monitor's outbound frame
+// stream in a bounded on-disk file so the remote client can survive a
+// dead or slow daemon without losing the verdict.
+//
+// The file is an ordinary wire stream (internal/wire codec): a Hello
+// frame followed by events/flush/done frames and, once sealed, a Finish
+// frame — byte-compatible with what the client would have written onto
+// the socket and therefore with the on-disk trace format. That identity
+// is the whole design: replaying the spool onto a fresh connection
+// (ReplayTo) is a raw byte copy that reconstructs the session exactly,
+// and a sealed spool is directly consumable by `bwtrace replay`.
+//
+// The spool is bounded: once Size() would exceed the configured maximum
+// the next append fails with ErrSpoolFull and the spool stops growing
+// (the bound is soft by at most one frame). An overflowed spool can no
+// longer reconstruct the full session, so the client treats overflow as
+// a terminal, fail-open condition — degrade and count drops, never
+// block the program.
+//
+// A Spool is not safe for concurrent use; the relay's single drain
+// goroutine owns it, matching the wire.Writer contract.
+package spool
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"blockwatch/internal/monitor"
+	"blockwatch/internal/wire"
+)
+
+// ErrSpoolFull is returned by appends once the byte bound is reached.
+// It is sticky: every later append fails the same way.
+var ErrSpoolFull = errors.New("spool: byte bound reached")
+
+// DefaultMaxBytes bounds a spool when the caller passes 0.
+const DefaultMaxBytes = 64 << 20
+
+// Spool is a bounded on-disk buffer of wire frames.
+type Spool struct {
+	f        *os.File
+	cw       countingWriter
+	wr       *wire.Writer
+	max      int64
+	overflow bool
+	sealed   bool
+	closed   bool
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// Create opens (truncating) a spool file and writes the stream header.
+// maxBytes <= 0 selects DefaultMaxBytes.
+func Create(path string, maxBytes int64, hello *wire.Hello) (*Spool, error) {
+	if maxBytes <= 0 {
+		maxBytes = DefaultMaxBytes
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("spool: %w", err)
+	}
+	s := &Spool{f: f, max: maxBytes}
+	s.cw.w = f
+	s.wr = wire.NewWriter(&s.cw)
+	if err := s.wr.WriteHello(hello); err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, fmt.Errorf("spool: writing hello: %w", err)
+	}
+	if err := s.wr.Sync(); err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, fmt.Errorf("spool: writing hello: %w", err)
+	}
+	return s, nil
+}
+
+// Path returns the spool's file path.
+func (s *Spool) Path() string { return s.f.Name() }
+
+// Size returns the bytes written and flushed to disk so far.
+func (s *Spool) Size() int64 { return s.cw.n }
+
+// Overflowed reports whether an append has hit the byte bound.
+func (s *Spool) Overflowed() bool { return s.overflow }
+
+// Sealed reports whether WriteFinish/Seal completed.
+func (s *Spool) Sealed() bool { return s.sealed }
+
+func (s *Spool) append(write func() error) error {
+	if s.closed {
+		return errors.New("spool: closed")
+	}
+	if s.sealed {
+		return errors.New("spool: sealed")
+	}
+	if s.overflow {
+		return ErrSpoolFull
+	}
+	if s.cw.n >= s.max {
+		s.overflow = true
+		return ErrSpoolFull
+	}
+	if err := write(); err != nil {
+		return err
+	}
+	// Flush per frame so Size() is exact and ReplayTo never sees a torn
+	// frame. Events arrive pre-batched from the Sender (up to 64 per
+	// frame), so this is one small write syscall per batch, not per event.
+	return s.wr.Sync()
+}
+
+// WriteEvents appends one thread's batch of branch events.
+func (s *Spool) WriteEvents(slot int, evs []monitor.Event) error {
+	return s.append(func() error { return s.wr.WriteEvents(slot, evs) })
+}
+
+// WriteFlush appends thread slot's barrier marker.
+func (s *Spool) WriteFlush(slot int, thread int32) error {
+	return s.append(func() error { return s.wr.WriteFlush(slot, thread) })
+}
+
+// WriteDone appends thread slot's end-of-section marker.
+func (s *Spool) WriteDone(slot int, thread int32) error {
+	return s.append(func() error { return s.wr.WriteDone(slot, thread) })
+}
+
+// ReplayTo copies the spooled stream — hello first — to w, byte for
+// byte. The write offset is untouched, so appends may continue after a
+// replay (the reconnect case: replay history, then stream live).
+func (s *Spool) ReplayTo(w io.Writer) (int64, error) {
+	if s.closed {
+		return 0, errors.New("spool: closed")
+	}
+	return io.Copy(w, io.NewSectionReader(s.f, 0, s.cw.n))
+}
+
+// Seal appends the Finish frame (and the result, when the daemon's
+// verdict was obtained some other way) and syncs the file to disk,
+// turning the spool into a complete, `bwtrace replay`-able trace. Seal
+// on an overflowed spool only syncs: the file stays a truncated trace,
+// which trace.Replay still accepts (Clean=false).
+func (s *Spool) Seal(res *wire.Result) error {
+	if s.closed {
+		return errors.New("spool: closed")
+	}
+	if s.sealed {
+		return nil
+	}
+	if !s.overflow {
+		if err := s.wr.WriteFinish(); err != nil {
+			return err
+		}
+		if res != nil {
+			if err := s.wr.WriteResult(res); err != nil {
+				return err
+			}
+		}
+		if err := s.wr.Sync(); err != nil {
+			return err
+		}
+	}
+	s.sealed = true
+	return s.f.Sync()
+}
+
+// Close closes the file, leaving it on disk.
+func (s *Spool) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	return s.f.Close()
+}
+
+// Remove closes the spool and deletes the file (the success path: the
+// daemon answered, so the buffer served its purpose).
+func (s *Spool) Remove() error {
+	err := s.Close()
+	if rmErr := os.Remove(s.f.Name()); err == nil {
+		err = rmErr
+	}
+	return err
+}

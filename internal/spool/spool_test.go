@@ -1,0 +1,194 @@
+package spool
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"blockwatch/internal/core"
+	"blockwatch/internal/monitor"
+	"blockwatch/internal/trace"
+	"blockwatch/internal/wire"
+)
+
+func testHello() *wire.Hello {
+	return &wire.Hello{
+		Version: wire.Version,
+		Program: "spooltest",
+		Threads: 2,
+		Plans: []wire.Plan{
+			{BranchID: 1, Kind: core.CheckShared},
+		},
+	}
+}
+
+func branchEvents(tid int32, n int) []monitor.Event {
+	evs := make([]monitor.Event, n)
+	for i := range evs {
+		evs[i] = monitor.Event{
+			Kind: monitor.EvBranch, Thread: tid, BranchID: 1,
+			Taken: true, Key1: uint64(100*int(tid) + i), Key2: 7, Sig: uint64(i),
+		}
+	}
+	return evs
+}
+
+// TestReplayRoundTrip: everything appended before a replay comes back
+// byte-identical, appends continue to work after a replay (the
+// reconnect case), and a sealed spool is a clean, replayable trace.
+func TestReplayRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.bwspool")
+	s, err := Create(path, 0, testHello())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteEvents(0, branchEvents(0, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteFlush(0, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	var replay bytes.Buffer
+	n, err := s.ReplayTo(&replay)
+	if err != nil || n != s.Size() {
+		t.Fatalf("ReplayTo = %d, %v; want %d bytes", n, err, s.Size())
+	}
+	rd := wire.NewReader(bytes.NewReader(replay.Bytes()))
+	f, err := rd.ReadFrame()
+	if err != nil || f.Type != wire.FrameHello {
+		t.Fatalf("replayed hello: %v %+v", err, f)
+	}
+	if !reflect.DeepEqual(f.Hello, testHello()) {
+		t.Errorf("hello mismatch: %+v", f.Hello)
+	}
+	f, err = rd.ReadFrame()
+	if err != nil || f.Type != wire.FrameEvents || f.Slot != 0 || len(f.Events) != 3 {
+		t.Fatalf("replayed events: %v %+v", err, f)
+	}
+	if !reflect.DeepEqual(f.Events, branchEvents(0, 3)) {
+		t.Errorf("events mismatch: %+v", f.Events)
+	}
+	f, err = rd.ReadFrame()
+	if err != nil || f.Type != wire.FrameFlush || f.Slot != 0 {
+		t.Fatalf("replayed flush: %v %+v", err, f)
+	}
+	if _, err := rd.ReadFrame(); err != io.EOF {
+		t.Fatalf("want clean EOF after replay, got %v", err)
+	}
+
+	// Appends continue after a replay.
+	if err := s.WriteEvents(1, branchEvents(1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteDone(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteDone(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Seal(nil); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Sealed() {
+		t.Error("Sealed() = false after Seal")
+	}
+	if err := s.Seal(nil); err != nil {
+		t.Errorf("second Seal: %v", err)
+	}
+	if err := s.WriteFlush(0, 0); err == nil {
+		t.Error("append after Seal succeeded")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	file, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer file.Close()
+	out, err := trace.Replay(file, trace.ReplayConfig{})
+	if err != nil {
+		t.Fatalf("sealed spool did not replay: %v", err)
+	}
+	if !out.Clean || out.Program != "spooltest" || out.Threads != 2 {
+		t.Errorf("replay outcome = clean=%t program=%q threads=%d", out.Clean, out.Program, out.Threads)
+	}
+	if out.Detected {
+		t.Errorf("uniform keys replayed to violations: %+v", out.Violations)
+	}
+}
+
+// TestOverflow: the bound is enforced (softly, by at most one frame),
+// ErrSpoolFull is sticky, and a sealed overflowed spool is still a
+// truncated-but-replayable trace.
+func TestOverflow(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.bwspool")
+	s, err := Create(path, 1, testHello()) // bound below the hello: first append overflows
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteEvents(0, branchEvents(0, 1)); err != ErrSpoolFull {
+		t.Fatalf("append past bound = %v, want ErrSpoolFull", err)
+	}
+	if !s.Overflowed() {
+		t.Error("Overflowed() = false")
+	}
+	if err := s.WriteFlush(0, 0); err != ErrSpoolFull {
+		t.Fatalf("ErrSpoolFull not sticky: %v", err)
+	}
+	sizeBefore := s.Size()
+	if err := s.Seal(nil); err != nil {
+		t.Fatal(err)
+	}
+	if s.Size() != sizeBefore {
+		t.Errorf("Seal grew an overflowed spool: %d -> %d", sizeBefore, s.Size())
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	file, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer file.Close()
+	out, err := trace.Replay(file, trace.ReplayConfig{})
+	if err != nil {
+		t.Fatalf("overflowed spool did not replay: %v", err)
+	}
+	if out.Clean {
+		t.Error("overflowed spool replayed as clean")
+	}
+}
+
+func TestRemove(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.bwspool")
+	s, err := Create(path, 0, testHello())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Path() != path {
+		t.Errorf("Path() = %q", s.Path())
+	}
+	if err := s.Remove(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Errorf("spool file still present after Remove: %v", err)
+	}
+	// Close after Remove is a no-op, not a double-close error.
+	if err := s.Close(); err != nil {
+		t.Errorf("Close after Remove: %v", err)
+	}
+}
+
+func TestCreateBadPath(t *testing.T) {
+	if _, err := Create(filepath.Join(t.TempDir(), "no", "such", "dir", "s"), 0, testHello()); err == nil {
+		t.Error("Create in a missing directory succeeded")
+	}
+}

@@ -65,6 +65,11 @@ const (
 	FrameFinish
 	// FrameResult carries the checking outcome.
 	FrameResult
+	// FrameReject is a server's polite refusal of a new session (for
+	// example, at the -maxconns limit). It carries a reason string and is
+	// followed by the server closing the connection. A client treats it
+	// as a retryable transport fault, never a crash.
+	FrameReject
 )
 
 // MaxPayload bounds a frame's payload; larger length prefixes are
@@ -315,6 +320,13 @@ func (w *Writer) WriteFinish() error {
 	return w.frame(FrameFinish)
 }
 
+// WriteReject encodes a session refusal with a human-readable reason.
+func (w *Writer) WriteReject(reason string) error {
+	w.buf = w.buf[:0]
+	w.str(reason)
+	return w.frame(FrameReject)
+}
+
 // WriteResult encodes the checking outcome.
 func (w *Writer) WriteResult(r *Result) error {
 	w.buf = w.buf[:0]
@@ -345,6 +357,7 @@ type Frame struct {
 	Events []monitor.Event // FrameEvents
 	Hello  *Hello          // FrameHello
 	Result *Result         // FrameResult
+	Reject string          // FrameReject reason
 }
 
 // Reader decodes frames from an io.Reader. Not safe for concurrent use.
@@ -477,6 +490,11 @@ func (r *Reader) decode(typ byte, payload []byte) (*Frame, error) {
 		}
 	case FrameFinish:
 		// no payload
+	case FrameReject:
+		f.Reject = d.str()
+		if d.err != nil {
+			return nil, d.err
+		}
 	case FrameResult:
 		res, err := decodeResult(&d)
 		if err != nil {

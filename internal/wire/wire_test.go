@@ -130,6 +130,28 @@ func TestRoundTrip(t *testing.T) {
 	}
 }
 
+func TestRejectRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WriteReject("daemon at capacity (4 sessions)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(bytes.NewReader(buf.Bytes()))
+	f, err := r.ReadFrame()
+	if err != nil || f.Type != FrameReject {
+		t.Fatalf("reject frame: %v %+v", err, f)
+	}
+	if f.Reject != "daemon at capacity (4 sessions)" {
+		t.Errorf("reject reason = %q", f.Reject)
+	}
+	if _, err := r.ReadFrame(); err != io.EOF {
+		t.Fatalf("expected clean EOF, got %v", err)
+	}
+}
+
 func TestPlanTableRoundTrip(t *testing.T) {
 	plans := map[int]*core.CheckPlan{
 		1: {BranchID: 1, Kind: core.CheckShared, Reason: core.ReasonChecked},
