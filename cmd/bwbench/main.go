@@ -10,7 +10,11 @@
 //
 // Experiments: tables (I and II), table3, table4, table5, fig6, fig7,
 // fig8, fig9, falsepos, duplication, ablation, detectorfault, throughput,
-// remote, netfault, all.
+// remote, netfault, ingest, all.
+//
+// -cpuprofile and -memprofile write pprof profiles covering whichever
+// experiments ran (`go tool pprof` reads them); docs/benchmarks.md shows
+// the workflow.
 package main
 
 import (
@@ -18,6 +22,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -36,15 +42,43 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("bwbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		exp     = fs.String("exp", "all", "experiment id (tables|table3|table4|table5|fig6|fig7|fig8|fig9|falsepos|duplication|ablation|nestsweep|detectorfault|throughput|remote|netfault|all)")
+		exp     = fs.String("exp", "all", "experiment id (tables|table3|table4|table5|fig6|fig7|fig8|fig9|falsepos|duplication|ablation|nestsweep|detectorfault|throughput|remote|netfault|ingest|all)")
 		faults  = fs.Int("faults", 1000, "faults per campaign cell")
 		fpruns  = fs.Int("fpruns", 100, "error-free runs per program for the false-positive experiment")
 		seed    = fs.Int64("seed", 1, "campaign seed")
 		workers = fs.Int("workers", 0, "concurrent faulty runs per campaign (0 = all cores)")
 		quiet   = fs.Bool("q", false, "suppress progress lines")
+		cpuprof = fs.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
+		memprof = fs.String("memprofile", "", "write a heap profile (after the experiments) to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprof != "" {
+		f, err := os.Create(*memprof)
+		if err != nil {
+			return fmt.Errorf("memprofile: %w", err)
+		}
+		// Deferred so the profile covers even a failed run's allocations.
+		defer func() {
+			runtime.GC() // settle the live set before the heap snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(stderr, "bwbench: memprofile:", err)
+			}
+			f.Close()
+		}()
 	}
 
 	cfg := harness.Config{
@@ -188,12 +222,20 @@ func run(args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintln(stdout, harness.RenderNetFault(points))
 		ran++
 	}
+	if want("ingest") {
+		points, err := harness.Ingest(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, harness.RenderIngest(points))
+		ran++
+	}
 	if ran == 0 {
 		return fmt.Errorf("unknown experiment %q; try one of %s", *exp,
 			strings.Join([]string{"tables", "table3", "table4", "table5", "fig6",
 				"fig7", "fig8", "fig9", "falsepos", "duplication", "ablation",
 				"nestsweep", "detectorfault", "throughput", "remote", "netfault",
-				"all"}, ", "))
+				"ingest", "all"}, ", "))
 	}
 	fmt.Fprintf(stderr, "bwbench: %d experiment(s) in %s\n", ran, time.Since(start).Round(time.Millisecond))
 	return nil

@@ -1,0 +1,204 @@
+package harness
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"blockwatch/internal/core"
+	"blockwatch/internal/interp"
+	"blockwatch/internal/metrics"
+	"blockwatch/internal/monitor"
+	"blockwatch/internal/remote"
+	"blockwatch/internal/splash"
+)
+
+// Remote-ingest scaling experiment (not a paper artifact): drives one
+// daemon with a growing number of concurrent sessions over loopback TCP
+// and a unix socket, and reports aggregate ingest throughput next to the
+// daemon's decode-reuse counters (bw_wire_decode_*). Every session's
+// verdict is asserted against the in-process reference, so the table
+// measures exactly the zero-allocation ingest path the daemon runs in
+// steady state. `bwbench -exp ingest` prints it.
+
+// ingestKernel is the driven program; one kernel keeps the grid fast and
+// makes the per-cell event totals comparable.
+const ingestKernel = "fft"
+
+// ingestSessions is the session-count axis of the grid.
+var ingestSessions = []int{1, 2, 4}
+
+// IngestPoint is one (transport, sessions) cell.
+type IngestPoint struct {
+	Transport string
+	Sessions  int
+	// Events is the total number of branch events the daemon checked
+	// across all sessions of the cell.
+	Events  uint64
+	Elapsed time.Duration
+	// RxFrames is the daemon-side count of decoded wire frames
+	// (bw_wire_rx_frames_total) — with client-side coalescing, several
+	// relay batches arrive as one frame.
+	RxFrames uint64
+	// BufGrows / BufBytes are the decode scratch-reuse gauges: payload
+	// buffer (re)allocations across the cell and the high-water retained
+	// capacity. Steady state is one growth per pooled reader, not per
+	// frame.
+	BufGrows uint64
+	BufBytes int64
+}
+
+// EventsPerSec is the cell's aggregate ingest rate.
+func (p IngestPoint) EventsPerSec() float64 {
+	if p.Elapsed <= 0 {
+		return 0
+	}
+	return float64(p.Events) / p.Elapsed.Seconds()
+}
+
+// Ingest runs the multi-session ingest grid against one daemon per cell
+// (fresh metrics registry each, so the decode counters are the cell's
+// own) and asserts every session's verdict matches the in-process
+// reference.
+func Ingest(cfg Config) ([]IngestPoint, error) {
+	cfg = cfg.WithDefaults()
+
+	prog, err := splash.Get(ingestKernel)
+	if err != nil {
+		return nil, err
+	}
+	mod, err := prog.Compile()
+	if err != nil {
+		return nil, err
+	}
+	a, err := core.Analyze(mod, cfg.AnalysisOptions)
+	if err != nil {
+		return nil, err
+	}
+	b := &Bench{Prog: prog, Mod: mod, Analysis: a}
+
+	cfg.progress("ingest: %s in-process reference", ingestKernel)
+	ref, _, err := remoteCell(b, "in-process", nil)
+	if err != nil {
+		return nil, err
+	}
+
+	sockDir, err := os.MkdirTemp("", "bwingest")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(sockDir)
+
+	var out []IngestPoint
+	for _, transport := range []string{"tcp", "unix"} {
+		for _, sessions := range ingestSessions {
+			cfg.progress("ingest: %s sessions=%d", transport, sessions)
+			p, err := ingestCell(b, ref, transport, sockDir, sessions)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, p)
+		}
+	}
+	return out, nil
+}
+
+// ingestCell runs one (transport, sessions) cell: its own daemon and
+// registry, all sessions concurrent, each verdict checked against ref.
+func ingestCell(b *Bench, ref *interp.Result, transport, sockDir string, sessions int) (IngestPoint, error) {
+	reg := metrics.NewRegistry()
+	srv := remote.NewServer(remote.ServerConfig{Metrics: reg})
+	defer srv.Close()
+	var (
+		ln   net.Listener
+		addr string
+		err  error
+	)
+	switch transport {
+	case "tcp":
+		ln, err = net.Listen("tcp", "127.0.0.1:0")
+		if err == nil {
+			addr = ln.Addr().String()
+		}
+	case "unix":
+		sock := filepath.Join(sockDir, fmt.Sprintf("bw-%d.sock", sessions))
+		ln, err = net.Listen("unix", sock)
+		if err == nil {
+			addr = "unix:" + sock
+		}
+	default:
+		return IngestPoint{}, fmt.Errorf("ingest: unknown transport %q", transport)
+	}
+	if err != nil {
+		return IngestPoint{}, err
+	}
+	go srv.Serve(ln)
+
+	results := make([]*interp.Result, sessions)
+	errs := make([]error, sessions)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for s := 0; s < sessions; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			client, err := remote.Dial(addr, remote.ClientConfig{
+				Program:    fmt.Sprintf("%s-%d", b.Prog.Name, s),
+				NumThreads: remoteThreads,
+				Plans:      b.Analysis.Plans,
+			})
+			if err != nil {
+				errs[s] = err
+				return
+			}
+			results[s], errs[s] = interp.Run(b.Mod, interp.Options{
+				Threads: remoteThreads,
+				Mode:    interp.MonitorActive,
+				Plans:   b.Analysis.Plans,
+				Sink:    client,
+			})
+		}(s)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	p := IngestPoint{Transport: transport, Sessions: sessions, Elapsed: elapsed}
+	for s := 0; s < sessions; s++ {
+		if errs[s] != nil {
+			return IngestPoint{}, fmt.Errorf("ingest %s/%d session %d: %w", transport, sessions, s, errs[s])
+		}
+		res := results[s]
+		if res.MonitorHealth != monitor.Healthy {
+			return IngestPoint{}, fmt.Errorf("ingest %s/%d session %d: health %s on a clean run",
+				transport, sessions, s, res.MonitorHealth)
+		}
+		if err := remoteSameVerdict(b.Prog.Name, transport, ref, res); err != nil {
+			return IngestPoint{}, err
+		}
+		p.Events += res.MonitorStats.Events
+	}
+	p.RxFrames = reg.Counter("bw_wire_rx_frames_total", "frames decoded from the wire or trace").Value()
+	p.BufGrows = reg.Counter("bw_wire_decode_buf_grows_total",
+		"payload-scratch (re)allocations across decoded frames — steady state is 0 per frame").Value()
+	p.BufBytes = reg.Gauge("bw_wire_decode_buf_bytes", "high-water retained payload-scratch capacity, bytes").Value()
+	return p, nil
+}
+
+// RenderIngest formats the ingest grid as a text table.
+func RenderIngest(points []IngestPoint) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Remote ingest scaling: one daemon, concurrent sessions (%s, %d threads; verdicts asserted against in-process)\n",
+		ingestKernel, remoteThreads)
+	fmt.Fprintf(&sb, "%-10s %9s %12s %12s %14s %11s %11s %11s\n",
+		"transport", "sessions", "events", "elapsed", "events/sec", "rx-frames", "buf-grows", "buf-bytes")
+	for _, p := range points {
+		fmt.Fprintf(&sb, "%-10s %9d %12d %12s %14.0f %11d %11d %11d\n",
+			p.Transport, p.Sessions, p.Events, p.Elapsed.Round(time.Millisecond),
+			p.EventsPerSec(), p.RxFrames, p.BufGrows, p.BufBytes)
+	}
+	return sb.String()
+}

@@ -279,12 +279,30 @@ func (m *Monitor) Send(ev Event) {
 // out-of-range tid yields a quarantining Sender that counts and discards
 // every event, mirroring Send's fail-open contract.
 func (m *Monitor) Sender(tid int) *Sender {
+	s := &Sender{}
+	m.BindSender(s, tid)
+	return s
+}
+
+// BindSender (re)binds s as the batching producer handle for thread tid,
+// reusing s's existing event buffer when its capacity matches the
+// monitor's SenderBatch. This is the pooling hook for the daemon: one
+// sender table — and its per-thread batch buffers — is recycled across
+// sessions instead of reallocated per connection. The bound Sender obeys
+// exactly the Sender contract (including the quarantining behavior for
+// an out-of-range tid).
+func (m *Monitor) BindSender(s *Sender, tid int) {
+	buf := s.buf
 	if tid < 0 || tid >= len(m.queues) {
-		return &Sender{quarantined: &m.quarantined, health: &m.health, metQuar: m.met.quarantined}
+		*s = Sender{buf: buf[:0], quarantined: &m.quarantined, health: &m.health, metQuar: m.met.quarantined}
+		return
 	}
-	return &Sender{
+	if cap(buf) != senderBatch(m.cfg.SenderBatch) {
+		buf = make([]Event, 0, senderBatch(m.cfg.SenderBatch))
+	}
+	*s = Sender{
 		q:           m.queues[tid],
-		buf:         make([]Event, 0, senderBatch(m.cfg.SenderBatch)),
+		buf:         buf[:0],
 		policy:      m.cfg.Overflow,
 		spins:       m.sendSpins,
 		drops:       &m.drops[tid],

@@ -1,0 +1,7 @@
+//go:build race
+
+package monitor
+
+// raceEnabled reports that this test binary was built with -race, whose
+// instrumentation allocates and would fail the zero-alloc gates.
+const raceEnabled = true

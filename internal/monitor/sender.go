@@ -75,6 +75,29 @@ func (s *Sender) Send(ev Event) {
 	}
 }
 
+// SendBatch publishes evs — a batch of branch events for this sender's
+// thread, already assembled upstream (a decoded wire frame, a replayed
+// trace) — straight through the queue's PushBatch under the overflow
+// policy, without copying through the sender's own buffer. Buffered
+// events are flushed first so per-thread order holds; evs must contain
+// only branch events (the wire format guarantees an events frame never
+// carries control markers). A quarantining (nil-queue) Sender counts and
+// discards the whole batch. evs is not retained.
+func (s *Sender) SendBatch(evs []Event) {
+	if len(evs) == 0 {
+		return
+	}
+	if s.q == nil {
+		s.quarantined.Add(uint64(len(evs)))
+		s.metQuar.Add(uint64(len(evs)))
+		s.health.CompareAndSwap(int32(Healthy), int32(Degraded))
+		return
+	}
+	s.Flush()
+	s.metFlush.Observe(int64(len(evs)))
+	s.publish(evs)
+}
+
 // Flush publishes the buffered branch events under the configured
 // overflow policy. Callers only need it to bound staleness during long
 // computation gaps — control events and Close-side drains flush
@@ -84,7 +107,14 @@ func (s *Sender) Flush() {
 		return
 	}
 	s.metFlush.Observe(int64(len(s.buf)))
-	rest := s.buf
+	s.publish(s.buf)
+	s.buf = s.buf[:0]
+}
+
+// publish pushes rest through the queue under the overflow policy. It is
+// the one PushBatch choke point shared by Flush (the sender's own
+// buffer) and SendBatch (a caller-owned batch).
+func (s *Sender) publish(rest []Event) {
 	switch s.policy {
 	case OverflowDropNewest:
 		n := s.q.PushBatch(rest)
@@ -119,5 +149,14 @@ func (s *Sender) Flush() {
 			}
 		}
 	}
-	s.buf = s.buf[:0]
+}
+
+// Unbind clears the sender's monitor references while keeping its event
+// buffer, so a pooled sender table does not pin a finished session's
+// monitor. A following BindSender (or discarding the Sender) makes it
+// usable again; an unbound Sender quarantines nothing — it must not be
+// used.
+func (s *Sender) Unbind() {
+	buf := s.buf
+	*s = Sender{buf: buf[:0]}
 }

@@ -50,6 +50,17 @@ const DefaultResultTimeout = 30 * time.Second
 // stalled daemon cannot block the sender forever.
 const DefaultWriteTimeout = 10 * time.Second
 
+// DefaultCoalesceBytes is the default frame-coalescing byte budget:
+// consecutive same-thread event batches merge into one wire frame until
+// the frame's encoded payload would pass it. 8 KiB merges roughly a
+// dozen default Sender batches per frame while staying far under the
+// codec's MaxPayload.
+const DefaultCoalesceBytes = 8 << 10
+
+// maxCoalesceBytes caps a configured budget well under wire.MaxPayload
+// so a coalesced frame is always decodable on the far side.
+const maxCoalesceBytes = wire.MaxPayload / 2
+
 // Retry defaults (RetryConfig zero values).
 const (
 	DefaultDialTimeout   = 2 * time.Second
@@ -138,6 +149,17 @@ type ClientConfig struct {
 	Overflow    monitor.OverflowPolicy
 	SendSpins   int
 	SenderBatch int
+	// CoalesceBytes is the frame-coalescing byte budget: consecutive
+	// event batches from the same thread accumulate into one wire frame
+	// until its encoded payload would exceed this many bytes
+	// (0 = DefaultCoalesceBytes, negative = no coalescing — one frame per
+	// relay batch, the pre-coalescing shape). Coalescing cuts per-frame
+	// overhead — header and CRC bytes, spool write syscalls, flushes — on
+	// busy streams without adding latency where it matters: a control
+	// marker (barrier), a thread switch, or an idle relay always flushes
+	// the pending frame first, so frames still never span a barrier and
+	// quiet periods are never stale.
+	CoalesceBytes int
 	// ResultTimeout bounds the wait for the server's result frame after
 	// the finish frame (0 = DefaultResultTimeout).
 	ResultTimeout time.Duration
@@ -252,6 +274,14 @@ type Client struct {
 	spoolDead  bool // spool overflowed or its disk write failed
 	sealedPath string
 	reconnects int
+
+	// Frame coalescer (relay goroutine only): branch events of one
+	// thread accumulated toward a single merged wire frame. coBudget is
+	// the encoded-payload byte budget (0 = coalescing disabled).
+	coBudget int
+	coSlot   int
+	coEvs    []monitor.Event
+	coBytes  int
 }
 
 // SplitAddr resolves the CLI address syntax into a (network, address)
@@ -348,6 +378,12 @@ func newClient(cfg ClientConfig) (*Client, error) {
 		cfg: cfg,
 		met: newClientMetrics(cfg.Metrics),
 		rng: rand.New(rand.NewSource(cfg.Retry.Seed)),
+	}
+	switch {
+	case cfg.CoalesceBytes == 0:
+		c.coBudget = DefaultCoalesceBytes
+	case cfg.CoalesceBytes > 0:
+		c.coBudget = min(cfg.CoalesceBytes, maxCoalesceBytes)
 	}
 	if cfg.SpoolPath != "" {
 		sp, err := spool.Create(cfg.SpoolPath, cfg.SpoolMaxBytes, c.hello())
@@ -589,9 +625,57 @@ func (c *Client) armWrite() {
 
 func (s *clientStream) StreamEvents(slot int, evs []monitor.Event) error {
 	c := (*Client)(s)
-	// Reconnect BEFORE teeing the current frame: a successful redial
-	// replays the spool, so appending first would send this frame twice
-	// (once in the replay, once live) and fabricate duplicate events.
+	if c.coBudget > 0 {
+		return c.coalesce(slot, evs)
+	}
+	return c.writeEvents(slot, evs)
+}
+
+// coalesce buffers one relay batch toward a merged frame, flushing the
+// pending frame first when the thread changes or the byte budget would
+// be passed. The buffered events are safe: they flush before any control
+// marker, on relay idle, and before the finish protocol, and they only
+// enter the spool when their frame is encoded — so a reconnect replay
+// can never duplicate them.
+func (c *Client) coalesce(slot int, evs []monitor.Event) error {
+	if len(c.coEvs) > 0 && c.coSlot != slot {
+		if err := c.flushCoalesced(); err != nil {
+			return err
+		}
+	}
+	add := wire.EventsSize(slot, evs)
+	if len(c.coEvs) > 0 && c.coBytes+add+wire.EventsFrameOverhead > c.coBudget {
+		if err := c.flushCoalesced(); err != nil {
+			return err
+		}
+	}
+	c.coSlot = slot
+	c.coEvs = append(c.coEvs, evs...)
+	c.coBytes += add
+	if c.coBytes+wire.EventsFrameOverhead >= c.coBudget {
+		return c.flushCoalesced()
+	}
+	return c.status(nil)
+}
+
+// flushCoalesced encodes the pending coalesced events as one wire frame
+// (no-op when nothing is pending).
+func (c *Client) flushCoalesced() error {
+	if len(c.coEvs) == 0 {
+		return c.status(nil)
+	}
+	slot, evs := c.coSlot, c.coEvs
+	err := c.writeEvents(slot, evs)
+	c.coEvs = c.coEvs[:0]
+	c.coBytes = 0
+	return err
+}
+
+// writeEvents puts one events frame onto the stream: reconnect BEFORE
+// teeing the frame — a successful redial replays the spool, so appending
+// first would send this frame twice (once in the replay, once live) and
+// fabricate duplicate events — then the spool tee, then the live write.
+func (c *Client) writeEvents(slot int, evs []monitor.Event) error {
 	c.maybeReconnect()
 	c.spoolTee(func() error { return c.sp.WriteEvents(slot, evs) })
 	var err error
@@ -608,6 +692,12 @@ func (s *clientStream) StreamEvents(slot int, evs []monitor.Event) error {
 
 func (s *clientStream) StreamControl(slot int, ev monitor.Event) error {
 	c := (*Client)(s)
+	// A control marker is a barrier edge: the pending coalesced events
+	// must hit the stream (and the spool) first so a frame never spans
+	// the barrier.
+	if err := c.flushCoalesced(); err != nil {
+		return err
+	}
 	write := func(w interface {
 		WriteFlush(int, int32) error
 		WriteDone(int, int32) error
@@ -617,7 +707,7 @@ func (s *clientStream) StreamControl(slot int, ev monitor.Event) error {
 		}
 		return w.WriteDone(slot, ev.Thread) // the relay forwards no other kinds
 	}
-	c.maybeReconnect() // before the tee — see StreamEvents
+	c.maybeReconnect() // before the tee — see writeEvents
 	c.spoolTee(func() error { return write(c.sp) })
 	var err error
 	if c.connected {
@@ -641,6 +731,11 @@ func (s *clientStream) StreamControl(slot int, ev monitor.Event) error {
 // attempts while the daemon is down.
 func (s *clientStream) StreamIdle() error {
 	c := (*Client)(s)
+	// A quiet relay means no more batches are coming for now: the
+	// coalescer must not sit on events across the idle gap.
+	if err := c.flushCoalesced(); err != nil {
+		return err
+	}
 	c.maybeReconnect()
 	var err error
 	if c.connected && c.dirty {
@@ -660,6 +755,9 @@ func (s *clientStream) StreamIdle() error {
 // be had, the spool is sealed into an offline-replayable trace and the
 // degraded outcome the fail-open contract promises is reported.
 func (c *Client) finish(broken bool) (monitor.RelayOutcome, error) {
+	// Any coalesced remainder must precede the finish frame (clean path)
+	// or make it into the sealed prefix (broken path).
+	_ = c.flushCoalesced()
 	if broken {
 		// The relay already discarded events: no complete stream exists
 		// anywhere, so there is nothing to replay. Seal whatever prefix

@@ -330,6 +330,34 @@ func (s *Server) logf(format string, args ...any) {
 	}
 }
 
+// sessionScratch is the per-session state a busy daemon churns through:
+// the wire reader (with its retained payload scratch), the decoded frame
+// (with its event scratch), and the per-thread sender table (with each
+// sender's batch buffer). Pooled across sessions so steady-state session
+// turnover reuses warmed buffers and the per-frame ingest path — decode
+// into the frame scratch, PushBatch into the session monitor — allocates
+// nothing.
+type sessionScratch struct {
+	rd      *wire.Reader
+	frame   wire.Frame
+	senders []monitor.Sender
+}
+
+var scratchPool = sync.Pool{
+	New: func() any { return &sessionScratch{rd: wire.NewReader(nil)} },
+}
+
+// release unpins session-lifetime objects (connection, monitor, hello)
+// and returns the scratch — buffers intact — to the pool.
+func (sc *sessionScratch) release() {
+	sc.rd.Reset(nil)
+	sc.frame = wire.Frame{Events: sc.frame.Events[:0]}
+	for i := range sc.senders {
+		sc.senders[i].Unbind()
+	}
+	scratchPool.Put(sc)
+}
+
 // handle runs one monitoring session: hello, event stream, finish,
 // result. Sessions are isolated — a malformed stream only ends its own
 // session (the monitor still closes and checks what it received).
@@ -338,7 +366,10 @@ func (s *Server) handle(conn net.Conn) {
 	s.met.sessions.Inc()
 	s.met.active.Add(1)
 	defer s.met.active.Add(-1)
-	rd := wire.NewReader(conn)
+	sc := scratchPool.Get().(*sessionScratch)
+	defer sc.release()
+	rd := sc.rd
+	rd.Reset(conn)
 	rd.InstrumentRx(s.cfg.Metrics)
 	// armRead re-arms the per-frame read deadline: a connection that goes
 	// silent past IdleTimeout ends its session instead of pinning a
@@ -349,16 +380,15 @@ func (s *Server) handle(conn net.Conn) {
 		}
 	}
 	armRead()
-	f, err := rd.ReadFrame()
-	if err != nil {
+	if err := rd.ReadFrameInto(&sc.frame); err != nil {
 		s.logf("session rejected: reading hello: %v", err)
 		return
 	}
-	if f.Type != wire.FrameHello {
-		s.logf("session rejected: first frame is type 0x%02x, not hello", f.Type)
+	if sc.frame.Type != wire.FrameHello {
+		s.logf("session rejected: first frame is type 0x%02x, not hello", sc.frame.Type)
 		return
 	}
-	hello := f.Hello
+	hello := sc.frame.Hello
 	if hello.Threads < 1 || hello.Threads > s.cfg.MaxThreads {
 		s.logf("session rejected: %q claims %d threads (max %d)", hello.Program, hello.Threads, s.cfg.MaxThreads)
 		return
@@ -380,11 +410,21 @@ func (s *Server) handle(conn net.Conn) {
 
 	// The read loop is the single producer for every per-thread queue of
 	// this session's monitor, so the SPSC contract holds; per-slot
-	// Senders rebatch the decoded events.
-	senders := make([]*monitor.Sender, hello.Threads)
-	for tid := range senders {
-		senders[tid] = mon.Sender(tid)
+	// Senders hand decoded event frames to the monitor through PushBatch.
+	// The sender table (and each sender's buffer) comes from the pooled
+	// scratch, rebound to this session's monitor.
+	if cap(sc.senders) < hello.Threads {
+		sc.senders = append(sc.senders[:cap(sc.senders)],
+			make([]monitor.Sender, hello.Threads-cap(sc.senders))...)
 	}
+	sc.senders = sc.senders[:hello.Threads]
+	senders := sc.senders
+	for tid := range senders {
+		mon.BindSender(&senders[tid], tid)
+	}
+	// quar counts events from corrupt out-of-range slots through the
+	// monitor's own fail-open path; bound lazily (corruption is rare).
+	var quar *monitor.Sender
 	info := SessionInfo{Program: hello.Program, Threads: hello.Threads}
 	defer func() {
 		if info.Clean {
@@ -401,14 +441,17 @@ func (s *Server) handle(conn net.Conn) {
 			// Out-of-range slot in a corrupt frame: quarantine through the
 			// monitor's own fail-open path (a Sender for an invalid tid
 			// counts and discards).
-			return mon.Sender(-1)
+			if quar == nil {
+				quar = mon.Sender(-1)
+			}
+			return quar
 		}
-		return senders[slot]
+		return &senders[slot]
 	}
+	f := &sc.frame
 	for {
 		armRead()
-		f, err := rd.ReadFrame()
-		if err != nil {
+		if err := rd.ReadFrameInto(f); err != nil {
 			// Connection lost or stream corrupt mid-run: close the monitor
 			// (checking everything received so far) and end the session.
 			// The client side fails open on its own.
@@ -421,10 +464,7 @@ func (s *Server) handle(conn net.Conn) {
 		}
 		switch f.Type {
 		case wire.FrameEvents:
-			sd := sender(f.Slot)
-			for i := range f.Events {
-				sd.Send(f.Events[i])
-			}
+			sender(f.Slot).SendBatch(f.Events)
 		case wire.FrameFlush:
 			sender(f.Slot).Send(monitor.Event{Kind: monitor.EvFlush, Thread: f.Thread})
 		case wire.FrameDone:

@@ -128,10 +128,7 @@ func (s *recorderStream) StreamEvents(slot int, evs []monitor.Event) error {
 			s.Relay.Degrade()
 		}
 	}
-	sd := s.senders[slot]
-	for i := range evs {
-		sd.Send(evs[i])
-	}
+	s.senders[slot].SendBatch(evs)
 	return nil
 }
 
@@ -226,7 +223,8 @@ var ErrEmptyTrace = errors.New("trace: file is empty — no trace header was eve
 // raw decode errors of a zero-length or header-truncated file into
 // clean diagnostics.
 func readHeader(rd *wire.Reader) (*wire.Hello, error) {
-	f, err := rd.ReadFrame()
+	var f wire.Frame
+	err := rd.ReadFrameInto(&f)
 	if err != nil {
 		switch err {
 		case io.EOF:
@@ -267,15 +265,20 @@ func Replay(r io.Reader, cfg ReplayConfig) (*Outcome, error) {
 		senders[tid] = mon.Sender(tid)
 	}
 	out := &Outcome{Program: hello.Program, Threads: hello.Threads}
+	var quar *monitor.Sender // lazy quarantining handle, mirroring the daemon
 	sender := func(slot int) *monitor.Sender {
 		if slot < 0 || slot >= len(senders) {
-			return mon.Sender(-1) // quarantining handle, mirroring the daemon
+			if quar == nil {
+				quar = mon.Sender(-1)
+			}
+			return quar
 		}
 		return senders[slot]
 	}
+	var f wire.Frame // reused across frames; SendBatch does not retain
 loop:
 	for {
-		f, err := rd.ReadFrame()
+		err := rd.ReadFrameInto(&f)
 		if err != nil {
 			if err != io.EOF {
 				mon.Close()
@@ -285,10 +288,7 @@ loop:
 		}
 		switch f.Type {
 		case wire.FrameEvents:
-			sd := sender(f.Slot)
-			for i := range f.Events {
-				sd.Send(f.Events[i])
-			}
+			sender(f.Slot).SendBatch(f.Events)
 		case wire.FrameFlush:
 			sender(f.Slot).Send(monitor.Event{Kind: monitor.EvFlush, Thread: f.Thread})
 		case wire.FrameDone:
@@ -344,8 +344,9 @@ func Stat(r io.Reader) (*Info, error) {
 		FlushesPerThread: make([]uint64, hello.Threads),
 	}
 	slotOK := func(slot int) bool { return slot >= 0 && slot < hello.Threads }
+	var f wire.Frame // reused across frames
 	for {
-		f, err := rd.ReadFrame()
+		err := rd.ReadFrameInto(&f)
 		if err != nil {
 			if err == io.EOF {
 				return info, nil

@@ -39,6 +39,7 @@ func BenchmarkWireEncode(b *testing.B) {
 	}
 	b.SetBytes(int64(encoded.Len()))
 	b.ReportMetric(float64(encoded.Len())/float64(len(evs)), "wire-bytes/event")
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := w.WriteEvents(2, evs); err != nil {
@@ -47,7 +48,8 @@ func BenchmarkWireEncode(b *testing.B) {
 	}
 }
 
-func BenchmarkWireDecode(b *testing.B) {
+// benchFrame encodes one default-batch events frame and returns its bytes.
+func benchFrame(b *testing.B) ([]monitor.Event, []byte) {
 	evs := benchBatch()
 	var buf bytes.Buffer
 	w := NewWriter(&buf)
@@ -57,8 +59,36 @@ func BenchmarkWireDecode(b *testing.B) {
 	if err := w.Sync(); err != nil {
 		b.Fatal(err)
 	}
-	data := buf.Bytes()
+	return evs, buf.Bytes()
+}
+
+// BenchmarkWireDecode measures the daemon's per-frame ingest decode: a
+// pooled Reader reset onto each stream, decoding into a reused Frame —
+// the steady-state server path, which must not allocate.
+func BenchmarkWireDecode(b *testing.B) {
+	evs, data := benchFrame(b)
+	br := bytes.NewReader(data)
+	rd := NewReader(br)
+	var f Frame
 	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		br.Reset(data)
+		rd.Reset(br)
+		if err := rd.ReadFrameInto(&f); err != nil || len(f.Events) != len(evs) {
+			b.Fatalf("decode: %v", err)
+		}
+	}
+}
+
+// BenchmarkWireDecodeCompat measures the allocating compatibility path —
+// a fresh Reader and returned Frame per stream, the shape one-shot
+// consumers (finishOnce, readHeader) use.
+func BenchmarkWireDecodeCompat(b *testing.B) {
+	evs, data := benchFrame(b)
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		f, err := NewReader(bytes.NewReader(data)).ReadFrame()

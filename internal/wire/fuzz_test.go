@@ -3,6 +3,8 @@ package wire
 import (
 	"bytes"
 	"io"
+	"reflect"
+	"slices"
 	"testing"
 )
 
@@ -12,6 +14,11 @@ import (
 // re-encode (the accepted subset of the wire language is closed under
 // round-tripping). This is the property the remote client's fail-open
 // path and bwtrace's corrupt-trace rejection both lean on.
+//
+// A second reader decodes the same bytes through ReadFrameInto in
+// lockstep: the allocating compat wrapper and the scratch-reusing
+// decode-into path must accept exactly the same inputs and produce
+// identical frames — byte-for-byte the same wire language.
 func FuzzWireDecode(f *testing.F) {
 	f.Add([]byte{})
 	f.Add(encodeStream(f))
@@ -19,11 +26,27 @@ func FuzzWireDecode(f *testing.F) {
 	f.Add([]byte{FrameHello, 0x00, 0x00, 0x00, 0x00, 0, 0, 0, 0})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r := NewReader(bytes.NewReader(data))
+		r2 := NewReader(bytes.NewReader(data))
+		var f2 Frame
 		w := NewWriter(io.Discard)
 		for {
 			fr, err := r.ReadFrame()
+			err2 := r2.ReadFrameInto(&f2)
+			if (err == nil) != (err2 == nil) {
+				t.Fatalf("decode paths disagree: ReadFrame err %v, ReadFrameInto err %v", err, err2)
+			}
 			if err != nil {
+				if err.Error() != err2.Error() {
+					t.Fatalf("decode paths disagree on the error: %v vs %v", err, err2)
+				}
 				return
+			}
+			if fr.Type != f2.Type || fr.Slot != f2.Slot || fr.Thread != f2.Thread ||
+				!slices.Equal(fr.Events, f2.Events) ||
+				!reflect.DeepEqual(fr.Hello, f2.Hello) ||
+				!reflect.DeepEqual(fr.Result, f2.Result) ||
+				fr.Reject != f2.Reject {
+				t.Fatalf("decode paths disagree on the frame:\n ReadFrame:     %+v\n ReadFrameInto: %+v", fr, &f2)
 			}
 			switch fr.Type {
 			case FrameHello:
@@ -44,6 +67,8 @@ func FuzzWireDecode(f *testing.F) {
 				if err := w.WriteResult(fr.Result); err != nil {
 					t.Fatalf("re-encode result: %v", err)
 				}
+			case FrameReject:
+				_ = w.WriteReject(fr.Reject)
 			default:
 				t.Fatalf("decoder accepted unknown frame type 0x%02x", fr.Type)
 			}

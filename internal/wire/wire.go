@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"math/bits"
 	"sort"
 	"time"
 
@@ -75,6 +76,14 @@ const (
 // MaxPayload bounds a frame's payload; larger length prefixes are
 // rejected before any allocation (a corrupt length cannot OOM a reader).
 const MaxPayload = 1 << 20
+
+// PayloadRetainCap bounds the payload scratch a Reader keeps between
+// frames: the buffer grows on demand up to this cap and is then reused
+// for every following frame, so steady-state decoding allocates nothing;
+// a rare oversize frame (up to MaxPayload) gets a transient buffer that
+// is released after the frame, so one huge frame cannot pin a megabyte
+// per pooled reader in a many-session daemon.
+const PayloadRetainCap = 64 << 10
 
 // Codec errors.
 var (
@@ -296,6 +305,35 @@ func (w *Writer) WriteEvents(slot int, evs []monitor.Event) error {
 	return w.frame(FrameEvents)
 }
 
+// uvarintLen returns the encoded size of v as an unsigned varint.
+func uvarintLen(v uint64) int { return (bits.Len64(v|1) + 6) / 7 }
+
+// varintLen returns the encoded size of v as a zigzag varint.
+func varintLen(v int64) int { return uvarintLen(uint64(v)<<1 ^ uint64(v>>63)) }
+
+// EventsSize returns the payload bytes the events would occupy inside a
+// FrameEvents for slot, excluding the frame's slot/count prefix. The
+// remote client's frame coalescer uses it to stay under its byte budget
+// (and under MaxPayload) without encoding speculatively.
+func EventsSize(slot int, evs []monitor.Event) int {
+	n := 0
+	for i := range evs {
+		ev := &evs[i]
+		n++ // flags
+		if int(ev.Thread) != slot {
+			n += varintLen(int64(ev.Thread))
+		}
+		n += varintLen(int64(ev.BranchID))
+		n += uvarintLen(ev.Key1) + uvarintLen(ev.Key2) + uvarintLen(ev.Sig)
+	}
+	return n
+}
+
+// EventsFrameOverhead is the worst-case payload bytes a FrameEvents
+// spends on its slot/count prefix; coalescers budget for it on top of
+// EventsSize.
+const EventsFrameOverhead = 2 * binary.MaxVarintLen64
+
 // WriteFlush encodes thread slot's barrier marker; thread is the marker's
 // payload thread ID (== slot unless corrupted upstream).
 func (w *Writer) WriteFlush(slot int, thread int32) error {
@@ -348,8 +386,10 @@ func (w *Writer) WriteResult(r *Result) error {
 	return w.frame(FrameResult)
 }
 
-// Frame is one decoded frame. Only the fields matching Type are set. The
-// Events slice is owned by the Reader and valid until the next ReadFrame.
+// Frame is one decoded frame. Only the fields matching Type are set.
+// With ReadFrame the Events slice is owned by the Reader and valid until
+// the next read; with ReadFrameInto it is the caller's scratch, reused
+// (grown, never shrunk) across calls on the same Frame.
 type Frame struct {
 	Type   byte
 	Slot   int             // FrameEvents, FrameFlush, FrameDone
@@ -364,16 +404,30 @@ type Frame struct {
 type Reader struct {
 	r       *bufio.Reader
 	payload []byte
-	events  []monitor.Event
-	// Metric handles (nil when detached): frames/bytes decoded.
+	events  []monitor.Event // ReadFrame's compat scratch
+	// hdr and tail are per-frame header/CRC scratch. They live on the
+	// Reader because io.ReadFull takes the buffer through an interface,
+	// so stack arrays would escape — one heap allocation each per frame.
+	hdr  [5]byte
+	tail [4]byte
+	// Metric handles (nil when detached): frames/bytes decoded, payload
+	// scratch growths, and the scratch's high-water capacity.
 	metFrames *metrics.Counter
 	metBytes  *metrics.Counter
+	metGrows  *metrics.Counter
+	metBufCap *metrics.Gauge
 }
 
 // NewReader wraps r.
 func NewReader(r io.Reader) *Reader {
 	return &Reader{r: bufio.NewReaderSize(r, 1<<15)}
 }
+
+// Reset discards any buffered input and switches the reader to src,
+// keeping the payload and event scratch (and any attached metric
+// handles). It is the pooling hook: a daemon reuses one Reader — and its
+// warmed buffers — across many connections.
+func (r *Reader) Reset(src io.Reader) { r.r.Reset(src) }
 
 // Instrument attaches metric handles to the reader: frames and bytes
 // count every successfully decoded frame. Nil handles are allowed.
@@ -383,56 +437,98 @@ func (r *Reader) Instrument(frames, bytes *metrics.Counter) {
 }
 
 // InstrumentRx attaches the codec's standard receive metrics
-// (bw_wire_rx_frames_total, bw_wire_rx_bytes_total) from reg. A nil
-// registry leaves the reader detached.
+// (bw_wire_rx_frames_total, bw_wire_rx_bytes_total) plus the decode
+// scratch-reuse gauges (bw_wire_decode_buf_grows_total,
+// bw_wire_decode_buf_bytes) from reg. A nil registry leaves the reader
+// detached.
 func (r *Reader) InstrumentRx(reg *metrics.Registry) {
 	if reg == nil {
+		// Detach explicitly: a pooled reader must not keep counting into
+		// a previous owner's registry.
+		r.Instrument(nil, nil)
+		r.metGrows, r.metBufCap = nil, nil
 		return
 	}
 	r.Instrument(
 		reg.Counter("bw_wire_rx_frames_total", "frames decoded from the wire or trace"),
 		reg.Counter("bw_wire_rx_bytes_total", "bytes decoded from the wire or trace"),
 	)
+	r.metGrows = reg.Counter("bw_wire_decode_buf_grows_total",
+		"payload-scratch (re)allocations across decoded frames — steady state is 0 per frame")
+	r.metBufCap = reg.Gauge("bw_wire_decode_buf_bytes",
+		"high-water retained payload-scratch capacity, bytes")
 }
 
 // ReadFrame reads and verifies one frame. It returns io.EOF at a clean
 // frame boundary and io.ErrUnexpectedEOF inside a frame; any malformed
 // content (bad CRC, bad length, truncated varints, unknown type) is an
-// error, never a panic.
+// error, never a panic. The compatibility wrapper over ReadFrameInto: it
+// allocates the returned Frame but still reuses the reader-owned event
+// scratch, so the returned Events slice is valid only until the next
+// read.
 func (r *Reader) ReadFrame() (*Frame, error) {
-	var hdr [5]byte
+	f := &Frame{Events: r.events}
+	err := r.ReadFrameInto(f)
+	r.events = f.Events[:0] // retain scratch growth even on error
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// ReadFrameInto reads and verifies one frame into f, with exactly
+// ReadFrame's error semantics and acceptance (FuzzWireDecode pins the
+// two byte-for-byte). Nothing is allocated at steady state: the payload
+// is read into the reader's retained scratch (grow-only, capped at
+// PayloadRetainCap; oversize frames use a transient buffer) and event
+// frames decode into f.Events[:0], growing the caller's scratch only
+// when a frame outsizes it. On error f's contents are unspecified.
+func (r *Reader) ReadFrameInto(f *Frame) error {
+	f.Type = 0
+	f.Slot, f.Thread = 0, 0
+	f.Events = f.Events[:0]
+	f.Hello, f.Result = nil, nil
+	f.Reject = ""
+	hdr := r.hdr[:]
 	if _, err := io.ReadFull(r.r, hdr[:1]); err != nil {
-		return nil, err // io.EOF here is a clean end of stream
+		return err // io.EOF here is a clean end of stream
 	}
 	if _, err := io.ReadFull(r.r, hdr[1:]); err != nil {
-		return nil, unexpectedEOF(err)
+		return unexpectedEOF(err)
 	}
 	n := binary.LittleEndian.Uint32(hdr[1:])
 	if n > MaxPayload {
-		return nil, ErrTooLarge
+		return ErrTooLarge
 	}
 	if cap(r.payload) < int(n) {
 		r.payload = make([]byte, n)
+		r.metGrows.Inc()
+		if n <= PayloadRetainCap {
+			r.metBufCap.SetMax(int64(cap(r.payload)))
+		}
 	}
 	r.payload = r.payload[:n]
 	if _, err := io.ReadFull(r.r, r.payload); err != nil {
-		return nil, unexpectedEOF(err)
+		return unexpectedEOF(err)
 	}
-	var tail [4]byte
-	if _, err := io.ReadFull(r.r, tail[:]); err != nil {
-		return nil, unexpectedEOF(err)
+	tail := r.tail[:]
+	if _, err := io.ReadFull(r.r, tail); err != nil {
+		return unexpectedEOF(err)
 	}
 	crc := crc32.Update(0, castagnoli, hdr[:1])
 	crc = crc32.Update(crc, castagnoli, r.payload)
-	if crc != binary.LittleEndian.Uint32(tail[:]) {
-		return nil, ErrCRC
+	if crc != binary.LittleEndian.Uint32(tail) {
+		return ErrCRC
 	}
-	f, err := r.decode(hdr[0], r.payload)
+	err := r.decodeInto(f, hdr[0], r.payload)
 	if err == nil {
 		r.metFrames.Inc()
 		r.metBytes.Add(uint64(len(hdr) + len(r.payload) + len(tail)))
 	}
-	return f, err
+	if cap(r.payload) > PayloadRetainCap {
+		r.payload = nil // oversize frame: release the transient buffer
+	}
+	return err
 }
 
 func unexpectedEOF(err error) error {
@@ -442,29 +538,31 @@ func unexpectedEOF(err error) error {
 	return err
 }
 
-func (r *Reader) decode(typ byte, payload []byte) (*Frame, error) {
+// decodeInto decodes one verified payload into f. Event frames append
+// into f.Events (already reset by the caller); all other frame kinds
+// allocate their natural once-per-session structures (Hello, Result).
+func (r *Reader) decodeInto(f *Frame, typ byte, payload []byte) error {
 	d := dec{b: payload}
-	f := &Frame{Type: typ}
+	f.Type = typ
 	switch typ {
 	case FrameHello:
 		h, err := decodeHello(&d)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		f.Hello = h
 	case FrameEvents:
 		slot := d.u64()
 		count := d.u64()
 		if d.err != nil {
-			return nil, d.err
+			return d.err
 		}
 		// Each encoded event is at least 5 bytes, so count is bounded by
 		// the payload size; a corrupt count cannot force a huge allocation.
 		if count > uint64(len(payload)) {
-			return nil, fmt.Errorf("wire: events count %d exceeds payload", count)
+			return fmt.Errorf("wire: events count %d exceeds payload", count)
 		}
 		f.Slot = int(slot)
-		r.events = r.events[:0]
 		for i := uint64(0); i < count; i++ {
 			flags := d.byte()
 			ev := monitor.Event{Kind: monitor.EvBranch, Thread: int32(slot)}
@@ -477,37 +575,33 @@ func (r *Reader) decode(typ byte, payload []byte) (*Frame, error) {
 			ev.Key2 = d.u64()
 			ev.Sig = d.u64()
 			if d.err != nil {
-				return nil, d.err
+				return d.err
 			}
-			r.events = append(r.events, ev)
+			f.Events = append(f.Events, ev)
 		}
-		f.Events = r.events
 	case FrameFlush, FrameDone:
 		f.Slot = int(d.u64())
 		f.Thread = int32(d.i64())
 		if d.err != nil {
-			return nil, d.err
+			return d.err
 		}
 	case FrameFinish:
 		// no payload
 	case FrameReject:
 		f.Reject = d.str()
 		if d.err != nil {
-			return nil, d.err
+			return d.err
 		}
 	case FrameResult:
 		res, err := decodeResult(&d)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		f.Result = res
 	default:
-		return nil, fmt.Errorf("wire: unknown frame type 0x%02x", typ)
+		return fmt.Errorf("wire: unknown frame type 0x%02x", typ)
 	}
-	if d.err != nil {
-		return nil, d.err
-	}
-	return f, nil
+	return d.err
 }
 
 func decodeHello(d *dec) (*Hello, error) {
