@@ -1,0 +1,53 @@
+# Developer entry points mirroring .github/workflows/ci.yml, so the same
+# gates that guard a PR run with one command locally. `make` alone runs
+# the tier-1 pair (build + test).
+
+GO ?= go
+
+.PHONY: all build test race bench-smoke fuzz-smoke lint vuln clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The concurrency-sensitive packages under the race detector — the same
+# list as the CI race job, including the fleet pool whose probe loop,
+# sessions, and failover paths race by construction.
+race:
+	$(GO) test -race ./internal/queue/ ./internal/monitor/ ./internal/inject/ \
+		./internal/interp/ ./internal/remote/ ./internal/spool/ ./internal/trace/ \
+		./internal/metrics/ ./internal/adminhttp/ ./internal/wire/ ./internal/fleet/
+
+# One iteration of every benchmark: catches benchmark-rot without
+# measuring anything.
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x ./...
+
+# Short fuzz sessions over the robustness invariants (CI runs the same
+# targets for longer).
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzCompile -fuzztime=10s ./internal/lower/
+	$(GO) test -fuzz=FuzzParse -fuzztime=5s ./internal/lang/
+	$(GO) test -fuzz=FuzzNoFalsePositive -fuzztime=10s ./internal/lang/langtest/
+	$(GO) test -fuzz=FuzzMonitorEvents -fuzztime=10s ./internal/monitor/
+	$(GO) test -fuzz=FuzzWireDecode -fuzztime=10s ./internal/wire/
+
+# gofmt + vet + staticcheck (when installed; CI always runs it).
+lint:
+	@fmt=$$(gofmt -l .); if [ -n "$$fmt" ]; then \
+		echo "gofmt needed on:"; echo "$$fmt"; exit 1; fi
+	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
+		else echo "staticcheck not installed; skipping (CI runs it)"; fi
+
+# Known-vulnerability scan (requires network; CI runs it on every PR).
+vuln:
+	@if command -v govulncheck >/dev/null 2>&1; then govulncheck ./...; \
+		else $(GO) run golang.org/x/vuln/cmd/govulncheck@latest ./...; fi
+
+clean:
+	$(GO) clean ./...

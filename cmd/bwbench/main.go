@@ -10,11 +10,12 @@
 //
 // Experiments: tables (I and II), table3, table4, table5, fig6, fig7,
 // fig8, fig9, falsepos, duplication, ablation, detectorfault, throughput,
-// remote, netfault, ingest, all.
+// remote, netfault, ingest, fleet, all.
 //
 // -cpuprofile and -memprofile write pprof profiles covering whichever
 // experiments ran (`go tool pprof` reads them); docs/benchmarks.md shows
-// the workflow.
+// the workflow. A leading -version flag prints the build version and
+// exits.
 package main
 
 import (
@@ -27,6 +28,7 @@ import (
 	"strings"
 	"time"
 
+	"blockwatch/internal/buildinfo"
 	"blockwatch/internal/harness"
 	"blockwatch/internal/inject"
 )
@@ -39,10 +41,13 @@ func main() {
 }
 
 func run(args []string, stdout, stderr io.Writer) error {
+	if buildinfo.HandleVersion(args, stdout, "bwbench") {
+		return nil
+	}
 	fs := flag.NewFlagSet("bwbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		exp     = fs.String("exp", "all", "experiment id (tables|table3|table4|table5|fig6|fig7|fig8|fig9|falsepos|duplication|ablation|nestsweep|detectorfault|throughput|remote|netfault|ingest|all)")
+		exp     = fs.String("exp", "all", "experiment id (tables|table3|table4|table5|fig6|fig7|fig8|fig9|falsepos|duplication|ablation|nestsweep|detectorfault|throughput|remote|netfault|ingest|fleet|all)")
 		faults  = fs.Int("faults", 1000, "faults per campaign cell")
 		fpruns  = fs.Int("fpruns", 100, "error-free runs per program for the false-positive experiment")
 		seed    = fs.Int64("seed", 1, "campaign seed")
@@ -230,12 +235,20 @@ func run(args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintln(stdout, harness.RenderIngest(points))
 		ran++
 	}
+	if want("fleet") {
+		points, err := harness.Fleet(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, harness.RenderFleet(points))
+		ran++
+	}
 	if ran == 0 {
 		return fmt.Errorf("unknown experiment %q; try one of %s", *exp,
 			strings.Join([]string{"tables", "table3", "table4", "table5", "fig6",
 				"fig7", "fig8", "fig9", "falsepos", "duplication", "ablation",
 				"nestsweep", "detectorfault", "throughput", "remote", "netfault",
-				"ingest", "all"}, ", "))
+				"ingest", "fleet", "all"}, ", "))
 	}
 	fmt.Fprintf(stderr, "bwbench: %d experiment(s) in %s\n", ran, time.Since(start).Round(time.Millisecond))
 	return nil

@@ -15,6 +15,7 @@
 //	-nopromote    disable the none→partial promotion
 //	-dedup        enable redundant-check elimination
 //	-list         list bundled benchmarks and exit
+//	-version      print the build version and exit
 package main
 
 import (
@@ -25,6 +26,7 @@ import (
 	"strings"
 
 	"blockwatch"
+	"blockwatch/internal/buildinfo"
 )
 
 func main() {
@@ -35,6 +37,9 @@ func main() {
 }
 
 func run(args []string, stdout, stderr io.Writer) error {
+	if buildinfo.HandleVersion(args, stdout, "bwc") {
+		return nil
+	}
 	fs := flag.NewFlagSet("bwc", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (

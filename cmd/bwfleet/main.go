@@ -1,0 +1,221 @@
+// Command bwfleet inspects and aggregates a fleet of bwmonitord
+// daemons: the operational companion to `bwrun -remote addr1,addr2`.
+//
+// Usage:
+//
+//	bwfleet probe   -fleet addr[=admin],...
+//	bwfleet rank    -fleet addr[=admin],... -key SESSION
+//	bwfleet metrics -fleet addr[=admin],... [-format prom|json]
+//
+// A fleet spec is a comma-separated member list; each member is its
+// wire address (host:port, or unix:/path) optionally followed by
+// "=host:port" naming the daemon's -admin listener.
+//
+// probe dials every member's wire endpoint once (and, where an admin
+// address is given, checks /healthz for draining) and prints the
+// resulting health table: state, placement weight, and latency.
+//
+// rank prints the fleet's placement order for one session key — the
+// health-weighted rendezvous ranking `bwrun -remote` uses to place the
+// session and to pick failover targets, so an operator can answer
+// "which daemon is (or would be) serving this program?".
+//
+// metrics scrapes every member's admin /metrics.json registry and
+// merges them into a single exposition (Prometheus text by default,
+// -format json for the merged snapshot), so one dashboard reads the
+// whole fleet as if it were a single daemon.
+//
+// All subcommands also accept a leading -version flag printing the
+// build version.
+//
+// Exit status: 0 on success (probe: all members up), 1 on error or
+// when probe finds any member down or draining.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"blockwatch/internal/buildinfo"
+	"blockwatch/internal/fleet"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "bwfleet:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	if buildinfo.HandleVersion(args, stdout, "bwfleet") {
+		return nil
+	}
+	if len(args) < 1 {
+		return fmt.Errorf("usage: bwfleet probe|rank|metrics -fleet addr[=admin],... [flags]")
+	}
+	switch cmd, rest := args[0], args[1:]; cmd {
+	case "probe":
+		return probe(rest, stdout, stderr)
+	case "rank":
+		return rank(rest, stdout, stderr)
+	case "metrics":
+		return metricsCmd(rest, stdout, stderr)
+	default:
+		return fmt.Errorf("unknown subcommand %q (want probe, rank, or metrics)", cmd)
+	}
+}
+
+// fleetFlags registers the flags every subcommand shares.
+func fleetFlags(fs *flag.FlagSet) (spec *string, timeout *time.Duration) {
+	spec = fs.String("fleet", "", "comma-separated members: addr or addr=adminhost:port (required)")
+	timeout = fs.Duration("timeout", fleet.DefaultProbeTimeout, "per-member probe/scrape timeout")
+	return spec, timeout
+}
+
+func parseFleet(spec string) ([]fleet.Member, error) {
+	if spec == "" {
+		return nil, fmt.Errorf("-fleet member list is required")
+	}
+	return fleet.ParseMembers(spec)
+}
+
+func probe(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("bwfleet probe", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	spec, timeout := fleetFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	members, err := parseFleet(*spec)
+	if err != nil {
+		return err
+	}
+	pool, err := fleet.NewPool(fleet.Config{
+		Members: members, ProbeInterval: -1, ProbeTimeout: *timeout,
+	})
+	if err != nil {
+		return err
+	}
+	defer pool.Close()
+	health := pool.Probe()
+	fmt.Fprintf(stdout, "%-28s %-22s %-9s %8s %10s  %s\n",
+		"member", "admin", "state", "weight", "latency", "error")
+	bad := 0
+	for _, h := range health {
+		if h.State != "up" {
+			bad++
+		}
+		admin := h.Admin
+		if admin == "" {
+			admin = "-"
+		}
+		fmt.Fprintf(stdout, "%-28s %-22s %-9s %8.3f %10s  %s\n",
+			h.Addr, admin, h.State, h.Weight, h.Latency.Round(time.Microsecond), h.LastErr)
+	}
+	if bad > 0 {
+		return fmt.Errorf("%d of %d member(s) not up", bad, len(health))
+	}
+	return nil
+}
+
+func rank(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("bwfleet rank", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	spec, timeout := fleetFlags(fs)
+	key := fs.String("key", "", "session key to place (bwrun uses the program name; required)")
+	noProbe := fs.Bool("no-probe", false, "rank on the static member list without probing first")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	members, err := parseFleet(*spec)
+	if err != nil {
+		return err
+	}
+	if *key == "" {
+		return fmt.Errorf("rank: -key session key is required")
+	}
+	pool, err := fleet.NewPool(fleet.Config{
+		Members: members, ProbeInterval: -1, ProbeTimeout: *timeout,
+	})
+	if err != nil {
+		return err
+	}
+	defer pool.Close()
+	if !*noProbe {
+		pool.Probe()
+	}
+	ranked := pool.Rank(*key)
+	if len(ranked) == 0 {
+		return fmt.Errorf("rank: no candidate members for key %q", *key)
+	}
+	byAddr := make(map[string]fleet.MemberHealth)
+	for _, h := range pool.Members() {
+		byAddr[h.Addr] = h
+	}
+	fmt.Fprintf(stdout, "placement for session key %q:\n", *key)
+	for i, m := range ranked {
+		h := byAddr[m.Addr]
+		role := "failover"
+		if i == 0 {
+			role = "primary"
+		}
+		fmt.Fprintf(stdout, "%3d. %-28s %-9s weight=%.3f %s\n", i+1, m.Addr, h.State, h.Weight, role)
+	}
+	return nil
+}
+
+func metricsCmd(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("bwfleet metrics", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	spec, timeout := fleetFlags(fs)
+	format := fs.String("format", "prom", "merged output format: prom | json")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *format != "prom" && *format != "json" {
+		return fmt.Errorf("metrics: unknown format %q (prom | json)", *format)
+	}
+	members, err := parseFleet(*spec)
+	if err != nil {
+		return err
+	}
+	scrapes, merged := fleet.ScrapeAll(members, *timeout)
+	scraped := 0
+	for _, s := range scrapes {
+		if s.Err != nil {
+			fmt.Fprintf(stderr, "bwfleet: %s: %v\n", s.Addr, s.Err)
+			continue
+		}
+		scraped++
+	}
+	if scraped == 0 {
+		return fmt.Errorf("metrics: no member scraped successfully")
+	}
+	switch *format {
+	case "json":
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(merged); err != nil {
+			return err
+		}
+	case "prom":
+		if err := merged.WritePrometheus(stdout); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(stderr, "bwfleet: merged %d of %d member registr%s\n",
+		scraped, len(members), plural(len(members), "y", "ies"))
+	return nil
+}
+
+func plural(n int, one, many string) string {
+	if n == 1 {
+		return one
+	}
+	return many
+}

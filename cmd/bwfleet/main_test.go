@@ -1,0 +1,134 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net"
+	"strings"
+	"testing"
+
+	"blockwatch/internal/adminhttp"
+	"blockwatch/internal/metrics"
+	"blockwatch/internal/remote"
+)
+
+func TestVersionFlag(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-version"}, &out, &errb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out.String(), "bwfleet ") {
+		t.Fatalf("-version printed %q", out.String())
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{},
+		{"bogus"},
+		{"probe"},
+		{"rank", "-fleet", "127.0.0.1:1"},
+		{"rank", "-fleet", "a,a", "-key", "k"},
+		{"metrics", "-fleet", "127.0.0.1:1", "-format", "xml"},
+	} {
+		var out, errb bytes.Buffer
+		if err := run(args, &out, &errb); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+// startDaemon returns a live daemon's wire address and an admin
+// listener over the given registry.
+func startDaemon(t *testing.T, reg *metrics.Registry) (wire, admin string) {
+	t.Helper()
+	srv := remote.NewServer(remote.ServerConfig{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(srv.Close)
+	adm, err := adminhttp.Start("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { adm.Close() })
+	return ln.Addr().String(), adm.Addr()
+}
+
+func TestProbeRankMetricsEndToEnd(t *testing.T) {
+	regA, regB := metrics.NewRegistry(), metrics.NewRegistry()
+	regA.Counter("bw_demo_total", "demo").Add(3)
+	regB.Counter("bw_demo_total", "demo").Add(4)
+	wireA, adminA := startDaemon(t, regA)
+	wireB, adminB := startDaemon(t, regB)
+	spec := wireA + "=" + adminA + "," + wireB + "=" + adminB
+
+	var out, errb bytes.Buffer
+	if err := run([]string{"probe", "-fleet", spec}, &out, &errb); err != nil {
+		t.Fatalf("probe: %v\n%s", err, errb.String())
+	}
+	if got := strings.Count(out.String(), " up "); got != 2 {
+		t.Errorf("probe printed %d up members, want 2:\n%s", got, out.String())
+	}
+
+	out.Reset()
+	if err := run([]string{"rank", "-fleet", spec, "-key", "fft"}, &out, &errb); err != nil {
+		t.Fatalf("rank: %v", err)
+	}
+	if !strings.Contains(out.String(), "primary") || !strings.Contains(out.String(), "failover") {
+		t.Errorf("rank output missing roles:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), wireA) || !strings.Contains(out.String(), wireB) {
+		t.Errorf("rank output missing members:\n%s", out.String())
+	}
+
+	out.Reset()
+	if err := run([]string{"metrics", "-fleet", spec}, &out, &errb); err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	if !strings.Contains(out.String(), "bw_demo_total 7") {
+		t.Errorf("merged prometheus exposition missing summed counter:\n%s", out.String())
+	}
+
+	out.Reset()
+	if err := run([]string{"metrics", "-fleet", spec, "-format", "json"}, &out, &errb); err != nil {
+		t.Fatalf("metrics -format json: %v", err)
+	}
+	var snap metrics.Snapshot
+	if err := json.Unmarshal(out.Bytes(), &snap); err != nil {
+		t.Fatalf("metrics -format json is not a snapshot: %v", err)
+	}
+	if v, ok := snap.Counter("bw_demo_total"); !ok || v != 7 {
+		t.Errorf("merged snapshot counter = %d (present %t), want 7", v, ok)
+	}
+}
+
+func TestProbeReportsDownMember(t *testing.T) {
+	wire, admin := startDaemon(t, nil)
+	// A member nothing listens on: probe must mark it down and exit
+	// nonzero.
+	dead, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := dead.Addr().String()
+	dead.Close()
+
+	var out, errb bytes.Buffer
+	err = run([]string{"probe", "-fleet", wire + "=" + admin + "," + deadAddr}, &out, &errb)
+	if err == nil {
+		t.Fatalf("probe with a dead member succeeded:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "down") {
+		t.Errorf("probe output does not mark the dead member down:\n%s", out.String())
+	}
+}
+
+func TestMetricsAllMembersUnreachable(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"metrics", "-fleet", "127.0.0.1:1"}, &out, &errb); err == nil {
+		t.Error("metrics with no admin endpoints succeeded, want error")
+	}
+}

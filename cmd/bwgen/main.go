@@ -11,6 +11,7 @@
 //	-depth N   max nesting depth (default 3)
 //	-check     also compile, analyze, and run the program protected,
 //	           reporting any false positive (self-test mode)
+//	-version   print the build version and exit
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 	"os"
 
 	"blockwatch"
+	"blockwatch/internal/buildinfo"
 	"blockwatch/internal/lang/langtest"
 )
 
@@ -31,6 +33,9 @@ func main() {
 }
 
 func run(args []string, stdout, stderr io.Writer) error {
+	if buildinfo.HandleVersion(args, stdout, "bwgen") {
+		return nil
+	}
 	fs := flag.NewFlagSet("bwgen", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (

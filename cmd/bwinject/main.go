@@ -22,6 +22,9 @@
 //	              monitoring sessions and verifies the self-healing
 //	              contract: no hangs, no crashes, no lost verdicts)
 //	-transport T  with -type net-fault: tcp (default) or unix
+//	-members N    with -type net-fault: campaign fleet size (default 1;
+//	              with ≥ 2 the fault mix gains daemon-kill, which must
+//	              fail the session over to a surviving member)
 //	-no-spool     with -type net-fault: disable the disk spillover, so the
 //	              client is merely fail-open (verdicts may be lost)
 //	-seed N       campaign seed
@@ -35,6 +38,7 @@
 //	              run to stdout after the campaign: json | prom
 //	-metrics-addr A  serve /metrics, /healthz, /debug/pprof at A for the
 //	              campaign's duration (scrape a long campaign live)
+//	-version      print the build version and exit
 package main
 
 import (
@@ -46,6 +50,7 @@ import (
 
 	"blockwatch"
 	"blockwatch/internal/adminhttp"
+	"blockwatch/internal/buildinfo"
 	"blockwatch/internal/metrics"
 )
 
@@ -57,6 +62,9 @@ func main() {
 }
 
 func run(args []string, stdout, stderr io.Writer) error {
+	if buildinfo.HandleVersion(args, stdout, "bwinject") {
+		return nil
+	}
 	fs := flag.NewFlagSet("bwinject", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -65,6 +73,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		faults    = fs.Int("faults", 1000, "faults per campaign")
 		ftype     = fs.String("type", "branch-flip", "branch-flip | branch-condition | event-path | net-fault")
 		transport = fs.String("transport", "tcp", "net-fault transport: tcp | unix")
+		members   = fs.Int("members", 1, "net-fault fleet size (≥2 adds daemon-kill faults)")
 		noSpool   = fs.Bool("no-spool", false, "net-fault: disable the disk spillover (fail-open only)")
 		seed      = fs.Int64("seed", 1, "campaign seed")
 		workers   = fs.Int("workers", 0, "concurrent faulty runs (0 = all cores)")
@@ -113,6 +122,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 			Faults:       *faults,
 			Seed:         *seed,
 			Transport:    *transport,
+			Members:      *members,
 			DisableSpool: *noSpool,
 			Workers:      *workers,
 		})
@@ -197,8 +207,12 @@ func dumpMetrics(w io.Writer, reg *metrics.Registry, format string) error {
 // self-healing contract. A nonzero violation count is a hard error, so
 // scripts and CI fail when a verdict is lost.
 func netFaultCampaign(w io.Writer, prog *blockwatch.Program, opts blockwatch.NetFaultOptions) error {
-	fmt.Fprintf(w, "net-fault campaign: %s, %d threads, %d faults over %s (spool %s)\n",
-		prog.Name(), opts.Threads, opts.Faults, transportName(opts.Transport), onOff(!opts.DisableSpool))
+	members := opts.Members
+	if members < 1 {
+		members = 1
+	}
+	fmt.Fprintf(w, "net-fault campaign: %s, %d threads, %d faults over %s, %d member(s) (spool %s)\n",
+		prog.Name(), opts.Threads, opts.Faults, transportName(opts.Transport), members, onOff(!opts.DisableSpool))
 	res, err := prog.NetFaultCampaign(opts)
 	if err != nil {
 		return err

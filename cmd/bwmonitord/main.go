@@ -29,6 +29,7 @@
 //	-admin A      also serve an HTTP observability listener at A with
 //	              /metrics (Prometheus text), /healthz, and /debug/pprof;
 //	              one registry aggregates every session's monitor metrics
+//	-version      print the build version and exit
 //
 // The daemon runs until interrupted (SIGINT/SIGTERM), then drains (or
 // closes) live sessions and exits. A stale unix socket left by a crashed
@@ -44,6 +45,7 @@ import (
 	"syscall"
 
 	"blockwatch/internal/adminhttp"
+	"blockwatch/internal/buildinfo"
 	"blockwatch/internal/metrics"
 	"blockwatch/internal/remote"
 )
@@ -58,6 +60,9 @@ func main() {
 }
 
 func run(args []string, stdout, stderr io.Writer, stop <-chan os.Signal) error {
+	if buildinfo.HandleVersion(args, stdout, "bwmonitord") {
+		return nil
+	}
 	if len(args) < 1 || args[0] != "serve" {
 		return fmt.Errorf("usage: bwmonitord serve [flags]")
 	}

@@ -25,7 +25,10 @@
 //	-watchdog D   stall-watchdog deadline (e.g. 500ms; 0 = disabled)
 //	-remote A     stream events to a bwmonitord daemon at A instead of
 //	              checking in-process (implies -protect; fails open if the
-//	              daemon dies)
+//	              daemon dies). A comma-separated list addr1,addr2 names a
+//	              daemon fleet: the session is placed on one member by
+//	              health-weighted rendezvous hashing and, with -spool,
+//	              fails over to the next member if its daemon dies mid-run
 //	-retry N      with -remote, retry each failed dial up to N times with
 //	              exponential backoff, reconnecting mid-run after drops
 //	              (0 = single attempt, no reconnect)
@@ -38,6 +41,7 @@
 //	              format F: json | prom (Prometheus text exposition)
 //	-metrics-addr A  serve /metrics, /healthz and /debug/pprof at A for
 //	              the run's duration (useful for profiling long runs)
+//	-version      print the build version and exit
 package main
 
 import (
@@ -49,6 +53,7 @@ import (
 
 	"blockwatch"
 	"blockwatch/internal/adminhttp"
+	"blockwatch/internal/buildinfo"
 	"blockwatch/internal/metrics"
 )
 
@@ -64,6 +69,9 @@ func main() {
 }
 
 func run(args []string, stdout, stderr io.Writer) (*blockwatch.RunResult, error) {
+	if buildinfo.HandleVersion(args, stdout, "bwrun") {
+		return nil, nil
+	}
 	fs := flag.NewFlagSet("bwrun", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -80,7 +88,7 @@ func run(args []string, stdout, stderr io.Writer) (*blockwatch.RunResult, error)
 		batch    = fs.Int("batch", 0, "per-thread event batch size (0 = default, 1 = unbatched)")
 		checkers = fs.Int("checkers", 0, "monitor checker goroutines (0/1 = inline checking)")
 		watchdog = fs.Duration("watchdog", 0, "monitor stall-watchdog deadline (0 = disabled)")
-		remote   = fs.String("remote", "", "bwmonitord address (host:port or unix:/path); implies -protect")
+		remote   = fs.String("remote", "", "bwmonitord address (host:port or unix:/path), or a comma-separated fleet of them; implies -protect")
 		retry    = fs.Int("retry", 0, "with -remote, dial attempts per outage with backoff (0 = single attempt)")
 		spool    = fs.String("spool", "", "with -remote, disk spillover file replayed on reconnect")
 		record   = fs.String("record", "", "trace file to record the event stream to; implies -protect")

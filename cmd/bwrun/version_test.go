@@ -1,0 +1,21 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestVersionFlag(t *testing.T) {
+	var out, errb bytes.Buffer
+	res, err := run([]string{"-version"}, &out, &errb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != nil {
+		t.Fatalf("-version returned a run result: %+v", res)
+	}
+	if !strings.HasPrefix(out.String(), "bwrun ") {
+		t.Fatalf("-version printed %q", out.String())
+	}
+}

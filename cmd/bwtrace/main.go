@@ -14,6 +14,9 @@
 // monitor and reports whether its verdict matches the one sealed into the
 // trace. stat summarizes a trace without checking it.
 //
+// All commands also accept a leading -version flag printing the build
+// version.
+//
 // Exit status: 0 for a clean verdict, 2 when the (live or replayed) monitor
 // detected violations, 1 for any other error — the same convention as bwrun.
 package main
@@ -25,6 +28,7 @@ import (
 	"os"
 
 	"blockwatch"
+	"blockwatch/internal/buildinfo"
 	"blockwatch/internal/trace"
 )
 
@@ -40,6 +44,9 @@ func main() {
 }
 
 func run(args []string, stdout, stderr io.Writer) (detected bool, err error) {
+	if buildinfo.HandleVersion(args, stdout, "bwtrace") {
+		return false, nil
+	}
 	if len(args) < 1 {
 		return false, fmt.Errorf("usage: bwtrace record|replay|stat [flags] ...")
 	}

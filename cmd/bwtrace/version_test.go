@@ -1,0 +1,21 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestVersionFlag(t *testing.T) {
+	var out, errb bytes.Buffer
+	detected, err := run([]string{"-version"}, &out, &errb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if detected {
+		t.Fatal("-version reported a detection")
+	}
+	if !strings.HasPrefix(out.String(), "bwtrace ") {
+		t.Fatalf("-version printed %q", out.String())
+	}
+}

@@ -1,12 +1,18 @@
 package adminhttp
 
 import (
+	"encoding/json"
 	"io"
+	"net"
 	"net/http"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"blockwatch/internal/metrics"
+	"blockwatch/internal/remote"
 )
 
 func get(t *testing.T, url string) (int, string) {
@@ -94,5 +100,153 @@ func TestNilRegistryServesEmptyExposition(t *testing.T) {
 	code, body := get(t, "http://"+srv.Addr()+"/metrics")
 	if code != http.StatusOK || body != "" {
 		t.Fatalf("nil-registry /metrics = %d %q, want 200 and empty", code, body)
+	}
+}
+
+// TestMetricsJSONEndpoint: the machine-readable snapshot bwfleet
+// scrapes before merging.
+func TestMetricsJSONEndpoint(t *testing.T) {
+	reg := metrics.NewRegistry()
+	reg.Counter("bw_json_hits_total", "test counter").Add(3)
+	srv, err := Start("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	code, body := get(t, "http://"+srv.Addr()+"/metrics.json")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics.json status = %d, want 200", code)
+	}
+	var snap metrics.Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/metrics.json is not a snapshot: %v\n%s", err, body)
+	}
+	if v, ok := snap.Counter("bw_json_hits_total"); !ok || v != 3 {
+		t.Fatalf("snapshot counter = %d (present %t), want 3", v, ok)
+	}
+
+	// A nil registry serves an empty snapshot, mirroring /metrics.
+	empty, err := Start("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer empty.Close()
+	if code, _ := get(t, "http://"+empty.Addr()+"/metrics.json"); code != http.StatusOK {
+		t.Fatalf("nil-registry /metrics.json status = %d, want 200", code)
+	}
+}
+
+// TestHealthzUnderConcurrentDrain hammers /healthz from many goroutines
+// while the daemon behind the health hook drains, the way a real fleet
+// prober races a real shutdown. The race detector guards the handler
+// path; each hammer additionally asserts the responses it saw are
+// monotonic — once the probe reports 503 draining, it never reports
+// 200 ok again.
+func TestHealthzUnderConcurrentDrain(t *testing.T) {
+	wire := remote.NewServer(remote.ServerConfig{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go wire.Serve(ln)
+	defer wire.Close()
+
+	adm, err := StartWithHealth("127.0.0.1:0", nil, func() string {
+		if wire.Draining() {
+			return "draining"
+		}
+		return ""
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer adm.Close()
+	url := "http://" + adm.Addr() + "/healthz"
+	if code, _ := get(t, url); code != http.StatusOK {
+		t.Fatalf("pre-drain /healthz = %d, want 200", code)
+	}
+
+	// A raw connection holds one session open so Drain must wait for the
+	// timeout — the window the hammers race.
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	var (
+		stop           = make(chan struct{})
+		saw200, saw503 atomic.Uint64
+		wg             sync.WaitGroup
+	)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sawDraining := false
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := http.Get(url)
+				if err != nil {
+					t.Errorf("GET /healthz: %v", err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				switch resp.StatusCode {
+				case http.StatusOK:
+					if sawDraining {
+						t.Error("/healthz flipped back to 200 after reporting draining")
+						return
+					}
+					saw200.Add(1)
+				case http.StatusServiceUnavailable:
+					sawDraining = true
+					saw503.Add(1)
+				default:
+					t.Errorf("/healthz status = %d", resp.StatusCode)
+					return
+				}
+			}
+		}()
+	}
+
+	// Let the hammers observe the healthy state before the drain starts.
+	warmup := time.Now().Add(2 * time.Second)
+	for saw200.Load() == 0 {
+		if time.Now().After(warmup) {
+			t.Fatal("no hammer observed the healthy state")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	drained := make(chan struct{})
+	go func() {
+		wire.Drain(5 * time.Second)
+		close(drained)
+	}()
+	// Let the hammers observe the draining state, then stop them before
+	// the drain completes (a fully closed daemon is no longer draining —
+	// in production the process exits at that point).
+	deadline := time.Now().Add(2 * time.Second)
+	for !wire.Draining() {
+		if time.Now().After(deadline) {
+			t.Fatal("server never entered the draining state")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(100 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	conn.Close() // release the held session so Drain finishes promptly
+	<-drained
+
+	if saw200.Load() == 0 || saw503.Load() == 0 {
+		t.Fatalf("hammers saw %d ok and %d draining responses; want both > 0",
+			saw200.Load(), saw503.Load())
 	}
 }

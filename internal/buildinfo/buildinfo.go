@@ -1,0 +1,65 @@
+// Package buildinfo reports the running binary's version for the CLIs'
+// -version flag. The version comes from the module metadata the go
+// toolchain stamps into every binary (debug.ReadBuildInfo), so no
+// ldflags plumbing is needed: a tagged release reports its tag, a
+// source build reports the VCS revision.
+package buildinfo
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"runtime/debug"
+)
+
+// Version returns the binary's version: the module version when built
+// from a tagged release, otherwise "devel+<revision>" from the VCS
+// stamp ("-dirty" appended for uncommitted trees), or plain "devel"
+// when no metadata is available (e.g. test binaries).
+func Version() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "devel"
+	}
+	if v := bi.Main.Version; v != "" && v != "(devel)" {
+		return v
+	}
+	var rev string
+	var dirty bool
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev == "" {
+		return "devel"
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if dirty {
+		rev += "-dirty"
+	}
+	return "devel+" + rev
+}
+
+// Print writes the one-line -version output for a command.
+func Print(w io.Writer, cmd string) {
+	fmt.Fprintf(w, "%s %s %s %s/%s\n", cmd, Version(), runtime.Version(), runtime.GOOS, runtime.GOARCH)
+}
+
+// HandleVersion implements the -version flag uniformly across the CLIs
+// (including the subcommand-style ones, where it must win over
+// subcommand parsing): when the first argument is -version or
+// --version it prints the version line and reports true, telling the
+// caller to exit successfully.
+func HandleVersion(args []string, w io.Writer, cmd string) bool {
+	if len(args) > 0 && (args[0] == "-version" || args[0] == "--version") {
+		Print(w, cmd)
+		return true
+	}
+	return false
+}

@@ -1,0 +1,53 @@
+package buildinfo
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestVersionNonEmpty(t *testing.T) {
+	v := Version()
+	if v == "" {
+		t.Fatal("Version() returned an empty string")
+	}
+	if !strings.HasPrefix(v, "devel") && !strings.HasPrefix(v, "v") {
+		t.Fatalf("Version() = %q, want a devel or tagged version", v)
+	}
+}
+
+func TestPrintFormat(t *testing.T) {
+	var sb strings.Builder
+	Print(&sb, "bwtest")
+	line := sb.String()
+	if !strings.HasPrefix(line, "bwtest ") {
+		t.Fatalf("Print line %q does not start with the command name", line)
+	}
+	if !strings.Contains(line, "go1") {
+		t.Fatalf("Print line %q does not include the go runtime version", line)
+	}
+	if !strings.HasSuffix(line, "\n") {
+		t.Fatalf("Print line %q is not newline-terminated", line)
+	}
+}
+
+func TestHandleVersion(t *testing.T) {
+	for _, tc := range []struct {
+		args []string
+		want bool
+	}{
+		{nil, false},
+		{[]string{"-version"}, true},
+		{[]string{"--version"}, true},
+		{[]string{"serve", "-version"}, false},
+		{[]string{"-bench", "fft"}, false},
+	} {
+		var sb strings.Builder
+		got := HandleVersion(tc.args, &sb, "bwtest")
+		if got != tc.want {
+			t.Errorf("HandleVersion(%v) = %t, want %t", tc.args, got, tc.want)
+		}
+		if got && sb.Len() == 0 {
+			t.Errorf("HandleVersion(%v) printed nothing", tc.args)
+		}
+	}
+}

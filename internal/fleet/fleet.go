@@ -1,0 +1,550 @@
+// Package fleet turns the single bwmonitord daemon into a horizontally
+// sharded monitoring service: a Pool manages N daemon endpoints (TCP and
+// unix mixed), tracks each member's live health through periodic dial
+// probes and admin /healthz checks, and places every monitoring session
+// with health-weighted rendezvous (highest-random-weight) hashing.
+// Placement needs no coordination between clients and no shared state
+// beyond the member list — the property that makes BLOCKWATCH's monitor
+// embarrassingly shardable: every session's verdict is independent, the
+// same observation the parallel Astrée implementation exploits to spread
+// analysis work across machines.
+//
+// A Pool's per-session Selector plugs into remote.DialSelector, so the
+// client's existing self-healing machinery becomes mid-run failover: a
+// member that dies under a session is reported back to the pool
+// (deranked immediately), the next dial lands on the next-ranked member,
+// and the spool replays the whole stream through a fresh hello — the
+// verdict stays byte-identical to an uninterrupted single-daemon run
+// even when a member is killed mid-session.
+//
+// Health weighting: a member starts optimistic (weight 1). Probes and
+// dial feedback blend an EWMA success rate with an EWMA probe latency;
+// a member whose wire endpoint refuses connections, or whose /healthz
+// reports draining, weighs zero and is excluded from placement until a
+// later probe revives it. When every member weighs zero the raw
+// (unweighted) ranking is used instead, so sessions still try the fleet
+// rather than giving up while it restarts.
+package fleet
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"blockwatch/internal/metrics"
+	"blockwatch/internal/remote"
+)
+
+// Defaults.
+const (
+	// DefaultProbeInterval paces the background health prober.
+	DefaultProbeInterval = 2 * time.Second
+	// DefaultProbeTimeout bounds one member probe (dial + healthz).
+	DefaultProbeTimeout = time.Second
+	// refLatency is the latency scale of the health weight: a member
+	// answering probes in refLatency weighs half of an instant one.
+	refLatency = 5 * time.Millisecond
+	// ewmaAlpha is the blend factor of the success/latency EWMAs.
+	ewmaAlpha = 0.3
+)
+
+// Member is one daemon endpoint: the wire address sessions stream to
+// (remote.SplitAddr syntax: host:port, unix:/path, or any path
+// containing "/") and, optionally, its admin HTTP address (host:port)
+// for /healthz probes and /metrics scraping.
+type Member struct {
+	Addr  string
+	Admin string
+}
+
+// String renders the member in ParseMembers syntax.
+func (m Member) String() string {
+	if m.Admin == "" {
+		return m.Addr
+	}
+	return m.Addr + "=" + m.Admin
+}
+
+// ParseMembers parses the CLI fleet syntax: comma-separated members,
+// each "addr" or "addr=adminhost:port".
+func ParseMembers(spec string) ([]Member, error) {
+	var out []Member
+	seen := make(map[string]bool)
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return nil, fmt.Errorf("fleet: empty member in %q", spec)
+		}
+		m := Member{Addr: part}
+		if addr, admin, ok := strings.Cut(part, "="); ok {
+			if addr == "" || admin == "" {
+				return nil, fmt.Errorf("fleet: malformed member %q (want addr or addr=admin)", part)
+			}
+			m = Member{Addr: addr, Admin: admin}
+		}
+		if seen[m.Addr] {
+			return nil, fmt.Errorf("fleet: duplicate member %q", m.Addr)
+		}
+		seen[m.Addr] = true
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// Config configures a Pool.
+type Config struct {
+	// Members is the daemon endpoint list (≥ 1).
+	Members []Member
+	// ProbeInterval paces the background health prober
+	// (0 = DefaultProbeInterval; negative = no background prober — health
+	// then comes from explicit Probe calls and per-session dial feedback).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one member probe (0 = DefaultProbeTimeout).
+	ProbeTimeout time.Duration
+	// Logf, when non-nil, receives one line per member state transition.
+	Logf func(format string, args ...any)
+	// Metrics, when non-nil, receives the pool's placement and probe
+	// metrics (bw_fleet_*).
+	Metrics *metrics.Registry
+}
+
+// poolMetrics is the pool's handle set (zero value = detached).
+type poolMetrics struct {
+	members   *metrics.Gauge   // bw_fleet_members
+	up        *metrics.Gauge   // bw_fleet_members_up
+	draining  *metrics.Gauge   // bw_fleet_members_draining
+	probes    *metrics.Counter // bw_fleet_probes_total
+	probeFail *metrics.Counter // bw_fleet_probe_failures_total
+	sessions  *metrics.Counter // bw_fleet_sessions_total
+	failovers *metrics.Counter // bw_fleet_failovers_total
+}
+
+func newPoolMetrics(r *metrics.Registry) poolMetrics {
+	if r == nil {
+		return poolMetrics{}
+	}
+	return poolMetrics{
+		members:   r.Gauge("bw_fleet_members", "configured fleet members"),
+		up:        r.Gauge("bw_fleet_members_up", "members whose last probe or dial succeeded"),
+		draining:  r.Gauge("bw_fleet_members_draining", "members whose /healthz reports draining"),
+		probes:    r.Counter("bw_fleet_probes_total", "member health probes performed"),
+		probeFail: r.Counter("bw_fleet_probe_failures_total", "member health probes that failed"),
+		sessions:  r.Counter("bw_fleet_sessions_total", "monitoring sessions placed by the pool"),
+		failovers: r.Counter("bw_fleet_failovers_total",
+			"member faults reported by live sessions (each triggers a failover attempt)"),
+	}
+}
+
+// memberState is one member's live health. Guarded by Pool.mu.
+type memberState struct {
+	m        Member
+	probed   bool // at least one probe or dial outcome recorded
+	up       bool
+	draining bool
+	succ     float64 // EWMA success rate of probes and dial feedback
+	latency  time.Duration
+	probes   uint64
+	failures uint64
+	lastErr  string
+}
+
+// weight is the member's placement weight: zero for a down or draining
+// member, otherwise the success EWMA damped by probe latency. An
+// unprobed member weighs 1 (optimistic start — dial feedback corrects
+// it on first contact).
+func (ms *memberState) weight() float64 {
+	if ms.probed && (!ms.up || ms.draining) {
+		return 0
+	}
+	lat := float64(ms.latency)
+	return ms.succ * float64(refLatency) / (float64(refLatency) + lat)
+}
+
+func (ms *memberState) state() string {
+	switch {
+	case !ms.probed:
+		return "unprobed"
+	case !ms.up:
+		return "down"
+	case ms.draining:
+		return "draining"
+	}
+	return "up"
+}
+
+// MemberHealth is a point-in-time view of one member.
+type MemberHealth struct {
+	Member
+	// State is "up", "down", "draining", or "unprobed".
+	State string
+	// Weight is the current placement weight (0 = excluded).
+	Weight float64
+	// Latency is the EWMA probe/dial latency.
+	Latency time.Duration
+	// Probes and Failures count probes and failed probes/dials.
+	Probes, Failures uint64
+	// LastErr is the most recent probe or dial error ("" when none).
+	LastErr string
+}
+
+// Pool manages the fleet: health state, probing, and session placement.
+type Pool struct {
+	cfg Config
+	met poolMetrics
+
+	mu      sync.Mutex
+	members []*memberState
+	byAddr  map[string]*memberState
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewPool builds a pool over the given members and, unless
+// cfg.ProbeInterval is negative, starts the background health prober.
+// Members start optimistic (weight 1): the first ranking is uniform HRW
+// and health asserts itself through probes and dial feedback.
+func NewPool(cfg Config) (*Pool, error) {
+	if len(cfg.Members) == 0 {
+		return nil, fmt.Errorf("fleet: pool needs at least one member")
+	}
+	if cfg.ProbeInterval == 0 {
+		cfg.ProbeInterval = DefaultProbeInterval
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = DefaultProbeTimeout
+	}
+	p := &Pool{
+		cfg:    cfg,
+		met:    newPoolMetrics(cfg.Metrics),
+		byAddr: make(map[string]*memberState, len(cfg.Members)),
+		stop:   make(chan struct{}),
+	}
+	for _, m := range cfg.Members {
+		if m.Addr == "" {
+			return nil, fmt.Errorf("fleet: member with empty address")
+		}
+		if p.byAddr[m.Addr] != nil {
+			return nil, fmt.Errorf("fleet: duplicate member %q", m.Addr)
+		}
+		ms := &memberState{m: m, succ: 1}
+		p.members = append(p.members, ms)
+		p.byAddr[m.Addr] = ms
+	}
+	p.met.members.Set(int64(len(p.members)))
+	if cfg.ProbeInterval > 0 {
+		p.wg.Add(1)
+		go p.probeLoop()
+	}
+	return p, nil
+}
+
+// Close stops the background prober. Sessions already placed keep their
+// selectors (they only read the final health state).
+func (p *Pool) Close() {
+	select {
+	case <-p.stop:
+	default:
+		close(p.stop)
+	}
+	p.wg.Wait()
+}
+
+func (p *Pool) probeLoop() {
+	defer p.wg.Done()
+	t := time.NewTicker(p.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-t.C:
+			p.Probe()
+		}
+	}
+}
+
+// Probe probes every member once, concurrently (wire dial, then admin
+// /healthz when configured), updates the health state, and returns the
+// resulting per-member view in configuration order.
+func (p *Pool) Probe() []MemberHealth {
+	p.mu.Lock()
+	members := append([]*memberState(nil), p.members...)
+	p.mu.Unlock()
+
+	type outcome struct {
+		latency  time.Duration
+		err      error
+		draining bool
+	}
+	outcomes := make([]outcome, len(members))
+	var wg sync.WaitGroup
+	for i, ms := range members {
+		wg.Add(1)
+		go func(i int, m Member) {
+			defer wg.Done()
+			start := time.Now()
+			err := dialProbe(m.Addr, p.cfg.ProbeTimeout)
+			lat := time.Since(start)
+			o := outcome{latency: lat, err: err}
+			if err == nil && m.Admin != "" {
+				if ok, status, herr := ScrapeHealthz(m.Admin, p.cfg.ProbeTimeout); herr == nil && !ok {
+					o.draining = true
+					_ = status
+				}
+				// An unreachable admin listener is not a wire fault: the
+				// member still checks sessions, it just can't report health.
+			}
+			outcomes[i] = o
+		}(i, ms.m)
+	}
+	wg.Wait()
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i, ms := range members {
+		o := outcomes[i]
+		p.met.probes.Inc()
+		ms.probes++
+		before := ms.state()
+		ms.probed = true
+		ms.draining = o.draining
+		if o.err != nil {
+			p.met.probeFail.Inc()
+			ms.failures++
+			ms.up = false
+			ms.lastErr = o.err.Error()
+			ms.succ = (1 - ewmaAlpha) * ms.succ
+		} else {
+			ms.up = true
+			ms.lastErr = ""
+			ms.succ = (1-ewmaAlpha)*ms.succ + ewmaAlpha
+			if ms.latency == 0 {
+				ms.latency = o.latency
+			} else {
+				ms.latency = time.Duration((1-ewmaAlpha)*float64(ms.latency) + ewmaAlpha*float64(o.latency))
+			}
+		}
+		if after := ms.state(); after != before && p.cfg.Logf != nil {
+			p.cfg.Logf("fleet: member %s %s -> %s (err=%q)", ms.m.Addr, before, after, ms.lastErr)
+		}
+	}
+	p.updateGauges()
+	return p.healthLocked()
+}
+
+// dialProbe checks that something accepts connections at the wire
+// address.
+func dialProbe(addr string, timeout time.Duration) error {
+	network, address := remote.SplitAddr(addr)
+	conn, err := net.DialTimeout(network, address, timeout)
+	if err != nil {
+		return err
+	}
+	return conn.Close()
+}
+
+// Members returns the current per-member health view in configuration
+// order, without probing.
+func (p *Pool) Members() []MemberHealth {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.healthLocked()
+}
+
+func (p *Pool) healthLocked() []MemberHealth {
+	out := make([]MemberHealth, len(p.members))
+	for i, ms := range p.members {
+		out[i] = MemberHealth{
+			Member:   ms.m,
+			State:    ms.state(),
+			Weight:   ms.weight(),
+			Latency:  ms.latency,
+			Probes:   ms.probes,
+			Failures: ms.failures,
+			LastErr:  ms.lastErr,
+		}
+	}
+	return out
+}
+
+func (p *Pool) updateGauges() {
+	var up, draining int64
+	for _, ms := range p.members {
+		if ms.probed && ms.up {
+			up++
+		}
+		if ms.draining {
+			draining++
+		}
+	}
+	p.met.up.Set(up)
+	p.met.draining.Set(draining)
+}
+
+// hrw01 maps (member, key) to a hash in (0, 1) for weighted rendezvous
+// scoring.
+func hrw01(addr, key string) float64 {
+	h := fnv.New64a()
+	h.Write([]byte(addr))
+	h.Write([]byte{0})
+	h.Write([]byte(key))
+	u := h.Sum64()
+	// FNV-1a leaves most of a short suffix's variation in the low bits;
+	// finalize (fmix64) so every input bit reaches every output bit
+	// before the top 53 are taken as the mantissa.
+	u ^= u >> 33
+	u *= 0xff51afd7ed558ccd
+	u ^= u >> 33
+	u *= 0xc4ceb9fe1a85ec53
+	u ^= u >> 33
+	// 53 mantissa bits, nudged off 0 so the log below is finite.
+	u >>= 11
+	return (float64(u) + 0.5) / float64(uint64(1)<<53)
+}
+
+// score is the weighted-rendezvous score: -w / ln(h). Monotonic in the
+// weight, and for fixed weights each key induces an independent uniform
+// ranking of the members — the property that spreads sessions evenly
+// and moves only 1/N of them when a member joins or leaves.
+func score(w, h float64) float64 {
+	return -w / math.Log(h)
+}
+
+// Rank orders the members for a session key: health-weighted rendezvous
+// hashing, zero-weight (down or draining) members excluded. When every
+// member weighs zero the unweighted ranking over all members is
+// returned instead — a session must still try somebody while the fleet
+// restarts.
+func (p *Pool) Rank(key string) []Member {
+	p.mu.Lock()
+	type cand struct {
+		m     Member
+		score float64
+	}
+	cands := make([]cand, 0, len(p.members))
+	for _, ms := range p.members {
+		if w := ms.weight(); w > 0 {
+			cands = append(cands, cand{ms.m, score(w, hrw01(ms.m.Addr, key))})
+		}
+	}
+	if len(cands) == 0 {
+		for _, ms := range p.members {
+			cands = append(cands, cand{ms.m, score(1, hrw01(ms.m.Addr, key))})
+		}
+	}
+	p.mu.Unlock()
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].score != cands[j].score {
+			return cands[i].score > cands[j].score
+		}
+		return cands[i].m.Addr < cands[j].m.Addr
+	})
+	out := make([]Member, len(cands))
+	for i, c := range cands {
+		out[i] = c.m
+	}
+	return out
+}
+
+// observe folds per-session dial/stream feedback into the member state:
+// a fault marks the member down immediately (placement stops routing to
+// it before the next probe tick); a success revives it.
+func (p *Pool) observe(addr string, err error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ms := p.byAddr[addr]
+	if ms == nil {
+		return
+	}
+	before := ms.state()
+	ms.probed = true
+	if err != nil {
+		p.met.failovers.Inc()
+		ms.failures++
+		ms.up = false
+		ms.lastErr = err.Error()
+		ms.succ = (1 - ewmaAlpha) * ms.succ
+	} else {
+		ms.up = true
+		ms.lastErr = ""
+		ms.succ = (1-ewmaAlpha)*ms.succ + ewmaAlpha
+	}
+	if after := ms.state(); after != before && p.cfg.Logf != nil {
+		p.cfg.Logf("fleet: member %s %s -> %s (session feedback, err=%v)", addr, before, after, err)
+	}
+	p.updateGauges()
+}
+
+// Session returns the placement selector for one monitoring session:
+// remote.DialSelector walks the key's health-weighted ranking, skipping
+// members this session has already seen fail, so a member killed
+// mid-run fails the session over to the next-ranked member. When every
+// ranked member has failed the session's slate is wiped and it starts
+// over from the top (members may have recovered; the client's retry
+// budget bounds the total attempts).
+func (p *Pool) Session(key string) *Session {
+	p.met.sessions.Inc()
+	return &Session{p: p, key: key, banned: make(map[string]bool)}
+}
+
+// Session is a per-session remote.Selector over the pool. Safe for use
+// by one session at a time (the remote client calls it from a single
+// goroutine).
+type Session struct {
+	p      *Pool
+	key    string
+	mu     sync.Mutex
+	banned map[string]bool
+	last   string
+}
+
+var _ remote.Selector = (*Session)(nil)
+
+// Next returns the best-ranked member this session has not seen fail.
+func (s *Session) Next() string {
+	rank := s.p.Rank(s.key)
+	if len(rank) == 0 {
+		return ""
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, m := range rank {
+		if !s.banned[m.Addr] {
+			s.last = m.Addr
+			return m.Addr
+		}
+	}
+	// Every candidate failed at least once for this session: wipe the
+	// slate and retry from the top of the ranking.
+	clear(s.banned)
+	s.last = rank[0].Addr
+	return rank[0].Addr
+}
+
+// Observe feeds the attempt outcome back: into the session's own ban
+// list and into the pool's health state.
+func (s *Session) Observe(addr string, err error) {
+	s.mu.Lock()
+	if err != nil {
+		s.banned[addr] = true
+	} else {
+		delete(s.banned, addr)
+	}
+	s.mu.Unlock()
+	s.p.observe(addr, err)
+}
+
+// Current returns the address of the session's most recent attempt
+// ("" before the first). The netfault campaign's daemon-kill fault uses
+// it to aim at the member actually serving the session.
+func (s *Session) Current() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.last
+}

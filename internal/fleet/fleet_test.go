@@ -1,0 +1,661 @@
+package fleet
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"blockwatch/internal/adminhttp"
+	"blockwatch/internal/core"
+	"blockwatch/internal/inject"
+	"blockwatch/internal/interp"
+	"blockwatch/internal/ir"
+	"blockwatch/internal/metrics"
+	"blockwatch/internal/monitor"
+	"blockwatch/internal/remote"
+	"blockwatch/internal/splash"
+)
+
+const testThreads = 4
+
+func TestParseMembers(t *testing.T) {
+	got, err := ParseMembers("127.0.0.1:7000,127.0.0.1:7001=127.0.0.1:9001, unix:/tmp/bw.sock ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Member{
+		{Addr: "127.0.0.1:7000"},
+		{Addr: "127.0.0.1:7001", Admin: "127.0.0.1:9001"},
+		{Addr: "unix:/tmp/bw.sock"},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("ParseMembers = %+v, want %+v", got, want)
+	}
+	for _, bad := range []string{
+		"",
+		"a,,b",
+		"a,a",
+		"a=x,a=y",
+		"=admin",
+		"addr=",
+	} {
+		if _, err := ParseMembers(bad); err == nil {
+			t.Errorf("ParseMembers(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func testPool(t *testing.T, addrs ...string) *Pool {
+	t.Helper()
+	ms := make([]Member, len(addrs))
+	for i, a := range addrs {
+		ms[i] = Member{Addr: a}
+	}
+	p, err := NewPool(Config{Members: ms, ProbeInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Close)
+	return p
+}
+
+// TestRankDeterministicAndConsistent checks the two properties the
+// failover design leans on: the ranking is a pure function of (members,
+// key), and removing one member never reorders the others (so a failed
+// primary's sessions move to their existing second choice, and only
+// they move).
+func TestRankDeterministicAndConsistent(t *testing.T) {
+	addrs := []string{"10.0.0.1:7000", "10.0.0.2:7000", "10.0.0.3:7000", "10.0.0.4:7000"}
+	full := testPool(t, addrs...)
+	for i := 0; i < 64; i++ {
+		key := fmt.Sprintf("prog-%d", i)
+		r1, r2 := full.Rank(key), full.Rank(key)
+		if !reflect.DeepEqual(r1, r2) {
+			t.Fatalf("Rank(%q) is not deterministic: %v vs %v", key, r1, r2)
+		}
+		if len(r1) != len(addrs) {
+			t.Fatalf("Rank(%q) returned %d members, want %d", key, len(r1), len(addrs))
+		}
+		// Drop the primary: the survivors' relative order must not change.
+		var rest []string
+		for _, a := range addrs {
+			if a != r1[0].Addr {
+				rest = append(rest, a)
+			}
+		}
+		sub := testPool(t, rest...)
+		r3 := sub.Rank(key)
+		for j, m := range r3 {
+			if m.Addr != r1[j+1].Addr {
+				t.Fatalf("Rank(%q) without %s reordered survivors: got %v, full ranking %v",
+					key, r1[0].Addr, r3, r1)
+			}
+		}
+	}
+}
+
+func TestRankSpread(t *testing.T) {
+	addrs := []string{"10.0.0.1:7000", "10.0.0.2:7000", "10.0.0.3:7000", "10.0.0.4:7000"}
+	p := testPool(t, addrs...)
+	const keys = 256
+	counts := make(map[string]int)
+	for i := 0; i < keys; i++ {
+		counts[p.Rank(fmt.Sprintf("prog-%d", i))[0].Addr]++
+	}
+	for _, a := range addrs {
+		n := counts[a]
+		// Expected 64 of 256; the bounds only catch gross skew (the kind
+		// the unmixed-hash bug produced: everything on one member).
+		if n < keys/16 || n > keys/2 {
+			t.Errorf("member %s is primary for %d of %d keys — placement badly skewed: %v",
+				a, n, keys, counts)
+		}
+	}
+}
+
+func TestRankExcludesDownMembers(t *testing.T) {
+	addrs := []string{"10.0.0.1:7000", "10.0.0.2:7000", "10.0.0.3:7000"}
+	p := testPool(t, addrs...)
+	p.observe(addrs[1], fmt.Errorf("connection refused"))
+	for i := 0; i < 16; i++ {
+		rank := p.Rank(fmt.Sprintf("prog-%d", i))
+		if len(rank) != 2 {
+			t.Fatalf("Rank returned %d members with one down, want 2", len(rank))
+		}
+		for _, m := range rank {
+			if m.Addr == addrs[1] {
+				t.Fatalf("down member %s still ranked", addrs[1])
+			}
+		}
+	}
+	// All down: the unweighted fallback must still rank everybody.
+	p.observe(addrs[0], fmt.Errorf("refused"))
+	p.observe(addrs[2], fmt.Errorf("refused"))
+	if rank := p.Rank("prog-0"); len(rank) != 3 {
+		t.Fatalf("all-down fallback ranked %d members, want all 3", len(rank))
+	}
+	// A success revives immediately.
+	p.observe(addrs[1], nil)
+	if rank := p.Rank("prog-0"); len(rank) != 1 || rank[0].Addr != addrs[1] {
+		t.Fatalf("after revival Rank = %v, want only %s", rank, addrs[1])
+	}
+}
+
+// TestSessionFailoverOrder walks a session's selector through the
+// failure of every member: each fault moves it to the next-ranked one,
+// and exhausting the fleet wipes the slate rather than giving up.
+func TestSessionFailoverOrder(t *testing.T) {
+	addrs := []string{"10.0.0.1:7000", "10.0.0.2:7000", "10.0.0.3:7000"}
+	p := testPool(t, addrs...)
+	rank := p.Rank("prog")
+	s := p.Session("prog")
+	for i := 0; i < len(rank); i++ {
+		got := s.Next()
+		if got != rank[i].Addr {
+			t.Fatalf("attempt %d dialed %s, want rank[%d]=%s", i, got, i, rank[i].Addr)
+		}
+		if cur := s.Current(); cur != got {
+			t.Fatalf("Current() = %s after Next() = %s", cur, got)
+		}
+		s.Observe(got, fmt.Errorf("dial refused"))
+	}
+	// Every member failed once for this session; the ban slate wipes.
+	// (Health also marked all members down, so ranking is the fallback —
+	// same order, since all weights are equal again.)
+	if got := s.Next(); got != rank[0].Addr {
+		t.Fatalf("after exhausting the fleet Next() = %s, want wiped slate %s", got, rank[0].Addr)
+	}
+	// A success unbans and pins the session while the member stays up.
+	s.Observe(rank[0].Addr, nil)
+	if got := s.Next(); got != rank[0].Addr {
+		t.Fatalf("after success Next() = %s, want %s", got, rank[0].Addr)
+	}
+}
+
+// TestProbeHealthDrainingAndDown exercises the probe path against a
+// real daemon with a real admin listener: up -> draining (healthz 503)
+// -> up -> down (listener closed).
+func TestProbeHealthDrainingAndDown(t *testing.T) {
+	srv := remote.NewServer(remote.ServerConfig{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	var state atomic.Value
+	state.Store("")
+	adm, err := adminhttp.StartWithHealth("127.0.0.1:0", nil, func() string { return state.Load().(string) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer adm.Close()
+
+	other := remote.NewServer(remote.ServerConfig{})
+	ln2, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go other.Serve(ln2)
+	defer other.Close()
+
+	reg := metrics.NewRegistry()
+	p, err := NewPool(Config{
+		Members: []Member{
+			{Addr: ln.Addr().String(), Admin: adm.Addr()},
+			{Addr: ln2.Addr().String()},
+		},
+		ProbeInterval: -1,
+		ProbeTimeout:  time.Second,
+		Metrics:       reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	h := p.Probe()
+	if h[0].State != "up" || h[0].Weight <= 0 {
+		t.Fatalf("member 0 after clean probe: %+v, want up with positive weight", h[0])
+	}
+
+	state.Store("draining")
+	h = p.Probe()
+	if h[0].State != "draining" || h[0].Weight != 0 {
+		t.Fatalf("member 0 with healthz 503: %+v, want draining with weight 0", h[0])
+	}
+	if rank := p.Rank("prog"); len(rank) != 1 || rank[0].Addr != ln2.Addr().String() {
+		t.Fatalf("draining member still ranked: %v", rank)
+	}
+
+	state.Store("")
+	if h = p.Probe(); h[0].State != "up" {
+		t.Fatalf("member 0 after drain lifted: %+v, want up", h[0])
+	}
+
+	srv.Close()
+	if h = p.Probe(); h[0].State != "down" || h[0].LastErr == "" {
+		t.Fatalf("member 0 with wire listener closed: %+v, want down with an error", h[0])
+	}
+
+	if v := reg.Gauge("bw_fleet_members", "").Value(); v != 2 {
+		t.Errorf("bw_fleet_members = %d, want 2", v)
+	}
+	if v := reg.Gauge("bw_fleet_members_up", "").Value(); v != 1 {
+		t.Errorf("bw_fleet_members_up = %d, want 1", v)
+	}
+	if v := reg.Counter("bw_fleet_probes_total", "").Value(); v != 8 {
+		t.Errorf("bw_fleet_probes_total = %d, want 8 (4 rounds x 2 members)", v)
+	}
+}
+
+// TestPoolConcurrency hammers probing, ranking, and session feedback
+// from many goroutines; the race detector is the assertion.
+func TestPoolConcurrency(t *testing.T) {
+	srv := remote.NewServer(remote.ServerConfig{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	p := testPool(t, ln.Addr().String(), "10.255.0.1:1")
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				switch i % 3 {
+				case 0:
+					p.Probe()
+				case 1:
+					p.Rank(fmt.Sprintf("k-%d-%d", g, i))
+				default:
+					s := p.Session(fmt.Sprintf("s-%d-%d", g, i))
+					addr := s.Next()
+					s.Observe(addr, fmt.Errorf("boom"))
+					s.Next()
+					s.Observe(addr, nil)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// --- end-to-end: fleet-placed monitoring sessions ---
+
+func kernelPlans(t testing.TB, name string) (*ir.Module, map[int]*core.CheckPlan) {
+	t.Helper()
+	prog, err := splash.Get(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := prog.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := core.Analyze(mod, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mod, a.Plans
+}
+
+func runInProcess(t testing.TB, mod *ir.Module, plans map[int]*core.CheckPlan, fault *inject.Fault) *interp.Result {
+	t.Helper()
+	opts := interp.Options{Threads: testThreads, Mode: interp.MonitorActive, Plans: plans}
+	if fault != nil {
+		opts.Fault = inject.NewSingle(*fault)
+	}
+	res, err := interp.Run(mod, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// startFleet starts n daemons and a probe-less pool over them.
+func startFleet(t testing.TB, n int) (*Pool, []*remote.Server, []string) {
+	t.Helper()
+	srvs := make([]*remote.Server, n)
+	addrs := make([]string, n)
+	ms := make([]Member, n)
+	for i := 0; i < n; i++ {
+		srv := remote.NewServer(remote.ServerConfig{})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		go srv.Serve(ln)
+		t.Cleanup(srv.Close)
+		srvs[i], addrs[i] = srv, ln.Addr().String()
+		ms[i] = Member{Addr: addrs[i]}
+	}
+	p, err := NewPool(Config{Members: ms, ProbeInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Close)
+	return p, srvs, addrs
+}
+
+// runFleet runs one monitored execution with the session placed (and,
+// under injected faults, failed over) by the pool.
+func runFleet(t testing.TB, pool *Pool, name string, mod *ir.Module, plans map[int]*core.CheckPlan, fault *inject.Fault) *interp.Result {
+	t.Helper()
+	client, err := remote.DialSelector(pool.Session(name), remote.ClientConfig{
+		Program: name, NumThreads: testThreads, Plans: plans,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	opts := interp.Options{Threads: testThreads, Mode: interp.MonitorActive, Plans: plans, Sink: client}
+	if fault != nil {
+		opts.Fault = inject.NewSingle(*fault)
+	}
+	res, err := interp.Run(mod, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// compareRuns mirrors the remote loopback tests: identical executions
+// (guarded by the event streams) must produce byte-identical verdicts.
+func compareRuns(t *testing.T, label string, local, fleet *interp.Result) bool {
+	t.Helper()
+	return compareRunsHealth(t, label, local, fleet, monitor.Healthy)
+}
+
+// compareRunsHealth is compareRuns with an explicit expected health:
+// failover drills end Degraded (a transport fault happened) while the
+// verdict and stats must still be byte-identical.
+func compareRunsHealth(t *testing.T, label string, local, fleet *interp.Result, want monitor.HealthState) bool {
+	t.Helper()
+	if !reflect.DeepEqual(local.EventCounts, fleet.EventCounts) ||
+		!reflect.DeepEqual(local.BranchCounts, fleet.BranchCounts) {
+		t.Logf("%s: faulty execution diverged under different sink timing — comparison skipped", label)
+		return false
+	}
+	if local.Detected != fleet.Detected {
+		t.Errorf("%s: Detected: in-process %t, fleet %t", label, local.Detected, fleet.Detected)
+	}
+	if !reflect.DeepEqual(local.Violations, fleet.Violations) {
+		t.Errorf("%s: violations differ\n in-process: %v\n fleet:      %v", label, local.Violations, fleet.Violations)
+	}
+	ls, fs := local.MonitorStats, fleet.MonitorStats
+	if ls.Events != fs.Events || ls.Instances != fs.Instances || ls.Flushes != fs.Flushes {
+		t.Errorf("%s: monitor stats differ: in-process %+v, fleet %+v", label, ls, fs)
+	}
+	if fleet.MonitorHealth != want {
+		t.Errorf("%s: fleet health = %v, want %v", label, fleet.MonitorHealth, want)
+	}
+	return true
+}
+
+// TestFleetMatchesInProcessAllKernels is the acceptance sweep: every
+// SPLASH kernel, clean and with deterministic injected faults, against
+// fleets of 1, 2, and 4 members — every comparable verdict identical to
+// the in-process monitor, with sessions actually spread across members.
+func TestFleetMatchesInProcessAllKernels(t *testing.T) {
+	for _, members := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("members=%d", members), func(t *testing.T) {
+			pool, srvs, _ := startFleet(t, members)
+			anyDetected := false
+			var sessions uint64
+			for _, name := range splash.Names() {
+				mod, plans := kernelPlans(t, name)
+
+				clean := runInProcess(t, mod, plans, nil)
+				if clean.Detected {
+					t.Fatalf("%s: clean run detected a violation (false positive)", name)
+				}
+				compareRuns(t, name+"/clean", clean, runFleet(t, pool, name, mod, plans, nil))
+				sessions++
+
+				for _, frac := range []uint64{2, 5} {
+					seq := clean.BranchCounts[1] / frac
+					if seq == 0 {
+						continue
+					}
+					fault := &inject.Fault{Type: inject.BranchFlip, Thread: 1, Seq: seq}
+					local := runInProcess(t, mod, plans, fault)
+					res := runFleet(t, pool, fmt.Sprintf("%s@%d", name, seq), mod, plans, fault)
+					sessions++
+					if compareRuns(t, fmt.Sprintf("%s/fault@%d/m%d", name, seq, members), local, res) && local.Detected {
+						anyDetected = true
+					}
+				}
+			}
+			if !anyDetected {
+				t.Error("no injected fault was detected by any kernel — equality checks were vacuous")
+			}
+			var served, busiest uint64
+			for _, srv := range srvs {
+				served += srv.Sessions()
+				if srv.Sessions() > busiest {
+					busiest = srv.Sessions()
+				}
+			}
+			if served != sessions {
+				t.Errorf("fleet served %d sessions, clients opened %d", served, sessions)
+			}
+			if members > 1 && busiest == sessions {
+				t.Errorf("all %d sessions landed on one of %d members — placement is not spreading", sessions, members)
+			}
+		})
+	}
+}
+
+// TestFleetFailoverOnMemberKill is the mid-run failover drill: two
+// members, the one serving the session is hard-killed after a few
+// frames, and the verdict must still be byte-identical — the spool
+// replays the whole stream to the surviving member. Clean and faulty.
+func TestFleetFailoverOnMemberKill(t *testing.T) {
+	mod, plans := kernelPlans(t, "fft")
+	cleanRef := runInProcess(t, mod, plans, nil)
+	fault := &inject.Fault{Type: inject.BranchFlip, Thread: 1, Seq: cleanRef.BranchCounts[1] / 2}
+	for _, tc := range []struct {
+		label string
+		fault *inject.Fault
+	}{
+		{"clean", nil},
+		{"faulty", fault},
+	} {
+		t.Run(tc.label, func(t *testing.T) {
+			pool, srvs, addrs := startFleet(t, 2)
+			local := runInProcess(t, mod, plans, tc.fault)
+
+			sess := pool.Session("kill-" + tc.label)
+			byAddr := make(map[string]*remote.Server, len(addrs))
+			for i, a := range addrs {
+				byAddr[a] = srvs[i]
+			}
+			ij := inject.NewNetInjector(inject.NetFaultPlan{Kind: inject.NetKill, AfterFrames: 4})
+			ij.OnKill = func() {
+				if srv := byAddr[sess.Current()]; srv != nil {
+					srv.Close()
+				}
+			}
+			client, err := remote.DialSelector(sess, remote.ClientConfig{
+				Program:       "kill-" + tc.label,
+				NumThreads:    testThreads,
+				Plans:         plans,
+				WrapConn:      ij.Wrap,
+				SpoolPath:     filepath.Join(t.TempDir(), "run.bwspool"),
+				ResultTimeout: 2 * time.Second,
+				Retry: remote.RetryConfig{
+					Attempts:    4,
+					BaseDelay:   time.Millisecond,
+					MaxDelay:    20 * time.Millisecond,
+					DialTimeout: time.Second,
+				},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer client.Close()
+			opts := interp.Options{Threads: testThreads, Mode: interp.MonitorActive, Plans: plans, Sink: client}
+			if tc.fault != nil {
+				opts.Fault = inject.NewSingle(*tc.fault)
+			}
+			res, err := interp.Run(mod, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ij.Fired() {
+				t.Fatal("the kill never fired — the run ended before the target frame")
+			}
+			if !compareRunsHealth(t, "kill/"+tc.label, local, res, monitor.Degraded) {
+				t.Fatal("faulty execution diverged; kill drill needs the deterministic stream")
+			}
+			if client.Reconnects() < 1 {
+				t.Errorf("Reconnects() = %d, want >= 1 (failover to the survivor)", client.Reconnects())
+			}
+			if sealed := client.SealedSpool(); sealed != "" {
+				t.Errorf("session sealed to %s instead of failing over live", sealed)
+			}
+		})
+	}
+}
+
+// TestHelperDaemon is not a test: it is the body of the child process
+// the real-SIGKILL drill spawns. It serves a daemon on the unix socket
+// named by the environment and blocks until killed.
+func TestHelperDaemon(t *testing.T) {
+	sock := os.Getenv("BW_FLEET_HELPER_SOCK")
+	if sock == "" {
+		t.Skip("helper-process body; only runs when spawned by TestFleetFailoverRealSIGKILL")
+	}
+	ln, err := net.Listen("unix", sock)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "helper:", err)
+		os.Exit(1)
+	}
+	srv := remote.NewServer(remote.ServerConfig{})
+	_ = srv.Serve(ln)
+}
+
+// TestFleetFailoverRealSIGKILL runs the kill drill against a real
+// operating-system process: a second test binary serves one member on a
+// unix socket and is SIGKILLed mid-run; the session must fail over to
+// the in-process member and land the in-process verdict.
+func TestFleetFailoverRealSIGKILL(t *testing.T) {
+	dir := t.TempDir()
+	sock := filepath.Join(dir, "helper.sock")
+	helper := exec.Command(os.Args[0], "-test.run=TestHelperDaemon$")
+	helper.Env = append(os.Environ(), "BW_FLEET_HELPER_SOCK="+sock)
+	helper.Stdout, helper.Stderr = io.Discard, io.Discard
+	if err := helper.Start(); err != nil {
+		t.Fatal(err)
+	}
+	var killed atomic.Bool
+	defer func() {
+		if !killed.Load() {
+			helper.Process.Kill()
+		}
+		helper.Wait()
+	}()
+	helperAddr := "unix:" + sock
+	deadline := time.Now().Add(10 * time.Second)
+	for dialProbe(helperAddr, 200*time.Millisecond) != nil {
+		if time.Now().After(deadline) {
+			t.Fatal("helper daemon never came up")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	survivor := remote.NewServer(remote.ServerConfig{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go survivor.Serve(ln)
+	defer survivor.Close()
+
+	pool, err := NewPool(Config{
+		Members:       []Member{{Addr: helperAddr}, {Addr: ln.Addr().String()}},
+		ProbeInterval: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	// Rendezvous hashing is deterministic, so hunt for a key the helper
+	// member is primary for.
+	key := ""
+	for i := 0; i < 1024; i++ {
+		k := fmt.Sprintf("sigkill-%d", i)
+		if pool.Rank(k)[0].Addr == helperAddr {
+			key = k
+			break
+		}
+	}
+	if key == "" {
+		t.Fatal("no session key ranked the helper daemon first")
+	}
+
+	mod, plans := kernelPlans(t, "fft")
+	local := runInProcess(t, mod, plans, nil)
+
+	sess := pool.Session(key)
+	ij := inject.NewNetInjector(inject.NetFaultPlan{Kind: inject.NetKill, AfterFrames: 4})
+	ij.OnKill = func() {
+		killed.Store(true)
+		helper.Process.Kill() // SIGKILL: the daemon process dies mid-session
+	}
+	client, err := remote.DialSelector(sess, remote.ClientConfig{
+		Program:       key,
+		NumThreads:    testThreads,
+		Plans:         plans,
+		WrapConn:      ij.Wrap,
+		SpoolPath:     filepath.Join(dir, "run.bwspool"),
+		ResultTimeout: 2 * time.Second,
+		Retry: remote.RetryConfig{
+			Attempts:    4,
+			BaseDelay:   time.Millisecond,
+			MaxDelay:    20 * time.Millisecond,
+			DialTimeout: time.Second,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	res, err := interp.Run(mod, interp.Options{
+		Threads: testThreads, Mode: interp.MonitorActive, Plans: plans, Sink: client,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ij.Fired() {
+		t.Fatal("the kill never fired — the run ended before the target frame")
+	}
+	if !killed.Load() {
+		t.Fatal("OnKill ran but the kill flag is unset")
+	}
+	compareRunsHealth(t, "sigkill", local, res, monitor.Degraded)
+	if client.Reconnects() < 1 {
+		t.Errorf("Reconnects() = %d, want >= 1 (failover to the survivor)", client.Reconnects())
+	}
+	if sealed := client.SealedSpool(); sealed != "" {
+		t.Errorf("session sealed to %s instead of failing over live", sealed)
+	}
+	if got := survivor.Sessions(); got < 1 {
+		t.Errorf("survivor served %d sessions, want >= 1 (the replayed session)", got)
+	}
+}

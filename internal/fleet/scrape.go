@@ -1,0 +1,95 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"blockwatch/internal/metrics"
+)
+
+// Admin-plane scraping: every daemon's -admin listener exposes /healthz
+// and its metrics registry; the fleet view is those scraped per member
+// and (for metrics) merged into one exposition, so one dashboard reads
+// the whole fleet as if it were a single daemon. `bwfleet metrics`
+// drives this.
+
+// adminURL normalizes an admin address into an http URL for path.
+func adminURL(admin, path string) string {
+	if !strings.Contains(admin, "://") {
+		admin = "http://" + admin
+	}
+	return strings.TrimSuffix(admin, "/") + path
+}
+
+func adminGet(admin, path string, timeout time.Duration) (*http.Response, error) {
+	client := &http.Client{Timeout: timeout}
+	resp, err := client.Get(adminURL(admin, path))
+	if err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// ScrapeHealthz probes a member's admin /healthz. ok is true for a 200
+// ("ok"); false with the body text for anything else (a draining daemon
+// answers 503 "draining").
+func ScrapeHealthz(admin string, timeout time.Duration) (ok bool, status string, err error) {
+	resp, err := adminGet(admin, "/healthz", timeout)
+	if err != nil {
+		return false, "", err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+	return resp.StatusCode == http.StatusOK, strings.TrimSpace(string(body)), nil
+}
+
+// ScrapeSnapshot fetches a member's metrics registry as a decoded
+// snapshot (the admin /metrics.json endpoint).
+func ScrapeSnapshot(admin string, timeout time.Duration) (*metrics.Snapshot, error) {
+	resp, err := adminGet(admin, "/metrics.json", timeout)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("fleet: %s/metrics.json: %s", admin, resp.Status)
+	}
+	var snap metrics.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("fleet: decoding %s/metrics.json: %w", admin, err)
+	}
+	return &snap, nil
+}
+
+// MemberMetrics is one member's scrape outcome.
+type MemberMetrics struct {
+	Member
+	Snapshot *metrics.Snapshot
+	Err      error
+}
+
+// ScrapeAll scrapes every member that has an admin address, returning
+// per-member outcomes (configuration order) and the merged snapshot of
+// the successful ones. Members without an admin address are skipped
+// with a descriptive error in their slot.
+func ScrapeAll(members []Member, timeout time.Duration) ([]MemberMetrics, *metrics.Snapshot) {
+	out := make([]MemberMetrics, len(members))
+	var snaps []*metrics.Snapshot
+	for i, m := range members {
+		out[i].Member = m
+		if m.Admin == "" {
+			out[i].Err = fmt.Errorf("fleet: member %s has no admin address", m.Addr)
+			continue
+		}
+		snap, err := ScrapeSnapshot(m.Admin, timeout)
+		out[i].Snapshot, out[i].Err = snap, err
+		if err == nil {
+			snaps = append(snaps, snap)
+		}
+	}
+	return out, metrics.MergeSnapshots(snaps...)
+}

@@ -1,0 +1,193 @@
+package harness
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"blockwatch/internal/core"
+	"blockwatch/internal/fleet"
+	"blockwatch/internal/interp"
+	"blockwatch/internal/monitor"
+	"blockwatch/internal/remote"
+	"blockwatch/internal/splash"
+)
+
+// Fleet scaling experiment (not a paper artifact): drives a growing
+// daemon fleet with a growing number of concurrent sessions, placed by
+// the pool's health-weighted rendezvous hashing, and reports aggregate
+// throughput next to the per-member placement spread. Every session's
+// verdict is asserted against the in-process reference, so the table
+// measures the sharded deployment the fleet pool actually routes.
+// `bwbench -exp fleet` prints it.
+
+// fleetKernel is the driven program (one kernel keeps cells comparable,
+// matching the ingest experiment).
+const fleetKernel = "fft"
+
+// fleetMembers and fleetSessions are the grid axes.
+var (
+	fleetMembers  = []int{1, 2, 4}
+	fleetSessions = []int{1, 4, 8}
+)
+
+// FleetPoint is one (members, sessions) cell.
+type FleetPoint struct {
+	Members  int
+	Sessions int
+	// Events is the total number of branch events checked across all
+	// sessions of the cell.
+	Events  uint64
+	Elapsed time.Duration
+	// Spread is the per-member session count in member order (e.g.
+	// "3/3/2"): how rendezvous placement balanced the cell.
+	Spread string
+}
+
+// EventsPerSec is the cell's aggregate ingest rate.
+func (p FleetPoint) EventsPerSec() float64 {
+	if p.Elapsed <= 0 {
+		return 0
+	}
+	return float64(p.Events) / p.Elapsed.Seconds()
+}
+
+// Fleet runs the members × sessions grid, each cell against its own
+// fresh fleet of daemons over loopback TCP.
+func Fleet(cfg Config) ([]FleetPoint, error) {
+	cfg = cfg.WithDefaults()
+
+	prog, err := splash.Get(fleetKernel)
+	if err != nil {
+		return nil, err
+	}
+	mod, err := prog.Compile()
+	if err != nil {
+		return nil, err
+	}
+	a, err := core.Analyze(mod, cfg.AnalysisOptions)
+	if err != nil {
+		return nil, err
+	}
+	b := &Bench{Prog: prog, Mod: mod, Analysis: a}
+
+	cfg.progress("fleet: %s in-process reference", fleetKernel)
+	ref, _, err := remoteCell(b, "in-process", nil)
+	if err != nil {
+		return nil, err
+	}
+
+	var out []FleetPoint
+	for _, members := range fleetMembers {
+		for _, sessions := range fleetSessions {
+			cfg.progress("fleet: members=%d sessions=%d", members, sessions)
+			p, err := fleetCell(b, ref, members, sessions)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, p)
+		}
+	}
+	return out, nil
+}
+
+// fleetCell runs one (members, sessions) cell: a fresh daemon per
+// member, all sessions concurrent, placement through the pool, every
+// verdict checked against ref.
+func fleetCell(b *Bench, ref *interp.Result, members, sessions int) (FleetPoint, error) {
+	srvs := make([]*remote.Server, members)
+	ms := make([]fleet.Member, members)
+	for i := range srvs {
+		srv := remote.NewServer(remote.ServerConfig{})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return FleetPoint{}, err
+		}
+		go srv.Serve(ln)
+		defer srv.Close()
+		srvs[i] = srv
+		ms[i] = fleet.Member{Addr: ln.Addr().String()}
+	}
+	// Probing off: members are fresh and local, so placement runs on the
+	// optimistic uniform weighting — the pure rendezvous spread.
+	pool, err := fleet.NewPool(fleet.Config{Members: ms, ProbeInterval: -1})
+	if err != nil {
+		return FleetPoint{}, err
+	}
+	defer pool.Close()
+
+	results := make([]*interp.Result, sessions)
+	errs := make([]error, sessions)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for s := 0; s < sessions; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			name := fmt.Sprintf("%s-%d", b.Prog.Name, s)
+			client, err := remote.DialSelector(pool.Session(name), remote.ClientConfig{
+				Program:    name,
+				NumThreads: remoteThreads,
+				Plans:      b.Analysis.Plans,
+			})
+			if err != nil {
+				errs[s] = err
+				return
+			}
+			results[s], errs[s] = interp.Run(b.Mod, interp.Options{
+				Threads: remoteThreads,
+				Mode:    interp.MonitorActive,
+				Plans:   b.Analysis.Plans,
+				Sink:    client,
+			})
+		}(s)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	p := FleetPoint{Members: members, Sessions: sessions, Elapsed: elapsed}
+	for s := 0; s < sessions; s++ {
+		if errs[s] != nil {
+			return FleetPoint{}, fmt.Errorf("fleet %d/%d session %d: %w", members, sessions, s, errs[s])
+		}
+		res := results[s]
+		if res.MonitorHealth != monitor.Healthy {
+			return FleetPoint{}, fmt.Errorf("fleet %d/%d session %d: health %s on a clean run",
+				members, sessions, s, res.MonitorHealth)
+		}
+		if err := remoteSameVerdict(b.Prog.Name, "fleet", ref, res); err != nil {
+			return FleetPoint{}, err
+		}
+		p.Events += res.MonitorStats.Events
+	}
+	var spread []string
+	var placed uint64
+	for _, srv := range srvs {
+		n := srv.Sessions()
+		placed += n
+		spread = append(spread, fmt.Sprintf("%d", n))
+	}
+	p.Spread = strings.Join(spread, "/")
+	if placed != uint64(sessions) {
+		return FleetPoint{}, fmt.Errorf("fleet %d/%d: members served %d sessions, expected %d",
+			members, sessions, placed, sessions)
+	}
+	return p, nil
+}
+
+// RenderFleet formats the fleet grid as a text table.
+func RenderFleet(points []FleetPoint) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Fleet scaling: sharded daemons, rendezvous-placed sessions (%s, %d threads; verdicts asserted against in-process)\n",
+		fleetKernel, remoteThreads)
+	fmt.Fprintf(&sb, "%-9s %9s %12s %12s %14s %12s\n",
+		"members", "sessions", "events", "elapsed", "events/sec", "spread")
+	for _, p := range points {
+		fmt.Fprintf(&sb, "%-9d %9d %12d %12s %14.0f %12s\n",
+			p.Members, p.Sessions, p.Events, p.Elapsed.Round(time.Millisecond),
+			p.EventsPerSec(), p.Spread)
+	}
+	return sb.String()
+}

@@ -193,4 +193,3 @@ func benchServerSessions(b *testing.B, transport string, sessions, threads int, 
 	}
 	b.ReportMetric(float64(sessions*threads), "events/op")
 }
-
