@@ -7,19 +7,22 @@
 //
 //	bwbench                      run everything
 //	bwbench -exp fig8 -faults 300
+//	bwbench -exp throughput -json BENCH_throughput.json
+//	bwbench compare -base BENCH_baseline.json -head BENCH_ci.json -no-time
 //
-// Experiments: tables (I and II), table3, table4, table5, fig6, fig7,
-// fig8, fig9, falsepos, duplication, ablation, detectorfault, throughput,
-// remote, netfault, ingest, fleet, all.
+// The experiment list lives in the internal/harness registry; bwbench's
+// -exp help text, the generated docs/cli.md, and the README experiment
+// table all derive from it. With -json, the perf experiments also write
+// their measurements as a schema-versioned benchstore artifact; the
+// compare subcommand diffs two artifacts and exits nonzero on
+// regression (docs/benchmarks.md describes the workflow).
 //
 // -cpuprofile and -memprofile write pprof profiles covering whichever
-// experiments ran (`go tool pprof` reads them); docs/benchmarks.md shows
-// the workflow. A leading -version flag prints the build version and
-// exits.
+// experiments ran (`go tool pprof` reads them). A leading -version flag
+// prints the build version and exits.
 package main
 
 import (
-	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -28,9 +31,10 @@ import (
 	"strings"
 	"time"
 
+	"blockwatch/cmd/internal/cliref"
+	"blockwatch/internal/benchstore"
 	"blockwatch/internal/buildinfo"
 	"blockwatch/internal/harness"
-	"blockwatch/internal/inject"
 )
 
 func main() {
@@ -44,24 +48,16 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if buildinfo.HandleVersion(args, stdout, "bwbench") {
 		return nil
 	}
-	fs := flag.NewFlagSet("bwbench", flag.ContinueOnError)
-	fs.SetOutput(stderr)
-	var (
-		exp     = fs.String("exp", "all", "experiment id (tables|table3|table4|table5|fig6|fig7|fig8|fig9|falsepos|duplication|ablation|nestsweep|detectorfault|throughput|remote|netfault|ingest|fleet|all)")
-		faults  = fs.Int("faults", 1000, "faults per campaign cell")
-		fpruns  = fs.Int("fpruns", 100, "error-free runs per program for the false-positive experiment")
-		seed    = fs.Int64("seed", 1, "campaign seed")
-		workers = fs.Int("workers", 0, "concurrent faulty runs per campaign (0 = all cores)")
-		quiet   = fs.Bool("q", false, "suppress progress lines")
-		cpuprof = fs.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
-		memprof = fs.String("memprofile", "", "write a heap profile (after the experiments) to this file")
-	)
+	if len(args) > 0 && args[0] == "compare" {
+		return compare(args[1:], stdout, stderr)
+	}
+	fs, opt := cliref.BenchFlags(stderr)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	if *cpuprof != "" {
-		f, err := os.Create(*cpuprof)
+	if opt.CPUProfile != "" {
+		f, err := os.Create(opt.CPUProfile)
 		if err != nil {
 			return fmt.Errorf("cpuprofile: %w", err)
 		}
@@ -71,8 +67,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		defer pprof.StopCPUProfile()
 	}
-	if *memprof != "" {
-		f, err := os.Create(*memprof)
+	if opt.MemProfile != "" {
+		f, err := os.Create(opt.MemProfile)
 		if err != nil {
 			return fmt.Errorf("memprofile: %w", err)
 		}
@@ -87,169 +83,86 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	cfg := harness.Config{
-		Faults:            *faults,
-		FalsePositiveRuns: *fpruns,
-		Seed:              *seed,
-		Workers:           *workers,
+		Faults:            opt.Faults,
+		FalsePositiveRuns: opt.FPRuns,
+		Seed:              opt.Seed,
+		Workers:           opt.Workers,
 	}
-	if !*quiet {
+	if !opt.Quiet {
 		cfg.Progress = func(format string, args ...any) {
 			fmt.Fprintf(stderr, "... "+format+"\n", args...)
 		}
 	}
 
-	want := func(id string) bool { return *exp == "all" || *exp == id }
+	// -exp takes a single id, "all", or a comma-separated list (so one
+	// artifact can hold several experiments' records, as CI's does).
+	wanted := make(map[string]bool)
+	for _, id := range strings.Split(opt.Exp, ",") {
+		wanted[strings.TrimSpace(id)] = true
+	}
+
 	start := time.Now()
 	ran := 0
-
-	if want("tables") {
-		fmt.Fprintln(stdout, harness.Table1())
-		fmt.Fprintln(stdout, harness.RenderTable2())
-		ran++
-	}
-	if want("table3") {
-		out, err := harness.Table3()
+	artifact := benchstore.New("bwbench")
+	for _, e := range harness.Experiments() {
+		if !wanted["all"] && !wanted[e.ID] {
+			continue
+		}
+		delete(wanted, e.ID)
+		res, err := e.Run(cfg)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintln(stdout, out)
+		fmt.Fprintln(stdout, res.Text)
+		artifact.Add(res.Records...)
 		ran++
 	}
-	if want("table4") {
-		rows, err := harness.Table4(cfg)
-		if err != nil {
-			return err
+	delete(wanted, "all")
+	if ran == 0 || len(wanted) > 0 {
+		return fmt.Errorf("unknown experiment %q; try one of %s", opt.Exp,
+			strings.Join(append(harness.ExperimentIDs(), "all"), ", "))
+	}
+	if opt.JSON != "" {
+		if len(artifact.Records) == 0 {
+			return fmt.Errorf("-json: experiment %q emits no records (perf experiments only)", opt.Exp)
 		}
-		fmt.Fprintln(stdout, harness.RenderTable4(rows))
-		ran++
-	}
-	if want("table5") {
-		rows, err := harness.Table5(cfg)
-		if err != nil {
-			return err
+		if err := artifact.WriteFile(opt.JSON); err != nil {
+			return fmt.Errorf("-json: %w", err)
 		}
-		fmt.Fprintln(stdout, harness.RenderTable5(rows))
-		ran++
-	}
-	if want("fig6") {
-		res, err := harness.Fig6(cfg)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintln(stdout, harness.RenderFig6(res))
-		ran++
-	}
-	if want("fig7") {
-		points, err := harness.Fig7(cfg)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintln(stdout, harness.RenderFig7(points))
-		ran++
-	}
-	if want("fig8") {
-		res, err := harness.Coverage(cfg, inject.BranchFlip)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintln(stdout, harness.RenderCoverage(res, "Figure 8"))
-		ran++
-	}
-	if want("fig9") {
-		res, err := harness.Coverage(cfg, inject.CondBit)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintln(stdout, harness.RenderCoverage(res, "Figure 9"))
-		ran++
-	}
-	if want("falsepos") {
-		res, err := harness.FalsePositives(cfg)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintln(stdout, harness.RenderFalsePositives(res))
-		ran++
-	}
-	if want("duplication") {
-		res, err := harness.Duplication(cfg)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintln(stdout, harness.RenderDuplication(res))
-		ran++
-	}
-	if want("ablation") {
-		rows, err := harness.Ablation(cfg)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintln(stdout, harness.RenderAblation(rows))
-		ran++
-	}
-	if want("nestsweep") {
-		points, err := harness.NestSweep(cfg)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintln(stdout, harness.RenderNestSweep(points))
-		ran++
-	}
-	if want("detectorfault") {
-		rows, err := harness.DetectorFault(cfg)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintln(stdout, harness.RenderDetectorFault(rows))
-		ran++
-	}
-	if want("throughput") {
-		points, err := harness.Throughput(cfg)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintln(stdout, harness.RenderThroughput(points))
-		ran++
-	}
-	if want("remote") {
-		points, err := harness.Remote(cfg)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintln(stdout, harness.RenderRemote(points))
-		ran++
-	}
-	if want("netfault") {
-		points, err := harness.NetFault(cfg)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintln(stdout, harness.RenderNetFault(points))
-		ran++
-	}
-	if want("ingest") {
-		points, err := harness.Ingest(cfg)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintln(stdout, harness.RenderIngest(points))
-		ran++
-	}
-	if want("fleet") {
-		points, err := harness.Fleet(cfg)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintln(stdout, harness.RenderFleet(points))
-		ran++
-	}
-	if ran == 0 {
-		return fmt.Errorf("unknown experiment %q; try one of %s", *exp,
-			strings.Join([]string{"tables", "table3", "table4", "table5", "fig6",
-				"fig7", "fig8", "fig9", "falsepos", "duplication", "ablation",
-				"nestsweep", "detectorfault", "throughput", "remote", "netfault",
-				"ingest", "fleet", "all"}, ", "))
+		fmt.Fprintf(stderr, "bwbench: wrote %d record(s) to %s\n", len(artifact.Records), opt.JSON)
 	}
 	fmt.Fprintf(stderr, "bwbench: %d experiment(s) in %s\n", ran, time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// compare gates one artifact against another: nonzero exit on any
+// regression or on a record/gated metric missing from head.
+func compare(args []string, stdout, stderr io.Writer) error {
+	fs, opt := cliref.BenchCompareFlags(stderr)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if opt.Base == "" || opt.Head == "" {
+		return fmt.Errorf("compare: -base and -head artifacts are required")
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("compare: unexpected argument %q", fs.Arg(0))
+	}
+	base, err := benchstore.ReadFile(opt.Base)
+	if err != nil {
+		return err
+	}
+	head, err := benchstore.ReadFile(opt.Head)
+	if err != nil {
+		return err
+	}
+	c := benchstore.Compare(base, head, benchstore.CompareOptions{
+		TimeTol:  opt.TimeTol,
+		SkipTime: opt.NoTime,
+	})
+	c.Render(stdout)
+	if c.Failed() {
+		return fmt.Errorf("compare: %d regression(s), %d missing record(s)/metric(s)", c.Regressions, c.Missing)
+	}
 	return nil
 }

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+
+	"blockwatch/internal/benchstore"
 )
 
 // TestRunStaticTables exercises the cheap static experiments end to end.
@@ -38,7 +40,85 @@ func TestRunSmallCampaign(t *testing.T) {
 
 func TestRunUnknownExperiment(t *testing.T) {
 	var out, errb bytes.Buffer
-	if err := run([]string{"-exp", "nope", "-q"}, &out, &errb); err == nil {
-		t.Error("expected error for unknown experiment id")
+	err := run([]string{"-exp", "nope", "-q"}, &out, &errb)
+	if err == nil {
+		t.Fatal("expected error for unknown experiment id")
+	}
+	// The suggestion list is registry-derived, so every id shows up.
+	for _, id := range []string{"nestsweep", "throughput", "all"} {
+		if !strings.Contains(err.Error(), id) {
+			t.Errorf("error %q does not suggest %q", err, id)
+		}
+	}
+}
+
+// TestRunJSONArtifact drives the acceptance path: a perf experiment with
+// -json writes a schema-valid artifact that compares clean against
+// itself and trips the gate against a doctored regression.
+func TestRunJSONArtifact(t *testing.T) {
+	if testing.Short() {
+		t.Skip("perf experiment in -short mode")
+	}
+	dir := t.TempDir()
+	art := dir + "/BENCH_ingest.json"
+	var out, errb bytes.Buffer
+	if err := run([]string{"-exp", "ingest", "-q", "-json", art}, &out, &errb); err != nil {
+		t.Fatalf("run -json: %v\n%s", err, errb.String())
+	}
+	f, err := benchstore.ReadFile(art)
+	if err != nil {
+		t.Fatalf("artifact did not validate: %v", err)
+	}
+	var wireDecode *benchstore.Record
+	for i, r := range f.Records {
+		if r.Config["path"] == "wire-decode" {
+			wireDecode = &f.Records[i]
+		}
+	}
+	if wireDecode == nil {
+		t.Fatalf("artifact lacks the wire-decode record: %+v", f.Records)
+	}
+	if got := wireDecode.Values["allocs/op"]; got != 0 {
+		t.Errorf("wire-decode allocs/op = %v, want 0", got)
+	}
+
+	// Identical artifacts compare clean (exit zero).
+	out.Reset()
+	if err := run([]string{"compare", "-base", art, "-head", art}, &out, &errb); err != nil {
+		t.Fatalf("self-compare failed: %v\n%s", err, out.String())
+	}
+
+	// A doctored 20% ns/op regression fails the default gate.
+	worse := dir + "/BENCH_worse.json"
+	for i := range f.Records {
+		if ns, ok := f.Records[i].Values["ns/op"]; ok {
+			f.Records[i].Values["ns/op"] = ns * 1.2
+		}
+	}
+	if err := f.WriteFile(worse); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := run([]string{"compare", "-base", art, "-head", worse}, &out, &errb); err == nil {
+		t.Fatalf("20%% ns/op regression passed compare:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION") {
+		t.Errorf("delta table does not flag the regression:\n%s", out.String())
+	}
+
+	// ...but passes in cross-machine -no-time mode, where only allocs
+	// and record structure gate.
+	if err := run([]string{"compare", "-no-time", "-base", art, "-head", worse}, &out, &errb); err != nil {
+		t.Errorf("-no-time compare gated on wall-clock drift: %v", err)
+	}
+}
+
+func TestCompareUsageErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"compare"}, &out, &errb); err == nil {
+		t.Error("compare without -base/-head should fail")
+	}
+	if err := run([]string{"compare", "-base", "nope.json", "-head", "nope.json"}, &out, &errb); err == nil {
+		t.Error("compare with missing files should fail")
 	}
 }

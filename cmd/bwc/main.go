@@ -19,13 +19,13 @@
 package main
 
 import (
-	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strings"
 
 	"blockwatch"
+	"blockwatch/cmd/internal/cliref"
 	"blockwatch/internal/buildinfo"
 )
 
@@ -40,42 +40,32 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if buildinfo.HandleVersion(args, stdout, "bwc") {
 		return nil
 	}
-	fs := flag.NewFlagSet("bwc", flag.ContinueOnError)
-	fs.SetOutput(stderr)
-	var (
-		bench     = fs.String("bench", "", "bundled benchmark name")
-		dump      = fs.Bool("dump", false, "print SSA IR")
-		maxNest   = fs.Int("maxnest", 0, "loop-nesting cap (0 = default 6, -1 = unlimited)")
-		noPromote = fs.Bool("nopromote", false, "disable none→partial promotion")
-		dedup     = fs.Bool("dedup", false, "enable redundant-check elimination")
-		list      = fs.Bool("list", false, "list bundled benchmarks")
-		optimize  = fs.Bool("O", false, "run SSA optimizations before analysis")
-	)
+	fs, opt := cliref.CFlags(stderr)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	if *list {
+	if opt.List {
 		fmt.Fprintln(stdout, strings.Join(blockwatch.Benchmarks(), "\n"))
 		return nil
 	}
 
-	prog, err := loadProgram(*bench, fs.Args())
+	prog, err := loadProgram(opt.Bench, fs.Args())
 	if err != nil {
 		return err
 	}
-	if *optimize {
+	if opt.Optimize {
 		st := prog.Optimize()
 		fmt.Fprintf(stdout, "optimizer: folded=%d simplified=%d cse=%d dead=%d\n",
 			st.Folded, st.Simplified, st.CSE, st.Dead)
 	}
-	if *dump {
+	if opt.Dump {
 		fmt.Fprintln(stdout, prog.DumpIR())
 	}
 	rep, err := prog.Analyze(blockwatch.AnalysisOptions{
-		MaxNest:          *maxNest,
-		DisablePromotion: *noPromote,
-		DedupRedundant:   *dedup,
+		MaxNest:          opt.MaxNest,
+		DisablePromotion: opt.NoPromote,
+		DedupRedundant:   opt.Dedup,
 	})
 	if err != nil {
 		return err

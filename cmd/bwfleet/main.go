@@ -34,12 +34,12 @@ package main
 
 import (
 	"encoding/json"
-	"flag"
 	"fmt"
 	"io"
 	"os"
 	"time"
 
+	"blockwatch/cmd/internal/cliref"
 	"blockwatch/internal/buildinfo"
 	"blockwatch/internal/fleet"
 )
@@ -70,13 +70,6 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 }
 
-// fleetFlags registers the flags every subcommand shares.
-func fleetFlags(fs *flag.FlagSet) (spec *string, timeout *time.Duration) {
-	spec = fs.String("fleet", "", "comma-separated members: addr or addr=adminhost:port (required)")
-	timeout = fs.Duration("timeout", fleet.DefaultProbeTimeout, "per-member probe/scrape timeout")
-	return spec, timeout
-}
-
 func parseFleet(spec string) ([]fleet.Member, error) {
 	if spec == "" {
 		return nil, fmt.Errorf("-fleet member list is required")
@@ -85,18 +78,16 @@ func parseFleet(spec string) ([]fleet.Member, error) {
 }
 
 func probe(args []string, stdout, stderr io.Writer) error {
-	fs := flag.NewFlagSet("bwfleet probe", flag.ContinueOnError)
-	fs.SetOutput(stderr)
-	spec, timeout := fleetFlags(fs)
+	fs, opt := cliref.FleetProbeFlags(stderr)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	members, err := parseFleet(*spec)
+	members, err := parseFleet(opt.Fleet)
 	if err != nil {
 		return err
 	}
 	pool, err := fleet.NewPool(fleet.Config{
-		Members: members, ProbeInterval: -1, ProbeTimeout: *timeout,
+		Members: members, ProbeInterval: -1, ProbeTimeout: opt.Timeout,
 	})
 	if err != nil {
 		return err
@@ -124,40 +115,36 @@ func probe(args []string, stdout, stderr io.Writer) error {
 }
 
 func rank(args []string, stdout, stderr io.Writer) error {
-	fs := flag.NewFlagSet("bwfleet rank", flag.ContinueOnError)
-	fs.SetOutput(stderr)
-	spec, timeout := fleetFlags(fs)
-	key := fs.String("key", "", "session key to place (bwrun uses the program name; required)")
-	noProbe := fs.Bool("no-probe", false, "rank on the static member list without probing first")
+	fs, opt := cliref.FleetRankFlags(stderr)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	members, err := parseFleet(*spec)
+	members, err := parseFleet(opt.Fleet)
 	if err != nil {
 		return err
 	}
-	if *key == "" {
+	if opt.Key == "" {
 		return fmt.Errorf("rank: -key session key is required")
 	}
 	pool, err := fleet.NewPool(fleet.Config{
-		Members: members, ProbeInterval: -1, ProbeTimeout: *timeout,
+		Members: members, ProbeInterval: -1, ProbeTimeout: opt.Timeout,
 	})
 	if err != nil {
 		return err
 	}
 	defer pool.Close()
-	if !*noProbe {
+	if !opt.NoProbe {
 		pool.Probe()
 	}
-	ranked := pool.Rank(*key)
+	ranked := pool.Rank(opt.Key)
 	if len(ranked) == 0 {
-		return fmt.Errorf("rank: no candidate members for key %q", *key)
+		return fmt.Errorf("rank: no candidate members for key %q", opt.Key)
 	}
 	byAddr := make(map[string]fleet.MemberHealth)
 	for _, h := range pool.Members() {
 		byAddr[h.Addr] = h
 	}
-	fmt.Fprintf(stdout, "placement for session key %q:\n", *key)
+	fmt.Fprintf(stdout, "placement for session key %q:\n", opt.Key)
 	for i, m := range ranked {
 		h := byAddr[m.Addr]
 		role := "failover"
@@ -170,21 +157,18 @@ func rank(args []string, stdout, stderr io.Writer) error {
 }
 
 func metricsCmd(args []string, stdout, stderr io.Writer) error {
-	fs := flag.NewFlagSet("bwfleet metrics", flag.ContinueOnError)
-	fs.SetOutput(stderr)
-	spec, timeout := fleetFlags(fs)
-	format := fs.String("format", "prom", "merged output format: prom | json")
+	fs, opt := cliref.FleetMetricsFlags(stderr)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *format != "prom" && *format != "json" {
-		return fmt.Errorf("metrics: unknown format %q (prom | json)", *format)
+	if opt.Format != "prom" && opt.Format != "json" {
+		return fmt.Errorf("metrics: unknown format %q (prom | json)", opt.Format)
 	}
-	members, err := parseFleet(*spec)
+	members, err := parseFleet(opt.Fleet)
 	if err != nil {
 		return err
 	}
-	scrapes, merged := fleet.ScrapeAll(members, *timeout)
+	scrapes, merged := fleet.ScrapeAll(members, opt.Timeout)
 	scraped := 0
 	for _, s := range scrapes {
 		if s.Err != nil {
@@ -196,7 +180,7 @@ func metricsCmd(args []string, stdout, stderr io.Writer) error {
 	if scraped == 0 {
 		return fmt.Errorf("metrics: no member scraped successfully")
 	}
-	switch *format {
+	switch opt.Format {
 	case "json":
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")

@@ -15,12 +15,12 @@
 package main
 
 import (
-	"flag"
 	"fmt"
 	"io"
 	"os"
 
 	"blockwatch"
+	"blockwatch/cmd/internal/cliref"
 	"blockwatch/internal/buildinfo"
 	"blockwatch/internal/lang/langtest"
 )
@@ -36,24 +36,17 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if buildinfo.HandleVersion(args, stdout, "bwgen") {
 		return nil
 	}
-	fs := flag.NewFlagSet("bwgen", flag.ContinueOnError)
-	fs.SetOutput(stderr)
-	var (
-		seed  = fs.Int64("seed", 1, "generator seed")
-		stmts = fs.Int("stmts", 8, "max top-level statements")
-		depth = fs.Int("depth", 3, "max nesting depth")
-		check = fs.Bool("check", false, "compile, analyze and run the program protected")
-	)
+	fs, opt := cliref.GenFlags(stderr)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	src := langtest.Generate(*seed, langtest.Options{MaxStmts: *stmts, MaxDepth: *depth})
+	src := langtest.Generate(opt.Seed, langtest.Options{MaxStmts: opt.Stmts, MaxDepth: opt.Depth})
 	fmt.Fprint(stdout, src)
-	if !*check {
+	if !opt.Check {
 		return nil
 	}
-	prog, err := blockwatch.Compile(src, fmt.Sprintf("gen-%d", *seed))
+	prog, err := blockwatch.Compile(src, fmt.Sprintf("gen-%d", opt.Seed))
 	if err != nil {
 		return fmt.Errorf("generated program failed to compile: %w", err)
 	}

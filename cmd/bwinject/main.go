@@ -42,13 +42,13 @@
 package main
 
 import (
-	"flag"
 	"fmt"
 	"io"
 	"os"
 	"sort"
 
 	"blockwatch"
+	"blockwatch/cmd/internal/cliref"
 	"blockwatch/internal/adminhttp"
 	"blockwatch/internal/buildinfo"
 	"blockwatch/internal/metrics"
@@ -65,32 +65,16 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if buildinfo.HandleVersion(args, stdout, "bwinject") {
 		return nil
 	}
-	fs := flag.NewFlagSet("bwinject", flag.ContinueOnError)
-	fs.SetOutput(stderr)
-	var (
-		bench     = fs.String("bench", "", "bundled benchmark name")
-		threads   = fs.Int("threads", 4, "thread count")
-		faults    = fs.Int("faults", 1000, "faults per campaign")
-		ftype     = fs.String("type", "branch-flip", "branch-flip | branch-condition | event-path | net-fault")
-		transport = fs.String("transport", "tcp", "net-fault transport: tcp | unix")
-		members   = fs.Int("members", 1, "net-fault fleet size (≥2 adds daemon-kill faults)")
-		noSpool   = fs.Bool("no-spool", false, "net-fault: disable the disk spillover (fail-open only)")
-		seed      = fs.Int64("seed", 1, "campaign seed")
-		workers   = fs.Int("workers", 0, "concurrent faulty runs (0 = all cores)")
-		checkers  = fs.Int("checkers", 0, "monitor checker goroutines per protected run (0/1 = inline)")
-		progress  = fs.Bool("progress", false, "print live progress to stderr")
-		metricsF  = fs.String("metrics", "", "print the aggregated metrics snapshot to stdout: json | prom")
-		metricsA  = fs.String("metrics-addr", "", "serve /metrics, /healthz, /debug/pprof at this address for the campaign")
-	)
+	fs, opt := cliref.InjectFlags(stderr)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	reg, err := metricsRegistry(*metricsF, *metricsA)
+	reg, err := metricsRegistry(opt.MetricsFormat, opt.MetricsAddr)
 	if err != nil {
 		return err
 	}
-	if *metricsA != "" {
-		adm, err := adminhttp.Start(*metricsA, reg)
+	if opt.MetricsAddr != "" {
+		adm, err := adminhttp.Start(opt.MetricsAddr, reg)
 		if err != nil {
 			return err
 		}
@@ -99,7 +83,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	var model blockwatch.FaultModel
-	switch *ftype {
+	switch opt.Type {
 	case "branch-flip":
 		model = blockwatch.BranchFlip
 	case "branch-condition":
@@ -108,37 +92,37 @@ func run(args []string, stdout, stderr io.Writer) error {
 		model = blockwatch.EventPath
 	case "net-fault":
 	default:
-		return fmt.Errorf("unknown fault type %q", *ftype)
+		return fmt.Errorf("unknown fault type %q", opt.Type)
 	}
 
-	prog, err := loadProgram(*bench, fs.Args())
+	prog, err := loadProgram(opt.Bench, fs.Args())
 	if err != nil {
 		return err
 	}
 
-	if *ftype == "net-fault" {
+	if opt.Type == "net-fault" {
 		return netFaultCampaign(stdout, prog, blockwatch.NetFaultOptions{
-			Threads:      *threads,
-			Faults:       *faults,
-			Seed:         *seed,
-			Transport:    *transport,
-			Members:      *members,
-			DisableSpool: *noSpool,
-			Workers:      *workers,
+			Threads:      opt.Threads,
+			Faults:       opt.Faults,
+			Seed:         opt.Seed,
+			Transport:    opt.Transport,
+			Members:      opt.Members,
+			DisableSpool: opt.NoSpool,
+			Workers:      opt.Workers,
 		})
 	}
 	opts := blockwatch.CampaignOptions{
-		Threads: *threads, Faults: *faults, Model: model, Seed: *seed,
-		Workers: *workers, CheckWorkers: *checkers, Metrics: reg,
+		Threads: opt.Threads, Faults: opt.Faults, Model: model, Seed: opt.Seed,
+		Workers: opt.Workers, CheckWorkers: opt.Checkers, Metrics: reg,
 	}
-	if *progress {
+	if opt.Progress {
 		opts.Progress = func(p blockwatch.CampaignProgress) {
 			fmt.Fprintf(stderr, "progress: %d/%d injected, %d activated, sdc=%d detected=%d (%s)\n",
 				p.Injected, p.Total, p.Activated, p.SDC, p.Detected, p.Elapsed.Round(1e6))
 		}
 	}
 	fmt.Fprintf(stdout, "campaign: %s, %d threads, %d %s faults\n",
-		prog.Name(), *threads, *faults, *ftype)
+		prog.Name(), opt.Threads, opt.Faults, opt.Type)
 
 	if model == blockwatch.EventPath {
 		// Event-path faults live inside the detector: there is no
@@ -152,10 +136,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 		d := res.Detector
 		fmt.Fprintf(stdout, "detector classification: program-fault detections=%d detector-fault detections=%d quarantined-runs=%d degraded-runs=%d\n",
 			d.ProgramDetections, d.DetectorDetections, d.QuarantinedRuns, d.DegradedRuns)
-		if *progress {
+		if opt.Progress {
 			printLatency(stderr, "detector under fault", res)
 		}
-		return dumpMetrics(stdout, reg, *metricsF)
+		return dumpMetrics(stdout, reg, opt.MetricsFormat)
 	}
 
 	base, err := prog.Campaign(opts)
@@ -170,11 +154,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 	printTally(stdout, "without BLOCKWATCH", base)
 	printTally(stdout, "with BLOCKWATCH", prot)
 	fmt.Fprintf(stdout, "coverage gain: %.1f%% -> %.1f%%\n", 100*base.Coverage, 100*prot.Coverage)
-	if *progress {
+	if opt.Progress {
 		printLatency(stderr, "without BLOCKWATCH", base)
 		printLatency(stderr, "with BLOCKWATCH", prot)
 	}
-	return dumpMetrics(stdout, reg, *metricsF)
+	return dumpMetrics(stdout, reg, opt.MetricsFormat)
 }
 
 // metricsRegistry builds the campaign's registry when either metrics flag

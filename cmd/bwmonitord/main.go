@@ -37,13 +37,13 @@
 package main
 
 import (
-	"flag"
 	"fmt"
 	"io"
 	"os"
 	"os/signal"
 	"syscall"
 
+	"blockwatch/cmd/internal/cliref"
 	"blockwatch/internal/adminhttp"
 	"blockwatch/internal/buildinfo"
 	"blockwatch/internal/metrics"
@@ -67,21 +67,7 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan os.Signal) error {
 		return fmt.Errorf("usage: bwmonitord serve [flags]")
 	}
 	args = args[1:]
-	fs := flag.NewFlagSet("bwmonitord serve", flag.ContinueOnError)
-	fs.SetOutput(stderr)
-	var (
-		addr       = fs.String("addr", "127.0.0.1:4777", "listen address (host:port, unix:/path, or a socket path)")
-		queuecap   = fs.Int("queuecap", 0, "per-thread monitor queue capacity per session (0 = default)")
-		checkers   = fs.Int("checkers", 0, "checker goroutines per session monitor (0/1 = inline)")
-		watchdog   = fs.Duration("watchdog", 0, "per-session stall-watchdog deadline (0 = disabled)")
-		maxthreads = fs.Int("maxthreads", 0, "largest thread count a session may claim (0 = default 1024)")
-		maxconns   = fs.Int("maxconns", 0, "reject new sessions beyond N live ones (0 = unlimited)")
-		readto     = fs.Duration("readtimeout", 0, "per-frame read deadline on session connections (0 = none)")
-		writeto    = fs.Duration("writetimeout", 0, "write deadline on result/reject frames (0 = default)")
-		drain      = fs.Duration("drain", 0, "graceful-drain window for live sessions on shutdown (0 = close immediately)")
-		quiet      = fs.Bool("quiet", false, "log only errors, not per-session lines")
-		admin      = fs.String("admin", "", "HTTP observability listener address (/metrics, /healthz, /debug/pprof); empty = off")
-	)
+	fs, opt := cliref.ServeFlags(stderr)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -90,29 +76,29 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan os.Signal) error {
 	}
 
 	cfg := remote.ServerConfig{
-		QueueCap:      *queuecap,
-		CheckWorkers:  *checkers,
-		StallDeadline: *watchdog,
-		MaxThreads:    *maxthreads,
-		MaxConns:      *maxconns,
-		IdleTimeout:   *readto,
-		WriteTimeout:  *writeto,
+		QueueCap:      opt.QueueCap,
+		CheckWorkers:  opt.Checkers,
+		StallDeadline: opt.Watchdog,
+		MaxThreads:    opt.MaxThreads,
+		MaxConns:      opt.MaxConns,
+		IdleTimeout:   opt.ReadTimeout,
+		WriteTimeout:  opt.WriteTimeout,
 	}
-	if !*quiet {
+	if !opt.Quiet {
 		cfg.Logf = func(format string, a ...any) {
 			fmt.Fprintf(stderr, "bwmonitord: "+format+"\n", a...)
 		}
 	}
-	if *admin != "" {
+	if opt.Admin != "" {
 		cfg.Metrics = metrics.NewRegistry()
 	}
 	srv := remote.NewServer(cfg)
-	ln, err := remote.Listen(*addr)
+	ln, err := remote.Listen(opt.Addr)
 	if err != nil {
 		return err
 	}
-	if *admin != "" {
-		adm, err := adminhttp.StartWithHealth(*admin, cfg.Metrics, func() string {
+	if opt.Admin != "" {
+		adm, err := adminhttp.StartWithHealth(opt.Admin, cfg.Metrics, func() string {
 			if srv.Draining() {
 				return "draining"
 			}
@@ -133,9 +119,9 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan os.Signal) error {
 	case err := <-errc:
 		return err
 	case sig := <-stop:
-		if *drain > 0 {
-			fmt.Fprintf(stdout, "bwmonitord: %v, draining (up to %v for live sessions)\n", sig, *drain)
-			srv.Drain(*drain)
+		if opt.Drain > 0 {
+			fmt.Fprintf(stdout, "bwmonitord: %v, draining (up to %v for live sessions)\n", sig, opt.Drain)
+			srv.Drain(opt.Drain)
 		}
 		fmt.Fprintf(stdout, "bwmonitord: %v, shutting down (%d sessions served)\n", sig, srv.Sessions())
 		srv.Close()

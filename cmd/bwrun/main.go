@@ -45,13 +45,13 @@
 package main
 
 import (
-	"flag"
 	"fmt"
 	"io"
 	"math"
 	"os"
 
 	"blockwatch"
+	"blockwatch/cmd/internal/cliref"
 	"blockwatch/internal/adminhttp"
 	"blockwatch/internal/buildinfo"
 	"blockwatch/internal/metrics"
@@ -72,68 +72,46 @@ func run(args []string, stdout, stderr io.Writer) (*blockwatch.RunResult, error)
 	if buildinfo.HandleVersion(args, stdout, "bwrun") {
 		return nil, nil
 	}
-	fs := flag.NewFlagSet("bwrun", flag.ContinueOnError)
-	fs.SetOutput(stderr)
-	var (
-		bench    = fs.String("bench", "", "bundled benchmark name")
-		threads  = fs.Int("threads", 4, "SPMD thread count")
-		protect  = fs.Bool("protect", false, "enable BLOCKWATCH checking")
-		seed     = fs.Uint64("seed", 0, "rnd() seed")
-		quiet    = fs.Bool("q", false, "suppress the program output listing")
-		overhead = fs.Bool("overhead", false, "report instrumentation overhead")
-		trace    = fs.Bool("trace", false, "print every executed branch to stderr")
-		monitors = fs.Int("monitors", 1, "hierarchical sub-monitors (>1 enables the Section VI extension)")
-		queuecap = fs.Int("queuecap", 0, "per-thread monitor queue capacity (0 = default)")
-		overflow = fs.String("overflow", "block", "queue-overflow policy: block | drop-newest | block-timeout")
-		batch    = fs.Int("batch", 0, "per-thread event batch size (0 = default, 1 = unbatched)")
-		checkers = fs.Int("checkers", 0, "monitor checker goroutines (0/1 = inline checking)")
-		watchdog = fs.Duration("watchdog", 0, "monitor stall-watchdog deadline (0 = disabled)")
-		remote   = fs.String("remote", "", "bwmonitord address (host:port or unix:/path), or a comma-separated fleet of them; implies -protect")
-		retry    = fs.Int("retry", 0, "with -remote, dial attempts per outage with backoff (0 = single attempt)")
-		spool    = fs.String("spool", "", "with -remote, disk spillover file replayed on reconnect")
-		record   = fs.String("record", "", "trace file to record the event stream to; implies -protect")
-		metricsF = fs.String("metrics", "", "print the final metrics snapshot to stdout: json | prom")
-		metricsA = fs.String("metrics-addr", "", "serve /metrics, /healthz, /debug/pprof at this address for the run")
-	)
+	fs, opt := cliref.RunFlags(stderr)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
-	policy, err := blockwatch.ParseOverflowPolicy(*overflow)
+	policy, err := blockwatch.ParseOverflowPolicy(opt.Overflow)
 	if err != nil {
 		return nil, err
 	}
-	reg, err := metricsRegistry(*metricsF, *metricsA)
+	reg, err := metricsRegistry(opt.MetricsFormat, opt.MetricsAddr)
 	if err != nil {
 		return nil, err
 	}
 
-	prog, err := loadProgram(*bench, fs.Args())
+	prog, err := loadProgram(opt.Bench, fs.Args())
 	if err != nil {
 		return nil, err
 	}
 	runOpts := blockwatch.RunOptions{
-		Threads:       *threads,
-		Protect:       *protect,
-		Seed:          *seed,
-		MonitorGroups: *monitors,
-		QueueCap:      *queuecap,
+		Threads:       opt.Threads,
+		Protect:       opt.Protect,
+		Seed:          opt.Seed,
+		MonitorGroups: opt.Monitors,
+		QueueCap:      opt.QueueCap,
 		Overflow:      policy,
-		SenderBatch:   *batch,
-		CheckWorkers:  *checkers,
-		StallDeadline: *watchdog,
-		Remote:        *remote,
-		RemoteRetry:   *retry,
-		RemoteSpool:   *spool,
+		SenderBatch:   opt.Batch,
+		CheckWorkers:  opt.Checkers,
+		StallDeadline: opt.Watchdog,
+		Remote:        opt.Remote,
+		RemoteRetry:   opt.Retry,
+		RemoteSpool:   opt.Spool,
 		Metrics:       reg,
 	}
-	if (*retry != 0 || *spool != "") && *remote == "" {
+	if (opt.Retry != 0 || opt.Spool != "") && opt.Remote == "" {
 		return nil, fmt.Errorf("-retry and -spool require -remote")
 	}
-	if *trace {
+	if opt.Trace {
 		runOpts.Trace = stderr
 	}
-	if *metricsA != "" {
-		adm, err := adminhttp.Start(*metricsA, reg)
+	if opt.MetricsAddr != "" {
+		adm, err := adminhttp.Start(opt.MetricsAddr, reg)
 		if err != nil {
 			return nil, err
 		}
@@ -141,14 +119,14 @@ func run(args []string, stdout, stderr io.Writer) (*blockwatch.RunResult, error)
 		fmt.Fprintf(stderr, "bwrun: metrics endpoints on http://%s\n", adm.Addr())
 	}
 	var traceFile *os.File
-	if *record != "" {
-		traceFile, err = os.Create(*record)
+	if opt.Record != "" {
+		traceFile, err = os.Create(opt.Record)
 		if err != nil {
 			return nil, fmt.Errorf("-record: %w", err)
 		}
 		runOpts.Record = traceFile
 	}
-	protected := *protect || *remote != "" || *record != ""
+	protected := opt.Protect || opt.Remote != "" || opt.Record != ""
 	res, err := prog.Run(runOpts)
 	if traceFile != nil {
 		if cerr := traceFile.Close(); cerr != nil && err == nil {
@@ -158,8 +136,8 @@ func run(args []string, stdout, stderr io.Writer) (*blockwatch.RunResult, error)
 	if err != nil {
 		return nil, err
 	}
-	fmt.Fprintf(stdout, "program %s, %d threads, protected=%t\n", prog.Name(), *threads, protected)
-	if *quiet {
+	fmt.Fprintf(stdout, "program %s, %d threads, protected=%t\n", prog.Name(), opt.Threads, protected)
+	if opt.Quiet {
 		fmt.Fprintf(stdout, "output (%d values) suppressed by -q\n", len(res.Output))
 	} else {
 		fmt.Fprintf(stdout, "output (%d values):\n", len(res.Output))
@@ -193,14 +171,14 @@ func run(args []string, stdout, stderr io.Writer) (*blockwatch.RunResult, error)
 		fmt.Fprintf(stdout, "remote verdict not received; event stream sealed to %s (check offline with: bwtrace replay %s)\n",
 			res.SealedTrace, res.SealedTrace)
 	}
-	if *overhead {
-		oh, err := prog.Overhead(*threads)
+	if opt.Overhead {
+		oh, err := prog.Overhead(opt.Threads)
 		if err != nil {
 			return nil, err
 		}
-		fmt.Fprintf(stdout, "instrumentation overhead at %d threads: %.2fx\n", *threads, oh)
+		fmt.Fprintf(stdout, "instrumentation overhead at %d threads: %.2fx\n", opt.Threads, oh)
 	}
-	if err := dumpMetrics(stdout, reg, *metricsF); err != nil {
+	if err := dumpMetrics(stdout, reg, opt.MetricsFormat); err != nil {
 		return nil, err
 	}
 	return res, nil

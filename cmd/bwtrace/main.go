@@ -22,12 +22,12 @@
 package main
 
 import (
-	"flag"
 	"fmt"
 	"io"
 	"os"
 
 	"blockwatch"
+	"blockwatch/cmd/internal/cliref"
 	"blockwatch/internal/buildinfo"
 	"blockwatch/internal/trace"
 )
@@ -63,31 +63,24 @@ func run(args []string, stdout, stderr io.Writer) (detected bool, err error) {
 }
 
 func record(args []string, stdout, stderr io.Writer) (bool, error) {
-	fs := flag.NewFlagSet("bwtrace record", flag.ContinueOnError)
-	fs.SetOutput(stderr)
-	var (
-		bench   = fs.String("bench", "", "bundled benchmark name")
-		threads = fs.Int("threads", 4, "SPMD thread count")
-		seed    = fs.Uint64("seed", 0, "rnd() seed")
-		out     = fs.String("o", "", "trace file to write (required)")
-	)
+	fs, opt := cliref.TraceRecordFlags(stderr)
 	if err := fs.Parse(args); err != nil {
 		return false, err
 	}
-	if *out == "" {
+	if opt.Out == "" {
 		return false, fmt.Errorf("record: -o trace file is required")
 	}
-	prog, err := loadProgram(*bench, fs.Args())
+	prog, err := loadProgram(opt.Bench, fs.Args())
 	if err != nil {
 		return false, err
 	}
-	f, err := os.Create(*out)
+	f, err := os.Create(opt.Out)
 	if err != nil {
 		return false, err
 	}
 	res, err := prog.Run(blockwatch.RunOptions{
-		Threads: *threads,
-		Seed:    *seed,
+		Threads: opt.Threads,
+		Seed:    opt.Seed,
 		Record:  f,
 	})
 	if cerr := f.Close(); cerr != nil && err == nil {
@@ -96,19 +89,14 @@ func record(args []string, stdout, stderr io.Writer) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	fmt.Fprintf(stdout, "recorded %s, %d threads -> %s\n", prog.Name(), *threads, *out)
+	fmt.Fprintf(stdout, "recorded %s, %d threads -> %s\n", prog.Name(), opt.Threads, opt.Out)
 	printVerdict(stdout, res.Detected, res.Violations)
 	fmt.Fprintf(stdout, "monitor health: %s\n", res.Health)
 	return res.Detected, nil
 }
 
 func replay(args []string, stdout, stderr io.Writer) (bool, error) {
-	fs := flag.NewFlagSet("bwtrace replay", flag.ContinueOnError)
-	fs.SetOutput(stderr)
-	var (
-		queuecap = fs.Int("queuecap", 0, "per-thread monitor queue capacity (0 = default)")
-		checkers = fs.Int("checkers", 0, "monitor checker goroutines (0/1 = inline)")
-	)
+	fs, opt := cliref.TraceReplayFlags(stderr)
 	if err := fs.Parse(args); err != nil {
 		return false, err
 	}
@@ -117,7 +105,7 @@ func replay(args []string, stdout, stderr io.Writer) (bool, error) {
 		return false, err
 	}
 	defer f.Close()
-	o, err := trace.Replay(f, trace.ReplayConfig{QueueCap: *queuecap, CheckWorkers: *checkers})
+	o, err := trace.Replay(f, trace.ReplayConfig{QueueCap: opt.QueueCap, CheckWorkers: opt.Checkers})
 	if err != nil {
 		return false, err
 	}
@@ -147,8 +135,7 @@ func replay(args []string, stdout, stderr io.Writer) (bool, error) {
 }
 
 func stat(args []string, stdout, stderr io.Writer) error {
-	fs := flag.NewFlagSet("bwtrace stat", flag.ContinueOnError)
-	fs.SetOutput(stderr)
+	fs := cliref.TraceStatFlags(stderr)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}

@@ -1,0 +1,45 @@
+package cliref
+
+import (
+	"flag"
+	"io"
+)
+
+// COpts carries bwc's parsed flags.
+type COpts struct {
+	Bench     string
+	Dump      bool
+	MaxNest   int
+	NoPromote bool
+	Dedup     bool
+	List      bool
+	Optimize  bool
+}
+
+// CFlags builds bwc's flag set bound to a fresh COpts.
+func CFlags(stderr io.Writer) (*flag.FlagSet, *COpts) {
+	fs := newFlagSet("bwc", stderr)
+	o := &COpts{}
+	fs.StringVar(&o.Bench, "bench", "", "bundled benchmark name")
+	fs.BoolVar(&o.Dump, "dump", false, "print SSA IR")
+	fs.IntVar(&o.MaxNest, "maxnest", 0, "loop-nesting cap (0 = default 6, -1 = unlimited)")
+	fs.BoolVar(&o.NoPromote, "nopromote", false, "disable none→partial promotion")
+	fs.BoolVar(&o.Dedup, "dedup", false, "enable redundant-check elimination")
+	fs.BoolVar(&o.List, "list", false, "list bundled benchmarks")
+	fs.BoolVar(&o.Optimize, "O", false, "run SSA optimizations before analysis")
+	return fs, o
+}
+
+func ccCommand() Command {
+	return Command{
+		Name:    "bwc",
+		Summary: "compile a MiniC program and report the similarity analysis and check plan",
+		Description: "bwc is the BLOCKWATCH \"compiler\" front-end: it compiles a MiniC program (or " +
+			"a bundled SPLASH-2 kernel), runs the similarity-category analysis, and reports " +
+			"the per-branch classification and check plan.",
+		Sections: []Section{{
+			Usage: "bwc [flags] <file.mc>  |  bwc [flags] -bench <name>",
+			Flags: func(stderr io.Writer) *flag.FlagSet { fs, _ := CFlags(stderr); return fs },
+		}},
+	}
+}

@@ -1,0 +1,99 @@
+package cliref
+
+import (
+	"flag"
+	"io"
+	"time"
+
+	"blockwatch/internal/fleet"
+)
+
+// FleetProbeOpts carries bwfleet probe's parsed flags.
+type FleetProbeOpts struct {
+	Fleet   string
+	Timeout time.Duration
+}
+
+// FleetRankOpts carries bwfleet rank's parsed flags.
+type FleetRankOpts struct {
+	Fleet   string
+	Timeout time.Duration
+	Key     string
+	NoProbe bool
+}
+
+// FleetMetricsOpts carries bwfleet metrics' parsed flags.
+type FleetMetricsOpts struct {
+	Fleet   string
+	Timeout time.Duration
+	Format  string
+}
+
+// addFleetFlags registers the member-list flags every subcommand shares.
+func addFleetFlags(fs *flag.FlagSet, spec *string, timeout *time.Duration) {
+	fs.StringVar(spec, "fleet", "", "comma-separated members: addr or addr=adminhost:port (required)")
+	fs.DurationVar(timeout, "timeout", fleet.DefaultProbeTimeout, "per-member probe/scrape timeout")
+}
+
+// FleetProbeFlags builds the probe subcommand's flag set.
+func FleetProbeFlags(stderr io.Writer) (*flag.FlagSet, *FleetProbeOpts) {
+	fs := newFlagSet("bwfleet probe", stderr)
+	o := &FleetProbeOpts{}
+	addFleetFlags(fs, &o.Fleet, &o.Timeout)
+	return fs, o
+}
+
+// FleetRankFlags builds the rank subcommand's flag set.
+func FleetRankFlags(stderr io.Writer) (*flag.FlagSet, *FleetRankOpts) {
+	fs := newFlagSet("bwfleet rank", stderr)
+	o := &FleetRankOpts{}
+	addFleetFlags(fs, &o.Fleet, &o.Timeout)
+	fs.StringVar(&o.Key, "key", "", "session key to place (bwrun uses the program name; required)")
+	fs.BoolVar(&o.NoProbe, "no-probe", false, "rank on the static member list without probing first")
+	return fs, o
+}
+
+// FleetMetricsFlags builds the metrics subcommand's flag set.
+func FleetMetricsFlags(stderr io.Writer) (*flag.FlagSet, *FleetMetricsOpts) {
+	fs := newFlagSet("bwfleet metrics", stderr)
+	o := &FleetMetricsOpts{}
+	addFleetFlags(fs, &o.Fleet, &o.Timeout)
+	fs.StringVar(&o.Format, "format", "prom", "merged output format: prom | json")
+	return fs, o
+}
+
+func fleetCommand() Command {
+	return Command{
+		Name:    "bwfleet",
+		Summary: "inspect and aggregate a fleet of bwmonitord daemons",
+		Description: "bwfleet is the operational companion to `bwrun -remote addr1,addr2`. probe " +
+			"dials every member's wire endpoint once (and, where an admin address is given, " +
+			"checks /healthz for draining) and prints the resulting health table. rank " +
+			"prints the fleet's placement order for one session key — the health-weighted " +
+			"rendezvous ranking bwrun uses to place a session and pick failover targets. " +
+			"metrics scrapes every member's admin registry and merges them into a single " +
+			"exposition, so one dashboard reads the whole fleet as if it were a single daemon.",
+		Sections: []Section{
+			{
+				Name:    "probe",
+				Summary: "dial every member and print the fleet health table",
+				Usage:   "bwfleet probe -fleet addr[=admin],... [flags]",
+				Flags:   func(stderr io.Writer) *flag.FlagSet { fs, _ := FleetProbeFlags(stderr); return fs },
+			},
+			{
+				Name:    "rank",
+				Summary: "print the placement order for one session key",
+				Usage:   "bwfleet rank -fleet addr[=admin],... -key SESSION [flags]",
+				Flags:   func(stderr io.Writer) *flag.FlagSet { fs, _ := FleetRankFlags(stderr); return fs },
+			},
+			{
+				Name:    "metrics",
+				Summary: "scrape and merge every member's metrics registry",
+				Usage:   "bwfleet metrics -fleet addr[=admin],... [flags]",
+				Flags:   func(stderr io.Writer) *flag.FlagSet { fs, _ := FleetMetricsFlags(stderr); return fs },
+			},
+		},
+		Notes: "Exit status: 0 on success (probe: all members up), 1 on error or when probe " +
+			"finds any member down or draining.",
+	}
+}

@@ -1,0 +1,40 @@
+package cliref
+
+import (
+	"flag"
+	"io"
+)
+
+// GenOpts carries bwgen's parsed flags.
+type GenOpts struct {
+	Seed  int64
+	Stmts int
+	Depth int
+	Check bool
+}
+
+// GenFlags builds bwgen's flag set bound to a fresh GenOpts.
+func GenFlags(stderr io.Writer) (*flag.FlagSet, *GenOpts) {
+	fs := newFlagSet("bwgen", stderr)
+	o := &GenOpts{}
+	fs.Int64Var(&o.Seed, "seed", 1, "generator seed")
+	fs.IntVar(&o.Stmts, "stmts", 8, "max top-level statements")
+	fs.IntVar(&o.Depth, "depth", 3, "max nesting depth")
+	fs.BoolVar(&o.Check, "check", false, "compile, analyze and run the program protected")
+	return fs, o
+}
+
+func genCommand() Command {
+	return Command{
+		Name:    "bwgen",
+		Summary: "emit random, well-formed, race-free MiniC SPMD programs",
+		Description: "bwgen emits random, well-formed, race-free MiniC SPMD programs (the generator " +
+			"behind the repo's property-based tests). Useful for fuzzing the " +
+			"compiler/analysis/monitor pipeline from the shell: " +
+			"`bwgen -seed 7 > prog.mc && bwc prog.mc && bwrun -protect prog.mc`.",
+		Sections: []Section{{
+			Usage: "bwgen [flags]",
+			Flags: func(stderr io.Writer) *flag.FlagSet { fs, _ := GenFlags(stderr); return fs },
+		}},
+	}
+}

@@ -1,0 +1,237 @@
+package benchstore
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"blockwatch/internal/buildinfo"
+	"blockwatch/internal/metrics"
+)
+
+// SchemaVersion is the current BENCH_*.json schema. Decode rejects any
+// other value: the format carries no migration machinery, so a version
+// bump means regenerating baselines.
+const SchemaVersion = 1
+
+// File is one BENCH_*.json artifact: provenance plus a canonically
+// ordered list of experiment records.
+type File struct {
+	Schema    int    `json:"schema"`
+	Tool      string `json:"tool"`
+	Version   string `json:"version"`
+	GitSHA    string `json:"git_sha,omitempty"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	// CreatedAt is RFC 3339 UTC. It is provenance only: Compare ignores
+	// it, and it is the one field that differs between two encodes of
+	// the same measurements.
+	CreatedAt string   `json:"created_at,omitempty"`
+	Records   []Record `json:"records"`
+}
+
+// Record is one experiment cell.
+type Record struct {
+	// Experiment is the bwbench experiment id (throughput, ingest, ...).
+	Experiment string `json:"experiment"`
+	// Config holds the cell's axes: kernel, transport, workers, batch,
+	// sessions — whatever distinguishes it from sibling cells.
+	Config map[string]string `json:"config,omitempty"`
+	// Values holds measured metrics by name; names classify how Compare
+	// gates them (see the package comment).
+	Values map[string]float64 `json:"values,omitempty"`
+	// Counters holds counter values snapshotted from the cell's
+	// internal/metrics registry — informational context, never gated.
+	Counters map[string]uint64 `json:"counters,omitempty"`
+}
+
+// Key is the record's canonical identity: the experiment id plus the
+// sorted config axes, e.g. "ingest{sessions=4,transport=tcp}".
+func (r Record) Key() string {
+	if len(r.Config) == 0 {
+		return r.Experiment
+	}
+	axes := make([]string, 0, len(r.Config))
+	for k, v := range r.Config {
+		axes = append(axes, k+"="+v)
+	}
+	sort.Strings(axes)
+	return r.Experiment + "{" + strings.Join(axes, ",") + "}"
+}
+
+// New builds an empty File stamped with the running binary's
+// provenance: buildinfo version and git revision, Go version, and
+// platform.
+func New(tool string) *File {
+	return &File{
+		Schema:    SchemaVersion,
+		Tool:      tool,
+		Version:   buildinfo.Version(),
+		GitSHA:    buildinfo.Revision(),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CreatedAt: time.Now().UTC().Format(time.RFC3339),
+	}
+}
+
+// Add appends records to the file. Canonical ordering is restored at
+// Encode time, so callers may add in any order.
+func (f *File) Add(recs ...Record) {
+	f.Records = append(f.Records, recs...)
+}
+
+// Sort puts the records in canonical key order (stable, so equal-key
+// duplicates — a Validate error anyway — keep their insertion order).
+func (f *File) Sort() {
+	sort.SliceStable(f.Records, func(i, j int) bool {
+		return f.Records[i].Key() < f.Records[j].Key()
+	})
+}
+
+// Validate checks the invariants Encode and Decode both enforce: the
+// schema version, a named tool, non-empty experiment ids, and unique
+// record keys.
+func (f *File) Validate() error {
+	if f.Schema != SchemaVersion {
+		return fmt.Errorf("benchstore: schema %d, this build reads schema %d", f.Schema, SchemaVersion)
+	}
+	if f.Tool == "" {
+		return fmt.Errorf("benchstore: missing tool name")
+	}
+	seen := make(map[string]bool, len(f.Records))
+	for i, r := range f.Records {
+		if r.Experiment == "" {
+			return fmt.Errorf("benchstore: record %d has no experiment id", i)
+		}
+		key := r.Key()
+		if seen[key] {
+			return fmt.Errorf("benchstore: duplicate record %s", key)
+		}
+		seen[key] = true
+		for name := range r.Values {
+			if name == "" {
+				return fmt.Errorf("benchstore: record %s has an unnamed value", key)
+			}
+		}
+	}
+	return nil
+}
+
+// Encode validates, sorts, and writes the file as canonical indented
+// JSON with a trailing newline. Two encodes of the same measurements
+// are byte-identical (modulo CreatedAt).
+func (f *File) Encode(w io.Writer) error {
+	if err := f.Validate(); err != nil {
+		return err
+	}
+	f.Sort()
+	b, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// Decode reads and validates one artifact.
+func Decode(r io.Reader) (*File, error) {
+	var f File
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("benchstore: %w", err)
+	}
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	f.Sort()
+	return &f, nil
+}
+
+// WriteFile encodes to path (0644, truncating).
+func (f *File) WriteFile(path string) error {
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := f.Encode(out); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
+}
+
+// ReadFile decodes the artifact at path.
+func ReadFile(path string) (*File, error) {
+	in, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer in.Close()
+	f, err := Decode(in)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return f, nil
+}
+
+// Merge combines artifacts into one file: provenance from the last
+// non-nil input, records merged by key with later files overriding
+// earlier ones (append semantics for re-running a single experiment
+// into an existing artifact set).
+func Merge(files ...*File) (*File, error) {
+	var out *File
+	byKey := make(map[string]int)
+	for _, f := range files {
+		if f == nil {
+			continue
+		}
+		if err := f.Validate(); err != nil {
+			return nil, err
+		}
+		meta := *f
+		meta.Records = nil
+		if out == nil {
+			out = &meta
+		} else {
+			recs := out.Records
+			*out = meta
+			out.Records = recs
+		}
+		for _, r := range f.Records {
+			if i, ok := byKey[r.Key()]; ok {
+				out.Records[i] = r
+				continue
+			}
+			byKey[r.Key()] = len(out.Records)
+			out.Records = append(out.Records, r)
+		}
+	}
+	if out == nil {
+		return nil, fmt.Errorf("benchstore: nothing to merge")
+	}
+	out.Sort()
+	return out, nil
+}
+
+// CounterValues extracts every counter of a metrics snapshot as a
+// Record-ready map (nil for an empty or nil snapshot), so experiment
+// drivers can attach their registry's final state in one call.
+func CounterValues(s *metrics.Snapshot) map[string]uint64 {
+	if s == nil || len(s.Counters) == 0 {
+		return nil
+	}
+	out := make(map[string]uint64, len(s.Counters))
+	for _, c := range s.Counters {
+		out[c.Name] = c.Value
+	}
+	return out
+}

@@ -1,0 +1,178 @@
+package benchstore
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"blockwatch/internal/metrics"
+)
+
+// sample builds a small two-record file with fixed provenance so
+// encodes are fully deterministic in tests.
+func sample() *File {
+	f := &File{
+		Schema: SchemaVersion, Tool: "bwbench", Version: "test",
+		GoVersion: "go-test", GOOS: "linux", GOARCH: "amd64",
+	}
+	f.Add(
+		Record{
+			Experiment: "throughput",
+			Config:     map[string]string{"mode": "batch", "checkers": "4"},
+			Values:     map[string]float64{"ns/op": 120.5, "events/sec": 8.3e6},
+			Counters:   map[string]uint64{"bw_monitor_events_total": 400000},
+		},
+		Record{
+			Experiment: "ingest",
+			Config:     map[string]string{"transport": "tcp", "sessions": "2"},
+			Values:     map[string]float64{"ns/op": 900, "allocs/op": 0},
+		},
+	)
+	return f
+}
+
+func TestRecordKey(t *testing.T) {
+	r := Record{Experiment: "ingest", Config: map[string]string{"transport": "tcp", "sessions": "4"}}
+	if got, want := r.Key(), "ingest{sessions=4,transport=tcp}"; got != want {
+		t.Errorf("Key() = %q, want %q (config axes must sort)", got, want)
+	}
+	if got := (Record{Experiment: "tables"}).Key(); got != "tables" {
+		t.Errorf("configless Key() = %q, want bare experiment id", got)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := sample()
+	var buf bytes.Buffer
+	if err := f.Encode(&buf); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	got, err := Decode(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if len(got.Records) != 2 || got.Tool != "bwbench" || got.Schema != SchemaVersion {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+	r := got.Records[0] // canonical order puts ingest{...} first
+	if r.Experiment != "ingest" || r.Values["ns/op"] != 900 {
+		t.Errorf("round-tripped record = %+v", r)
+	}
+	if got.Records[1].Counters["bw_monitor_events_total"] != 400000 {
+		t.Errorf("counters lost: %+v", got.Records[1])
+	}
+}
+
+// TestEncodeDeterministic pins the canonical-ordering contract: the
+// same measurements added in any order encode byte-identically.
+func TestEncodeDeterministic(t *testing.T) {
+	a := sample()
+	b := sample()
+	b.Records[0], b.Records[1] = b.Records[1], b.Records[0]
+	var ab, bb bytes.Buffer
+	if err := a.Encode(&ab); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Encode(&bb); err != nil {
+		t.Fatal(err)
+	}
+	if ab.String() != bb.String() {
+		t.Errorf("encodes differ with insertion order:\n%s\nvs\n%s", ab.String(), bb.String())
+	}
+	var again bytes.Buffer
+	if err := a.Encode(&again); err != nil {
+		t.Fatal(err)
+	}
+	if ab.String() != again.String() {
+		t.Error("re-encoding the same file changed bytes")
+	}
+	if !strings.HasSuffix(ab.String(), "\n") {
+		t.Error("canonical encoding must end in a newline")
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*File)
+	}{
+		{"wrong schema", func(f *File) { f.Schema = 99 }},
+		{"missing tool", func(f *File) { f.Tool = "" }},
+		{"unnamed experiment", func(f *File) { f.Records[0].Experiment = "" }},
+		{"duplicate key", func(f *File) { f.Records[1] = f.Records[0] }},
+	}
+	for _, tc := range cases {
+		f := sample()
+		tc.mutate(f)
+		if err := f.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted an invalid file", tc.name)
+		}
+	}
+}
+
+func TestDecodeRejectsUnknownFields(t *testing.T) {
+	_, err := Decode(strings.NewReader(`{"schema":1,"tool":"x","futuristic":true,"records":[]}`))
+	if err == nil {
+		t.Error("Decode accepted an unknown top-level field")
+	}
+}
+
+func TestNewStampsProvenance(t *testing.T) {
+	f := New("bwbench")
+	if f.Schema != SchemaVersion || f.Tool != "bwbench" {
+		t.Errorf("New() = %+v", f)
+	}
+	if f.GoVersion == "" || f.GOOS == "" || f.GOARCH == "" || f.Version == "" {
+		t.Errorf("New() left provenance blank: %+v", f)
+	}
+	if f.CreatedAt == "" {
+		t.Error("New() left CreatedAt blank")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := sample()
+	b := &File{Schema: SchemaVersion, Tool: "bwbench", Version: "test2",
+		GoVersion: "go-test", GOOS: "linux", GOARCH: "amd64"}
+	b.Add(
+		// Overrides a's ingest record...
+		Record{
+			Experiment: "ingest",
+			Config:     map[string]string{"transport": "tcp", "sessions": "2"},
+			Values:     map[string]float64{"ns/op": 850, "allocs/op": 0},
+		},
+		// ...and adds a new one.
+		Record{Experiment: "fleet", Config: map[string]string{"members": "2"},
+			Values: map[string]float64{"events/sec": 1e6}},
+	)
+	m, err := Merge(a, b)
+	if err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	if len(m.Records) != 3 {
+		t.Fatalf("merged %d records, want 3: %+v", len(m.Records), m.Records)
+	}
+	if m.Version != "test2" {
+		t.Errorf("merge provenance = %q, want the later file's", m.Version)
+	}
+	for _, r := range m.Records {
+		if r.Experiment == "ingest" && r.Values["ns/op"] != 850 {
+			t.Errorf("later record did not override: %+v", r)
+		}
+	}
+	if _, err := Merge(nil, nil); err == nil {
+		t.Error("Merge of nothing should error")
+	}
+}
+
+func TestCounterValues(t *testing.T) {
+	if CounterValues(nil) != nil {
+		t.Error("nil snapshot should yield nil")
+	}
+	reg := metrics.NewRegistry()
+	reg.Counter("bw_test_total", "help").Add(7)
+	got := CounterValues(reg.Snapshot())
+	if got["bw_test_total"] != 7 || len(got) != 1 {
+		t.Errorf("CounterValues = %v", got)
+	}
+}

@@ -1,0 +1,206 @@
+package benchstore
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// fileWith builds a minimal valid file around the given records.
+func fileWith(recs ...Record) *File {
+	f := &File{Schema: SchemaVersion, Tool: "bwbench", Version: "test",
+		GoVersion: "go-test", GOOS: "linux", GOARCH: "amd64"}
+	f.Add(recs...)
+	return f
+}
+
+func rec(exp string, config map[string]string, values map[string]float64) Record {
+	return Record{Experiment: exp, Config: config, Values: values}
+}
+
+func TestCompareIdentical(t *testing.T) {
+	mk := func() *File {
+		return fileWith(
+			rec("throughput", map[string]string{"mode": "batch"},
+				map[string]float64{"ns/op": 100, "events/sec": 1e6}),
+			rec("ingest", map[string]string{"transport": "tcp"},
+				map[string]float64{"ns/op": 50, "allocs/op": 0}),
+		)
+	}
+	c := Compare(mk(), mk(), CompareOptions{})
+	if c.Failed() {
+		t.Fatalf("identical files failed: %+v", c)
+	}
+	if c.Regressions != 0 || c.Missing != 0 || c.NewRecords != 0 {
+		t.Errorf("identical files: %+v", c)
+	}
+	for _, d := range c.Deltas {
+		if d.Status != StatusOK {
+			t.Errorf("%s %s: status %s, want ok", d.Key, d.Metric, d.Status)
+		}
+	}
+}
+
+// TestCompareNsRegression pins the headline gate: a 20% ns/op slowdown
+// fails at the default ±10% tolerance, and the delta table names it.
+func TestCompareNsRegression(t *testing.T) {
+	base := fileWith(rec("throughput", nil, map[string]float64{"ns/op": 100}))
+	head := fileWith(rec("throughput", nil, map[string]float64{"ns/op": 120}))
+	c := Compare(base, head, CompareOptions{})
+	if !c.Failed() || c.Regressions != 1 {
+		t.Fatalf("20%% ns/op regression not gated: %+v", c)
+	}
+	var out bytes.Buffer
+	c.Render(&out)
+	table := out.String()
+	for _, want := range []string{"throughput", "ns/op", "+20.0%", "REGRESSION", "1 regression(s)"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("delta table missing %q:\n%s", want, table)
+		}
+	}
+
+	// Within tolerance: 9% passes.
+	head = fileWith(rec("throughput", nil, map[string]float64{"ns/op": 109}))
+	if c := Compare(base, head, CompareOptions{}); c.Failed() {
+		t.Errorf("9%% drift failed at ±10%% tolerance: %+v", c)
+	}
+	// Tighter tolerance flips it.
+	if c := Compare(base, head, CompareOptions{TimeTol: 0.05}); !c.Failed() {
+		t.Error("9% drift passed at ±5% tolerance")
+	}
+}
+
+func TestCompareImprovement(t *testing.T) {
+	base := fileWith(rec("throughput", nil, map[string]float64{"ns/op": 100, "events/sec": 1e6}))
+	head := fileWith(rec("throughput", nil, map[string]float64{"ns/op": 50, "events/sec": 2e6}))
+	c := Compare(base, head, CompareOptions{})
+	if c.Failed() {
+		t.Fatalf("improvement gated as failure: %+v", c)
+	}
+	improved := 0
+	for _, d := range c.Deltas {
+		if d.Status == StatusImprovement {
+			improved++
+		}
+	}
+	if improved != 2 {
+		t.Errorf("%d improvements flagged, want 2: %+v", improved, c.Deltas)
+	}
+}
+
+func TestCompareAllocRegression(t *testing.T) {
+	base := fileWith(rec("ingest", nil, map[string]float64{"allocs/op": 0}))
+	// Any increase fails — there is no tolerance on allocations.
+	head := fileWith(rec("ingest", nil, map[string]float64{"allocs/op": 0.5}))
+	if c := Compare(base, head, CompareOptions{}); !c.Failed() {
+		t.Error("allocs/op increase passed")
+	}
+	// SkipTime must NOT skip the alloc gate.
+	if c := Compare(base, head, CompareOptions{SkipTime: true}); !c.Failed() {
+		t.Error("allocs/op increase passed under SkipTime")
+	}
+	// A decrease is an improvement, not a failure.
+	base = fileWith(rec("ingest", nil, map[string]float64{"allocs/op": 2}))
+	head = fileWith(rec("ingest", nil, map[string]float64{"allocs/op": 1}))
+	if c := Compare(base, head, CompareOptions{}); c.Failed() {
+		t.Error("allocs/op decrease failed")
+	}
+}
+
+// TestCompareNewMetric: a metric (or record) present only in head is
+// informational, never a failure.
+func TestCompareNewMetric(t *testing.T) {
+	base := fileWith(rec("throughput", nil, map[string]float64{"ns/op": 100}))
+	head := fileWith(
+		rec("throughput", nil, map[string]float64{"ns/op": 100, "allocs/op": 3}),
+		rec("fleet", map[string]string{"members": "2"}, map[string]float64{"events/sec": 1e6}),
+	)
+	c := Compare(base, head, CompareOptions{})
+	if c.Failed() {
+		t.Fatalf("new metric/record treated as failure: %+v", c)
+	}
+	if c.NewRecords != 1 {
+		t.Errorf("NewRecords = %d, want 1", c.NewRecords)
+	}
+	var sawNewMetric, sawNewRecord bool
+	for _, d := range c.Deltas {
+		if d.Status == StatusNew && d.Metric == "allocs/op" {
+			sawNewMetric = true
+		}
+		if d.Status == StatusNew && d.Metric == "(record)" && strings.HasPrefix(d.Key, "fleet") {
+			sawNewRecord = true
+		}
+	}
+	if !sawNewMetric || !sawNewRecord {
+		t.Errorf("new metric/record rows missing: %+v", c.Deltas)
+	}
+}
+
+// TestCompareMissingBase: a record in base that head no longer emits is
+// lost coverage and fails, including under SkipTime.
+func TestCompareMissingBase(t *testing.T) {
+	base := fileWith(
+		rec("throughput", nil, map[string]float64{"ns/op": 100}),
+		rec("ingest", map[string]string{"transport": "tcp"}, map[string]float64{"ns/op": 50}),
+	)
+	head := fileWith(rec("throughput", nil, map[string]float64{"ns/op": 100}))
+	for _, opts := range []CompareOptions{{}, {SkipTime: true}} {
+		c := Compare(base, head, opts)
+		if !c.Failed() || c.Missing != 1 {
+			t.Fatalf("opts %+v: dropped record not gated: %+v", opts, c)
+		}
+	}
+	var out bytes.Buffer
+	Compare(base, head, CompareOptions{}).Render(&out)
+	if !strings.Contains(out.String(), "MISSING") {
+		t.Errorf("delta table does not flag the missing record:\n%s", out.String())
+	}
+
+	// A gated metric vanishing inside a surviving record also fails.
+	head = fileWith(
+		rec("throughput", nil, map[string]float64{"events/sec": 1e6}),
+		rec("ingest", map[string]string{"transport": "tcp"}, map[string]float64{"ns/op": 50}),
+	)
+	if c := Compare(base, head, CompareOptions{}); !c.Failed() {
+		t.Error("vanished ns/op metric passed")
+	}
+}
+
+// TestCompareSkipTime: with SkipTime, wall-clock drift of any size is
+// reported as info but never gates — the cross-machine CI mode.
+func TestCompareSkipTime(t *testing.T) {
+	base := fileWith(rec("throughput", nil, map[string]float64{"ns/op": 100, "events/sec": 1e6, "allocs/op": 0}))
+	head := fileWith(rec("throughput", nil, map[string]float64{"ns/op": 400, "events/sec": 2.5e5, "allocs/op": 0}))
+	c := Compare(base, head, CompareOptions{SkipTime: true})
+	if c.Failed() {
+		t.Fatalf("SkipTime comparison failed on time drift: %+v", c)
+	}
+	for _, d := range c.Deltas {
+		switch d.Metric {
+		case "ns/op", "events/sec":
+			if d.Status != StatusInfo || d.Gated {
+				t.Errorf("%s: status=%s gated=%t, want ungated info", d.Metric, d.Status, d.Gated)
+			}
+		case "allocs/op":
+			if !d.Gated {
+				t.Error("allocs/op lost its gate under SkipTime")
+			}
+		}
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := map[string]metricClass{
+		"allocs/op":  classAlloc,
+		"ns/op":      classTimeLower,
+		"elapsed_ns": classTimeLower,
+		"events/sec": classTimeHigher,
+		"spread":     classInfo,
+		"buf_bytes":  classInfo,
+	}
+	for name, want := range cases {
+		if got := classify(name); got != want {
+			t.Errorf("classify(%q) = %v, want %v", name, got, want)
+		}
+	}
+}

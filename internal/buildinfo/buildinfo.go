@@ -46,6 +46,36 @@ func Version() string {
 	return "devel+" + rev
 }
 
+// Revision returns the bare VCS revision hash stamped into the binary,
+// with "-dirty" appended for uncommitted trees, or "" when no VCS
+// metadata is available (test binaries, non-VCS builds). Unlike
+// Version it never falls back to the module version: callers that want
+// "which commit produced this artifact" (benchstore records) need the
+// hash or nothing.
+func Revision() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return ""
+	}
+	var rev string
+	var dirty bool
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev == "" {
+		return ""
+	}
+	if dirty {
+		rev += "-dirty"
+	}
+	return rev
+}
+
 // Print writes the one-line -version output for a command.
 func Print(w io.Writer, cmd string) {
 	fmt.Fprintf(w, "%s %s %s %s/%s\n", cmd, Version(), runtime.Version(), runtime.GOOS, runtime.GOARCH)

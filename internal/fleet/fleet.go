@@ -1,29 +1,3 @@
-// Package fleet turns the single bwmonitord daemon into a horizontally
-// sharded monitoring service: a Pool manages N daemon endpoints (TCP and
-// unix mixed), tracks each member's live health through periodic dial
-// probes and admin /healthz checks, and places every monitoring session
-// with health-weighted rendezvous (highest-random-weight) hashing.
-// Placement needs no coordination between clients and no shared state
-// beyond the member list — the property that makes BLOCKWATCH's monitor
-// embarrassingly shardable: every session's verdict is independent, the
-// same observation the parallel Astrée implementation exploits to spread
-// analysis work across machines.
-//
-// A Pool's per-session Selector plugs into remote.DialSelector, so the
-// client's existing self-healing machinery becomes mid-run failover: a
-// member that dies under a session is reported back to the pool
-// (deranked immediately), the next dial lands on the next-ranked member,
-// and the spool replays the whole stream through a fresh hello — the
-// verdict stays byte-identical to an uninterrupted single-daemon run
-// even when a member is killed mid-session.
-//
-// Health weighting: a member starts optimistic (weight 1). Probes and
-// dial feedback blend an EWMA success rate with an EWMA probe latency;
-// a member whose wire endpoint refuses connections, or whose /healthz
-// reports draining, weighs zero and is excluded from placement until a
-// later probe revives it. When every member weighs zero the raw
-// (unweighted) ranking is used instead, so sessions still try the fleet
-// rather than giving up while it restarts.
 package fleet
 
 import (

@@ -1,0 +1,22 @@
+// Package spool buffers the out-of-process monitor's outbound frame
+// stream in a bounded on-disk file so the remote client can survive a
+// dead or slow daemon without losing the verdict.
+//
+// The file is an ordinary wire stream (internal/wire codec): a Hello
+// frame followed by events/flush/done frames and, once sealed, a Finish
+// frame — byte-compatible with what the client would have written onto
+// the socket and therefore with the on-disk trace format. That identity
+// is the whole design: replaying the spool onto a fresh connection
+// (ReplayTo) is a raw byte copy that reconstructs the session exactly,
+// and a sealed spool is directly consumable by `bwtrace replay`.
+//
+// The spool is bounded: once Size() would exceed the configured maximum
+// the next append fails with ErrSpoolFull and the spool stops growing
+// (the bound is soft by at most one frame). An overflowed spool can no
+// longer reconstruct the full session, so the client treats overflow as
+// a terminal, fail-open condition — degrade and count drops, never
+// block the program.
+//
+// A Spool is not safe for concurrent use; the relay's single drain
+// goroutine owns it, matching the wire.Writer contract.
+package spool
